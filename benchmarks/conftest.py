@@ -1,0 +1,130 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper. Simulation
+results are cached at session scope so tables that share configurations
+(I, II, III all use the same k/eta sweeps) do not recompute them, and
+each bench writes its rendered table to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict
+
+import pytest
+
+from repro.allocation.base import Allocator
+from repro.allocation.hash_based import HashAllocator
+from repro.allocation.metis_like import MetisLikeAllocator
+from repro.allocation.txallo import TxAlloAllocator
+from repro.chain.params import ProtocolParams
+from repro.core.mosaic import MosaicAllocator
+from repro.data.ethereum import EthereumTraceConfig, generate_ethereum_like_trace
+from repro.data.trace import Trace
+from repro.sim.engine import Simulation, SimulationConfig, SimulationResult
+
+#: Benchmark-scale trace: large enough for stable shapes, small enough
+#: that the full suite finishes in minutes. tau=40 over the evaluation
+#: tail yields ~10 epochs, mirroring the paper's epoch-wise averaging.
+#: The hub calibration keeps the busiest single account at ~2% of all
+#: transactions, below one shard's 1/k workload share at k = 32 scale —
+#: matching the real dataset, where no single account exceeds a shard's
+#: capacity (a single unsplittable hub above 1/k makes workload balance
+#: unattainable for every allocator and drowns the comparison in noise).
+BENCH_TRACE_CONFIG = EthereumTraceConfig(
+    n_accounts=6_000,
+    n_transactions=80_000,
+    n_blocks=4_000,
+    hub_fraction=0.01,
+    hub_transaction_share=0.12,
+    seed=42,
+)
+BENCH_TAU = 40
+BENCH_SEED = 42
+
+#: Method display names used across all tables (paper column order).
+#: "txallo" is the complete G-TxAllo recomputation the paper's
+#: effectiveness tables report; the fast A-TxAllo variant appears in the
+#: efficiency table (Table IV) as in the paper's 'A \\ G' split.
+PILOT = "mosaic-pilot"
+TXALLO = "txallo"
+TXALLO_ADAPTIVE = "txallo-a"
+METIS = "metis"
+RANDOM = "hash-random"
+
+
+def make_allocator(name: str) -> Allocator:
+    """Fresh allocator instance for one simulation run."""
+    if name == PILOT:
+        # The paper initialises Pilot's phi_0 with TxAllo's result.
+        return MosaicAllocator(initializer=TxAlloAllocator())
+    if name == TXALLO:
+        return TxAlloAllocator(mode="full")
+    if name == TXALLO_ADAPTIVE:
+        return TxAlloAllocator(mode="adaptive")
+    if name == METIS:
+        return MetisLikeAllocator(seed=BENCH_SEED)
+    if name == RANDOM:
+        return HashAllocator()
+    raise ValueError(f"unknown allocator {name!r}")
+
+
+@pytest.fixture(scope="session")
+def bench_trace() -> Trace:
+    """The shared benchmark trace (generated once per session)."""
+    return generate_ethereum_like_trace(BENCH_TRACE_CONFIG)
+
+
+class SimulationCache:
+    """Session cache: (allocator, k, eta, beta, oracle, extra) -> result."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self._results: Dict[tuple, SimulationResult] = {}
+
+    def run(
+        self,
+        allocator_name: str,
+        k: int = 16,
+        eta: float = 2.0,
+        beta: float = 0.0,
+        oracle_mode: str = "lookahead",
+        allocator_factory: Callable[[], Allocator] = None,
+        cache_tag: str = "",
+    ) -> SimulationResult:
+        key = (allocator_name, k, eta, beta, oracle_mode, cache_tag)
+        if key not in self._results:
+            params = ProtocolParams(
+                k=k, eta=eta, tau=BENCH_TAU, beta=beta, seed=BENCH_SEED
+            )
+            config = SimulationConfig(params=params, oracle_mode=oracle_mode)
+            allocator = (
+                allocator_factory()
+                if allocator_factory is not None
+                else make_allocator(allocator_name)
+            )
+            result = Simulation(self.trace, allocator, config).run()
+            # Label the result with the display name so tables align even
+            # when a factory builds a variant of a standard allocator.
+            result.allocator_name = allocator_name
+            self._results[key] = result
+        return self._results[key]
+
+
+@pytest.fixture(scope="session")
+def sim_cache(bench_trace) -> SimulationCache:
+    return SimulationCache(bench_trace)
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    path = Path(__file__).parent / "output"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def emit(output_dir: Path, name: str, title: str, text: str) -> None:
+    """Write a rendered table to disk and echo it to stdout."""
+    body = f"{title}\n{'=' * len(title)}\n{text}\n"
+    (output_dir / f"{name}.txt").write_text(body)
+    print(f"\n{body}")

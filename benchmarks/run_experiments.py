@@ -1,0 +1,215 @@
+"""One-shot experiment runner: regenerate every table and figure.
+
+Runs the full evaluation (Tables I-VI, Fig. 1, ablations) without
+pytest and prints paper-style tables, also writing them (plus a JSON
+dump of all run summaries) to ``benchmarks/output/``. This is the
+script whose output EXPERIMENTS.md records.
+
+Usage::
+
+    python benchmarks/run_experiments.py [--quick]
+
+``--quick`` shrinks the trace for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import (  # noqa: E402  (path set up above)
+    BENCH_TAU,
+    BENCH_TRACE_CONFIG,
+    METIS,
+    PILOT,
+    RANDOM,
+    TXALLO,
+    TXALLO_ADAPTIVE,
+    SimulationCache,
+    emit,
+    make_allocator,
+)
+from repro.analysis.radar import RADAR_DIMENSIONS, RadarAxes, radar_scores
+from repro.analysis.tables import (
+    beta_sweep_table,
+    comparison_table,
+    overhead_table,
+)
+from repro.chain.network import OverheadModel
+from repro.data.ethereum import EthereumTraceConfig, generate_ethereum_like_trace
+from repro.sim.recorder import ResultRecorder, summarize_results
+from repro.util.formatting import format_bytes, format_seconds, render_table
+
+METHODS = [PILOT, TXALLO, METIS, RANDOM]
+ROW_SETTINGS = [
+    {"k": 4, "eta": 2.0, "label": "k = 4"},
+    {"k": 16, "eta": 2.0, "label": "k = 16 (default)"},
+    {"k": 32, "eta": 2.0, "label": "k = 32"},
+    {"k": 16, "eta": 5.0, "label": "eta = 5"},
+    {"k": 16, "eta": 10.0, "label": "eta = 10"},
+]
+BETAS = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small fast run")
+    args = parser.parse_args()
+
+    config = BENCH_TRACE_CONFIG
+    if args.quick:
+        config = EthereumTraceConfig(
+            n_accounts=2_000,
+            n_transactions=24_000,
+            n_blocks=1_600,
+            hub_fraction=0.01,
+            hub_transaction_share=0.12,
+            seed=BENCH_TRACE_CONFIG.seed,
+        )
+    print(f"generating trace ({config.n_transactions:,} transactions)...")
+    trace = generate_ethereum_like_trace(config)
+    cache = SimulationCache(trace)
+    output_dir = Path(__file__).parent / "output"
+    output_dir.mkdir(exist_ok=True)
+    recorder = ResultRecorder()
+
+    # -- effectiveness sweeps (Tables I-III) -----------------------------------
+    started = time.time()
+    summaries = []
+    for setting in ROW_SETTINGS:
+        for method in METHODS:
+            result = cache.run(method, k=setting["k"], eta=setting["eta"])
+            summaries.append(
+                recorder.record(result, experiment="effectiveness")
+            )
+    print(f"effectiveness sweeps done in {time.time() - started:.0f}s")
+
+    emit(
+        output_dir,
+        "table1_cross_shard",
+        "Table I: cross-shard ratio",
+        comparison_table(
+            summaries,
+            metric="mean_cross_shard_ratio",
+            allocators=METHODS,
+            row_settings=ROW_SETTINGS,
+        ),
+    )
+    emit(
+        output_dir,
+        "table2_throughput",
+        "Table II: normalised throughput (Lambda/lambda)",
+        comparison_table(
+            summaries,
+            metric="mean_normalized_throughput",
+            allocators=METHODS,
+            row_settings=ROW_SETTINGS,
+            value_format="{:.2f}",
+            lower_is_better=False,
+        ),
+    )
+    emit(
+        output_dir,
+        "table3_workload_deviation",
+        "Table III: workload deviation",
+        comparison_table(
+            summaries,
+            metric="mean_workload_deviation",
+            allocators=METHODS,
+            row_settings=ROW_SETTINGS,
+            value_format="{:.2f}",
+        ),
+    )
+
+    # -- Table IV: efficiency ----------------------------------------------------
+    rows = []
+    for method in [PILOT, TXALLO_ADAPTIVE, TXALLO, METIS, RANDOM]:
+        if method in (TXALLO_ADAPTIVE,):
+            result = cache.run(method, k=16, eta=2.0)
+            recorder.record(result, experiment="efficiency")
+        else:
+            result = cache.run(method, k=16, eta=2.0)
+        rows.append(
+            [
+                method,
+                format_seconds(result.mean_unit_time),
+                format_bytes(result.mean_input_bytes),
+            ]
+        )
+    emit(
+        output_dir,
+        "table4_efficiency",
+        "Table IV: running time and input data size",
+        render_table(["Method", "Time per decision unit", "Input data size"], rows),
+    )
+
+    # -- Table V: beta sweep ------------------------------------------------------
+    beta_summaries = []
+    for beta in BETAS:
+        result = cache.run(PILOT, k=4, eta=2.0, beta=beta)
+        beta_summaries.append(recorder.record(result, experiment="beta"))
+    emit(
+        output_dir,
+        "table5_future_knowledge",
+        "Table V: impact of future knowledge (k = 4, eta = 2)",
+        beta_sweep_table(beta_summaries, allocator=PILOT),
+    )
+
+    # -- Table VI + Fig. 1 ---------------------------------------------------------
+    pilot_result = cache.run(PILOT, k=16, eta=2.0)
+    epochs = max(1, pilot_result.epochs)
+    model = OverheadModel(
+        total_transactions=len(trace),
+        total_accounts=trace.n_accounts,
+        k=16,
+        window_transactions=pilot_result.total_transactions // epochs,
+        committed_migrations=pilot_result.total_migrations,
+        window_migrations=pilot_result.total_migrations // epochs,
+    )
+    emit(
+        output_dir,
+        "table6_overhead",
+        "Table VI (quantitative): per-miner overhead",
+        overhead_table(model),
+    )
+
+    overheads = {
+        PILOT: model.mosaic(),
+        TXALLO: model.graph_based(),
+        RANDOM: model.hash_based(),
+    }
+    axes = {}
+    for method in (PILOT, TXALLO, RANDOM):
+        result = cache.run(method, k=16, eta=2.0)
+        axes[method] = RadarAxes.from_measurements(
+            unit_time=max(result.mean_unit_time, 1e-12),
+            storage_bytes=overheads[method].storage_bytes,
+            communication_bytes=overheads[method].communication_bytes,
+            normalized_throughput=result.mean_normalized_throughput,
+            cross_shard_ratio=result.mean_cross_shard_ratio,
+            workload_deviation=max(result.mean_workload_deviation, 1e-12),
+        )
+    scores = radar_scores(axes)
+    emit(
+        output_dir,
+        "fig1_radar",
+        "Figure 1: radar scores, normalised to [1, 5]",
+        render_table(
+            ["Dimension", PILOT, TXALLO, RANDOM],
+            [
+                [d] + [f"{scores[m][d]:.2f}" for m in (PILOT, TXALLO, RANDOM)]
+                for d in RADAR_DIMENSIONS
+            ],
+        ),
+    )
+
+    recorder.save(output_dir / "run_summaries.json")
+    print(f"\nall artefacts written to {output_dir}/")
+
+
+if __name__ == "__main__":
+    main()

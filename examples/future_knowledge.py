@@ -1,0 +1,76 @@
+"""Table V scenario: how much does knowing the future help clients?
+
+Sweeps the fusion parameter beta (the share of future transactions a
+client knows in advance) and reports the three effectiveness metrics,
+reproducing the shape of the paper's Table V: beta = 0 is the worst
+case, and performance improves as clients gain future knowledge.
+
+Run with::
+
+    python examples/future_knowledge.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EthereumTraceConfig,
+    MosaicAllocator,
+    ProtocolParams,
+    Simulation,
+    SimulationConfig,
+    TxAlloAllocator,
+    generate_ethereum_like_trace,
+)
+from repro.util.formatting import render_table
+
+BETAS = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def main() -> None:
+    trace = generate_ethereum_like_trace(
+        EthereumTraceConfig(
+            n_accounts=3_000,
+            n_transactions=40_000,
+            n_blocks=2_400,
+            hub_fraction=0.01,
+            hub_transaction_share=0.12,
+            seed=11,
+        )
+    )
+    print(f"trace: {len(trace):,} transactions, {trace.n_accounts:,} accounts")
+    print("sweeping beta with k = 4, eta = 2 (the paper's Table V setup)\n")
+
+    rows = []
+    for beta in BETAS:
+        # In the simulation, a client's "expected transactions" are its
+        # own pending transactions in the upcoming epoch's mempool,
+        # weighted by beta in the fusion rule (Eq. 2).
+        params = ProtocolParams(k=4, eta=2.0, tau=30, beta=beta, seed=11)
+        config = SimulationConfig(params=params)
+        allocator = MosaicAllocator(initializer=TxAlloAllocator())
+        result = Simulation(trace, allocator, config).run()
+        rows.append(
+            [
+                f"{beta:.2f}",
+                f"{result.mean_cross_shard_ratio:.2%}",
+                f"{result.mean_normalized_throughput:.2f}",
+                f"{result.mean_workload_deviation:.2f}",
+            ]
+        )
+
+    print(
+        render_table(
+            ["beta", "Cross-shard ratio", "Throughput", "Workload dev."],
+            rows,
+        )
+    )
+    print(
+        "\nExpected shape (paper, Table V): the beta = 0 row is the worst"
+        "\ncross-shard ratio; ratios improve as beta grows, with"
+        "\ndiminishing returns near beta = 1. Future knowledge is"
+        "\n'exploitable but not mandatory'."
+    )
+
+
+if __name__ == "__main__":
+    main()

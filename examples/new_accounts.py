@@ -1,0 +1,110 @@
+"""Side benefit: new accounts allocate themselves (Section VI).
+
+Graph-based miner-driven methods cannot place accounts that are absent
+from the historical transaction graph — the paper randomly allocates
+them. A Mosaic client, by contrast, runs Pilot on its *planned*
+activity and the public workload distribution before sending its first
+transaction.
+
+This example creates a fresh account whose planned counterparties all
+live on one shard and shows where each strategy puts it, then measures
+the aggregate effect on a trace with a high new-account arrival rate.
+
+Run with::
+
+    python examples/new_accounts.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Client,
+    EthereumTraceConfig,
+    HashAllocator,
+    MosaicAllocator,
+    ProtocolParams,
+    ShardMapping,
+    Simulation,
+    SimulationConfig,
+    Transaction,
+    TxAlloAllocator,
+    WorkloadOracle,
+    generate_ethereum_like_trace,
+)
+from repro.chain.transaction import TransactionBatch
+from repro.util.formatting import render_table
+
+
+def single_account_demo() -> None:
+    print("-- one new account -----------------------------------------")
+    params = ProtocolParams(k=4, eta=2.0)
+    # Established world: accounts 0-7, two per shard; account 8 is new.
+    mapping = ShardMapping(np.array([0, 0, 1, 1, 2, 2, 3, 3, 0]), k=4)
+
+    newcomer = Client(account=8, eta=params.eta, beta=1.0)
+    # The newcomer plans to transact with accounts 4 and 5 (shard 2).
+    newcomer.expect(Transaction(8, 4))
+    newcomer.expect(Transaction(8, 5))
+
+    background = TransactionBatch.from_transactions(
+        [Transaction(0, 2), Transaction(2, 4), Transaction(6, 0)]
+    )
+    oracle = WorkloadOracle(params.eta)
+    snapshot = oracle.publish(0, background, mapping)
+
+    decision = newcomer.run_pilot(snapshot, mapping)
+    print(f"planned counterparties live on shard 2")
+    print(f"Pilot places the new account on shard {decision.best_shard}")
+    assert decision.best_shard == 2
+
+
+def aggregate_demo() -> None:
+    print("\n-- aggregate effect on a high-arrival trace ------------------")
+    trace = generate_ethereum_like_trace(
+        EthereumTraceConfig(
+            n_accounts=3_000,
+            n_transactions=40_000,
+            n_blocks=2_400,
+            new_account_fraction=0.25,  # heavy arrival of fresh accounts
+            hub_fraction=0.01,
+            hub_transaction_share=0.12,
+            seed=23,
+        )
+    )
+    params = ProtocolParams(k=8, eta=2.0, tau=30, beta=0.5, seed=23)
+    config = SimulationConfig(params=params)
+
+    rows = []
+    for name, allocator in (
+        ("Mosaic (self-allocation)", MosaicAllocator(initializer=TxAlloAllocator())),
+        ("TxAllo (random new accounts)", TxAlloAllocator(mode="full")),
+        ("Hash-random", HashAllocator()),
+    ):
+        result = Simulation(trace, allocator, config).run()
+        new_accounts = sum(r.new_accounts for r in result.records)
+        rows.append(
+            [
+                name,
+                new_accounts,
+                f"{result.mean_cross_shard_ratio:.2%}",
+                f"{result.mean_normalized_throughput:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["Method", "New accounts placed", "Cross-shard", "Throughput"],
+            rows,
+        )
+    )
+    print(
+        "\nMosaic lets the newcomers pick shards that suit their planned"
+        "\nactivity, while the miner-driven baselines place them randomly"
+        "\n— one of the client-driven side benefits in Table VI."
+    )
+
+
+if __name__ == "__main__":
+    single_account_demo()
+    aggregate_demo()

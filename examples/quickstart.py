@@ -1,0 +1,94 @@
+"""Quickstart: run Mosaic/Pilot against the baselines on a synthetic trace.
+
+Generates a small Ethereum-like transaction trace, runs the paper's
+evaluation protocol for four allocation methods, and prints the three
+effectiveness metrics plus the efficiency numbers side by side.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EthereumTraceConfig,
+    HashAllocator,
+    MetisLikeAllocator,
+    MosaicAllocator,
+    ProtocolParams,
+    Simulation,
+    SimulationConfig,
+    TxAlloAllocator,
+    generate_ethereum_like_trace,
+)
+from repro.util.formatting import format_bytes, format_seconds, render_table
+
+
+def main() -> None:
+    # 1. A laptop-scale Ethereum-like trace (see DESIGN.md §4 for how this
+    #    substitutes the paper's 91M-transaction real dataset).
+    trace = generate_ethereum_like_trace(
+        EthereumTraceConfig(
+            n_accounts=4_000,
+            n_transactions=50_000,
+            n_blocks=3_000,
+            hub_fraction=0.01,
+            hub_transaction_share=0.12,
+            seed=7,
+        )
+    )
+    print(f"trace: {len(trace):,} transactions, {trace.n_accounts:,} accounts")
+
+    # 2. The paper's default protocol: k = 16 shards, eta = 2, and epochs
+    #    of tau blocks. Clients have no future knowledge (beta = 0).
+    params = ProtocolParams(k=16, eta=2.0, tau=30, beta=0.0, seed=7)
+    config = SimulationConfig(params=params, history_fraction=0.9)
+
+    allocators = {
+        "Mosaic (Pilot)": MosaicAllocator(initializer=TxAlloAllocator()),
+        "TxAllo": TxAlloAllocator(mode="full"),
+        "Metis": MetisLikeAllocator(seed=7),
+        "Hash-random": HashAllocator(),
+    }
+
+    rows = []
+    for name, allocator in allocators.items():
+        result = Simulation(trace, allocator, config).run()
+        rows.append(
+            [
+                name,
+                f"{result.mean_cross_shard_ratio:.2%}",
+                f"{result.mean_normalized_throughput:.2f}",
+                f"{result.mean_workload_deviation:.2f}",
+                format_seconds(result.mean_unit_time),
+                format_bytes(result.mean_input_bytes),
+                result.total_migrations,
+            ]
+        )
+
+    print()
+    print(
+        render_table(
+            [
+                "Method",
+                "Cross-shard",
+                "Throughput",
+                "Workload dev.",
+                "Time/decision",
+                "Input size",
+                "Migrations",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nExpected shape (paper, Section V): the pattern-aware methods"
+        "\nbeat hash-random on cross-shard ratio and throughput, while"
+        "\nPilot's per-decision time and input size are orders of"
+        "\nmagnitude below the miner-driven graph algorithms."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""The allocator interface shared by Mosaic and all baselines.
+
+The simulation engine drives every allocation method through the same
+two-phase protocol the paper's evaluation uses:
+
+1. :meth:`Allocator.initialize` — given the historical prefix of the
+   trace (the first 90%), produce the initial mapping ``phi_0``.
+2. :meth:`Allocator.update` — after each evaluation epoch, given the
+   epoch's committed transactions and the next epoch's mempool, produce
+   the mapping used for the *next* epoch, together with efficiency
+   accounting (execution time and input data size, Table IV).
+
+New accounts are handled by :meth:`Allocator.place_new_accounts`, called
+by the engine before an epoch references ids the mapping has not seen:
+hash methods place them by hash, graph methods randomly (the paper does
+the same), and Mosaic lets the new clients choose for themselves.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.chain.mapping import ShardMapping
+from repro.chain.params import ProtocolParams
+from repro.chain.transaction import TransactionBatch
+from repro.data.trace import Trace
+
+
+@dataclass
+class UpdateContext:
+    """Everything an allocator may consult during one epoch update.
+
+    Attributes:
+        epoch: evaluation-epoch index (0-based).
+        params: protocol parameters.
+        committed: transactions committed in the epoch that just ended;
+            the history delta every participant can observe on-chain.
+        mempool: pending transactions for the upcoming epoch — the
+            paper's workload-oracle source (Section V-A).
+        capacity: the shard capacity ``lambda`` for the epoch, which also
+            caps beacon-chain migration commitments.
+    """
+
+    epoch: int
+    params: ProtocolParams
+    committed: TransactionBatch
+    mempool: TransactionBatch
+    capacity: float
+
+
+@dataclass
+class AllocationUpdate:
+    """Result of one allocator update round.
+
+    Attributes:
+        mapping: the mapping to use for the next epoch.
+        execution_time: wall-clock seconds spent inside the allocation
+            algorithm for the whole round.
+        unit_time: seconds for one *decision unit* — one client running
+            Pilot for Mosaic, the full run for miner-driven methods.
+            This is the quantity Table IV reports.
+        input_bytes: bytes of input the decision unit consumed (Table IV):
+            per-client ``T_nu`` + ``Omega`` for Mosaic, the transaction
+            graph for miner-driven methods.
+        migrations: number of accounts that changed shard this round.
+        proposed_migrations: migrations requested before capacity capping
+            (equals ``migrations`` for miner-driven methods).
+    """
+
+    mapping: ShardMapping
+    execution_time: float = 0.0
+    unit_time: float = 0.0
+    input_bytes: float = 0.0
+    migrations: int = 0
+    proposed_migrations: int = 0
+
+
+class Allocator(abc.ABC):
+    """Abstract base class for account-allocation algorithms."""
+
+    #: Human-readable algorithm name used in benchmark tables.
+    name: str = "allocator"
+
+    @abc.abstractmethod
+    def initialize(self, history: Trace, params: ProtocolParams) -> ShardMapping:
+        """Produce the initial mapping from the historical trace prefix."""
+
+    @abc.abstractmethod
+    def update(
+        self, mapping: ShardMapping, context: UpdateContext
+    ) -> AllocationUpdate:
+        """Produce the next epoch's mapping after one evaluation epoch."""
+
+    def place_new_accounts(
+        self,
+        new_account_ids: np.ndarray,
+        mapping: ShardMapping,
+        context: Optional[UpdateContext] = None,
+    ) -> np.ndarray:
+        """Choose shards for accounts never seen before.
+
+        Default: uniform-random placement keyed by account id — this is
+        what the paper applies to Metis/TxAllo ("these accounts are
+        randomly allocated"). Subclasses override.
+        """
+        rng = np.random.default_rng(
+            int(new_account_ids[0]) + 1 if len(new_account_ids) else 1
+        )
+        return rng.integers(0, mapping.k, size=len(new_account_ids), dtype=np.int64)

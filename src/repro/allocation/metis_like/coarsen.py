@@ -1,0 +1,107 @@
+"""Coarsening phase: heavy-edge matching and graph contraction."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+Adjacency = List[Dict[int, float]]
+
+
+def heavy_edge_matching(
+    adjacency: Adjacency,
+    vertex_weights: np.ndarray,
+    rng: np.random.Generator,
+    max_vertex_weight: float,
+) -> np.ndarray:
+    """Compute a matching preferring the heaviest incident edges.
+
+    Vertices are visited in random order (METIS does the same to avoid
+    pathological orderings). Each unmatched vertex is matched with its
+    unmatched neighbour of maximum edge weight, provided the merged
+    vertex would not exceed ``max_vertex_weight`` — this keeps coarse
+    vertices small enough for the balance constraint to remain
+    satisfiable. Unmatched vertices are matched with themselves.
+
+    Returns an array ``match`` with ``match[u] = v`` and ``match[v] = u``
+    (or ``match[u] = u``).
+    """
+    n = len(adjacency)
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    for u in order:
+        u = int(u)
+        if match[u] != -1:
+            continue
+        best_v = -1
+        best_w = 0.0
+        for v, w in adjacency[u].items():
+            if match[v] != -1 or v == u:
+                continue
+            if vertex_weights[u] + vertex_weights[v] > max_vertex_weight:
+                continue
+            if w > best_w or (w == best_w and v > best_v):
+                best_w = w
+                best_v = v
+        if best_v == -1:
+            match[u] = u
+        else:
+            match[u] = best_v
+            match[best_v] = u
+    return match
+
+
+def contract(
+    adjacency: Adjacency,
+    vertex_weights: np.ndarray,
+    match: np.ndarray,
+) -> Tuple[Adjacency, np.ndarray, np.ndarray]:
+    """Contract matched pairs into coarse vertices.
+
+    Returns ``(coarse_adjacency, coarse_vertex_weights, fine_to_coarse)``.
+    Edges inside a matched pair disappear; parallel edges between coarse
+    vertices are summed.
+    """
+    n = len(adjacency)
+    fine_to_coarse = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for u in range(n):
+        if fine_to_coarse[u] != -1:
+            continue
+        v = int(match[u])
+        fine_to_coarse[u] = next_id
+        if v != u:
+            fine_to_coarse[v] = next_id
+        next_id += 1
+
+    coarse_weights = np.zeros(next_id, dtype=np.float64)
+    for u in range(n):
+        coarse_weights[fine_to_coarse[u]] += vertex_weights[u]
+
+    # Each undirected fine edge (u, v) appears once in u's row and once
+    # in v's row; those two appearances land in the two *different*
+    # coarse rows (cu and cv), so summing directly yields the correct
+    # symmetric coarse weights — no halving.
+    coarse_adjacency: Adjacency = [dict() for _ in range(next_id)]
+    for u in range(n):
+        cu = int(fine_to_coarse[u])
+        row = coarse_adjacency[cu]
+        for v, w in adjacency[u].items():
+            cv = int(fine_to_coarse[v])
+            if cv == cu:
+                continue
+            row[cv] = row.get(cv, 0.0) + w
+
+    return coarse_adjacency, coarse_weights, fine_to_coarse
+
+
+def coarsen_level(
+    adjacency: Adjacency,
+    vertex_weights: np.ndarray,
+    rng: np.random.Generator,
+    max_vertex_weight: float,
+) -> Tuple[Adjacency, np.ndarray, np.ndarray]:
+    """One full coarsening step: match then contract."""
+    match = heavy_edge_matching(adjacency, vertex_weights, rng, max_vertex_weight)
+    return contract(adjacency, vertex_weights, match)

@@ -1,0 +1,157 @@
+"""Refinement phase: boundary Fiduccia-Mattheyses-style moves.
+
+After projecting a partition to a finer level, cut quality is improved by
+greedy single-vertex moves. A vertex may move to the neighbouring part
+with the largest positive gain, provided the balance constraint stays
+satisfied. Several passes run until no pass improves the cut.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+Adjacency = List[Dict[int, float]]
+
+
+def part_loads(vertex_weights: np.ndarray, assignment: np.ndarray, k: int) -> np.ndarray:
+    """Total vertex weight per part."""
+    return np.bincount(assignment, weights=vertex_weights, minlength=k)
+
+
+def cut_weight(adjacency: Adjacency, assignment: np.ndarray) -> float:
+    """Total weight of edges whose endpoints lie in different parts."""
+    cut = 0.0
+    for u, row in enumerate(adjacency):
+        pu = assignment[u]
+        for v, w in row.items():
+            if u < v and pu != assignment[v]:
+                cut += w
+    return cut
+
+
+def refine_partition(
+    adjacency: Adjacency,
+    vertex_weights: np.ndarray,
+    assignment: np.ndarray,
+    k: int,
+    max_part_weight: float,
+    rng: np.random.Generator,
+    max_passes: int = 4,
+) -> np.ndarray:
+    """Improve ``assignment`` in place with boundary moves; return it.
+
+    Each pass visits boundary vertices in random order and applies the
+    best strictly-positive-gain move that keeps every part within
+    ``max_part_weight``. Moves that would empty a part are skipped so the
+    partition always covers all ``k`` parts when it started that way.
+    """
+    n = len(adjacency)
+    if n == 0:
+        return assignment
+    loads = part_loads(vertex_weights, assignment, k)
+    part_counts = np.bincount(assignment, minlength=k)
+
+    for _ in range(max_passes):
+        improved = False
+        order = rng.permutation(n)
+        for u in order:
+            u = int(u)
+            current = int(assignment[u])
+            row = adjacency[u]
+            if not row:
+                continue
+            # Connection weight to each adjacent part.
+            connection: Dict[int, float] = {}
+            internal = 0.0
+            for v, w in row.items():
+                part = int(assignment[v])
+                if part == current:
+                    internal += w
+                else:
+                    connection[part] = connection.get(part, 0.0) + w
+            if not connection:
+                continue  # not a boundary vertex
+            weight = float(vertex_weights[u])
+            best_part = current
+            best_gain = 0.0
+            for part, conn in connection.items():
+                gain = conn - internal
+                if gain <= best_gain:
+                    continue
+                if loads[part] + weight > max_part_weight:
+                    continue
+                if part_counts[current] <= 1:
+                    continue
+                best_gain = gain
+                best_part = part
+            if best_part != current:
+                assignment[u] = best_part
+                loads[current] -= weight
+                loads[best_part] += weight
+                part_counts[current] -= 1
+                part_counts[best_part] += 1
+                improved = True
+        if not improved:
+            break
+    return assignment
+
+
+def rebalance(
+    adjacency: Adjacency,
+    vertex_weights: np.ndarray,
+    assignment: np.ndarray,
+    k: int,
+    max_part_weight: float,
+    rng: np.random.Generator,
+    max_passes: int = 4,
+) -> np.ndarray:
+    """Push parts back under ``max_part_weight`` with minimum-loss moves.
+
+    Used after projection, where coarse-level balance can be violated at
+    the finer level. Vertices are moved out of overweight parts into the
+    lightest feasible part, preferring vertices whose move loses the
+    least cut quality.
+    """
+    n = len(adjacency)
+    loads = part_loads(vertex_weights, assignment, k)
+    for _ in range(max_passes):
+        overweight = [p for p in range(k) if loads[p] > max_part_weight]
+        if not overweight:
+            break
+        moved_any = False
+        for part in overweight:
+            members = np.flatnonzero(assignment == part)
+            if len(members) <= 1:
+                continue
+            # Cheapest-to-move first: lowest (internal - best external).
+            def move_cost(u: int) -> float:
+                internal = 0.0
+                best_external = 0.0
+                for v, w in adjacency[u].items():
+                    if assignment[v] == part:
+                        internal += w
+                    else:
+                        best_external = max(best_external, w)
+                return internal - best_external
+
+            candidates = sorted(members.tolist(), key=move_cost)
+            for u in candidates:
+                if loads[part] <= max_part_weight:
+                    break
+                weight = float(vertex_weights[u])
+                target = int(np.argmin(loads))
+                if target == part:
+                    break
+                if loads[target] + weight > max_part_weight:
+                    # Even the lightest part cannot take it whole; move
+                    # anyway to the lightest part to make progress.
+                    pass
+                assignment[u] = target
+                loads[part] -= weight
+                loads[target] += weight
+                moved_any = True
+        if not moved_any:
+            break
+    return assignment

@@ -1,0 +1,39 @@
+"""Result analysis: paper-style tables and the Fig. 1 radar chart."""
+
+from repro.analysis.tables import (
+    comparison_table,
+    beta_sweep_table,
+    efficiency_table,
+    overhead_table,
+)
+from repro.analysis.radar import RadarAxes, radar_scores, RADAR_DIMENSIONS
+from repro.analysis.report import (
+    render_experiment_section,
+    render_report,
+    write_report,
+)
+from repro.analysis.convergence import (
+    SeriesTrend,
+    metric_trend,
+    migration_decay,
+    epochs_to_reach,
+    convergence_report,
+)
+
+__all__ = [
+    "comparison_table",
+    "beta_sweep_table",
+    "efficiency_table",
+    "overhead_table",
+    "RadarAxes",
+    "radar_scores",
+    "RADAR_DIMENSIONS",
+    "render_experiment_section",
+    "render_report",
+    "write_report",
+    "SeriesTrend",
+    "metric_trend",
+    "migration_decay",
+    "epochs_to_reach",
+    "convergence_report",
+]

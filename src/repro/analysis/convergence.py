@@ -1,0 +1,106 @@
+"""Convergence analysis of the epoch-wise metric time series.
+
+Mosaic is a *dynamic* scheme: the mapping keeps improving as clients
+migrate. This module quantifies that trajectory from a
+:class:`repro.sim.engine.SimulationResult` — how fast the cross-shard
+ratio settles, whether migration volume decays (the system quiescing),
+and a simple stationarity check comparing the first and last thirds of
+the series. Used by notebooks/reports to argue convergence rather than
+eyeballing plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sim.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class SeriesTrend:
+    """Least-squares linear trend of one per-epoch metric."""
+
+    metric: str
+    slope_per_epoch: float
+    first_third_mean: float
+    last_third_mean: float
+
+    @property
+    def improving(self) -> bool:
+        """True when the last third is strictly better (lower) on average."""
+        return self.last_third_mean < self.first_third_mean
+
+    @property
+    def relative_change(self) -> float:
+        """(last - first) / max(|first|, eps): negative = improvement."""
+        denominator = max(abs(self.first_third_mean), 1e-12)
+        return (self.last_third_mean - self.first_third_mean) / denominator
+
+
+def _series(result: SimulationResult, attribute: str) -> np.ndarray:
+    if not result.records:
+        raise ValidationError("result has no epoch records")
+    return np.array(
+        [getattr(record, attribute) for record in result.records],
+        dtype=np.float64,
+    )
+
+
+def metric_trend(result: SimulationResult, metric: str) -> SeriesTrend:
+    """Fit a linear trend and first/last-third means for ``metric``."""
+    values = _series(result, metric)
+    n = len(values)
+    if n >= 2:
+        slope = float(np.polyfit(np.arange(n), values, deg=1)[0])
+    else:
+        slope = 0.0
+    third = max(1, n // 3)
+    return SeriesTrend(
+        metric=metric,
+        slope_per_epoch=slope,
+        first_third_mean=float(values[:third].mean()),
+        last_third_mean=float(values[-third:].mean()),
+    )
+
+
+def migration_decay(result: SimulationResult) -> float:
+    """Ratio of last-third to first-third migration volume.
+
+    Values well below 1 mean the system is quiescing: most clients have
+    found their shard and stopped proposing moves. 0 when no migrations
+    ever happened.
+    """
+    volumes = _series(result, "migrations")
+    third = max(1, len(volumes) // 3)
+    early = volumes[:third].sum()
+    late = volumes[-third:].sum()
+    if early == 0:
+        return 0.0 if late == 0 else float("inf")
+    return float(late / early)
+
+
+def epochs_to_reach(
+    result: SimulationResult,
+    metric: str,
+    threshold: float,
+    below: bool = True,
+) -> int:
+    """First epoch index whose metric crosses ``threshold`` (-1 = never)."""
+    values = _series(result, metric)
+    hits = np.flatnonzero(values <= threshold if below else values >= threshold)
+    if len(hits) == 0:
+        return -1
+    return int(result.records[int(hits[0])].epoch)
+
+
+def convergence_report(result: SimulationResult) -> List[SeriesTrend]:
+    """Trends for the three effectiveness metrics, ready for reporting."""
+    return [
+        metric_trend(result, "cross_shard_ratio"),
+        metric_trend(result, "workload_deviation"),
+        metric_trend(result, "normalized_throughput"),
+    ]

@@ -1,0 +1,114 @@
+"""Figure 1: the six-dimension radar comparison.
+
+The paper normalises six dimensions to the range [1, 5] per its
+footnote: the maximum across methods maps to 5 and the minimum to 1
+(theoretical maxima map to 5 when they exist); efficiency dimensions are
+the reciprocal of overhead, and the workload-balance index is the
+reciprocal of workload deviation, so higher is always better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+RADAR_DIMENSIONS = (
+    "computation_efficiency",
+    "storage_efficiency",
+    "communication_efficiency",
+    "throughput",
+    "intra_shard_ratio",
+    "workload_balance_index",
+)
+
+_SCALE_MIN = 1.0
+_SCALE_MAX = 5.0
+
+
+@dataclass(frozen=True)
+class RadarAxes:
+    """Raw (pre-normalisation) values of the six radar dimensions.
+
+    Efficiency values are reciprocals of overheads, so every field is
+    already oriented as higher-is-better.
+    """
+
+    computation_efficiency: float
+    storage_efficiency: float
+    communication_efficiency: float
+    throughput: float
+    intra_shard_ratio: float
+    workload_balance_index: float
+
+    def __post_init__(self) -> None:
+        for name in RADAR_DIMENSIONS:
+            value = getattr(self, name)
+            if value < 0:
+                raise ValidationError(f"{name} must be >= 0, got {value}")
+
+    @classmethod
+    def from_measurements(
+        cls,
+        unit_time: float,
+        storage_bytes: float,
+        communication_bytes: float,
+        normalized_throughput: float,
+        cross_shard_ratio: float,
+        workload_deviation: float,
+    ) -> "RadarAxes":
+        """Build axes from directly measured quantities.
+
+        Overheads are inverted (reciprocal) into efficiencies, the
+        cross-shard ratio becomes the intra-shard ratio, and workload
+        deviation becomes its reciprocal index.
+        """
+
+        def reciprocal(value: float) -> float:
+            return 1.0 / value if value > 0 else float("inf")
+
+        return cls(
+            computation_efficiency=reciprocal(unit_time),
+            storage_efficiency=reciprocal(storage_bytes),
+            communication_efficiency=reciprocal(communication_bytes),
+            throughput=normalized_throughput,
+            intra_shard_ratio=1.0 - cross_shard_ratio,
+            workload_balance_index=reciprocal(workload_deviation),
+        )
+
+
+def radar_scores(
+    axes_by_method: Mapping[str, RadarAxes]
+) -> Dict[str, Dict[str, float]]:
+    """Normalise every dimension across methods to the [1, 5] scale.
+
+    Infinite raw values (zero overhead) map to 5. When all methods tie
+    on a dimension, everyone receives 5.
+    """
+    if not axes_by_method:
+        raise ValidationError("need at least one method")
+    methods = list(axes_by_method)
+    scores: Dict[str, Dict[str, float]] = {m: {} for m in methods}
+    for dimension in RADAR_DIMENSIONS:
+        raw = np.array(
+            [getattr(axes_by_method[m], dimension) for m in methods],
+            dtype=np.float64,
+        )
+        finite = raw[np.isfinite(raw)]
+        if len(finite) == 0:
+            for method in methods:
+                scores[method][dimension] = _SCALE_MAX
+            continue
+        low, high = finite.min(), finite.max()
+        for method, value in zip(methods, raw):
+            if not np.isfinite(value) or high == low:
+                score = _SCALE_MAX
+            else:
+                score = _SCALE_MIN + (_SCALE_MAX - _SCALE_MIN) * (
+                    (value - low) / (high - low)
+                )
+            scores[method][dimension] = float(score)
+    return scores

@@ -1,0 +1,65 @@
+"""Sharded-blockchain substrate.
+
+This subpackage implements the blockchain model from Section III-A of the
+paper: ``k`` shard chains plus one beacon chain, an account-shard mapping
+``phi`` (Definition 1), miners with Elastico-style periodic reshuffling,
+the mempool, and the epoch-reconfiguration procedure that applies
+client-proposed account migrations.
+"""
+
+from repro.chain.params import ProtocolParams
+from repro.chain.account import Address, AccountRegistry, random_address
+from repro.chain.transaction import Transaction, TransactionBatch
+from repro.chain.block import Block, BlockHeader, compute_block_hash, GENESIS_HASH
+from repro.chain.mapping import ShardMapping
+from repro.chain.mempool import Mempool
+from repro.chain.shard import ShardChain
+from repro.chain.beacon import BeaconChain, CommitReport
+from repro.chain.miner import Miner, MinerPool, ReshuffleReport
+from repro.chain.epoch import EpochReconfigurator, ReconfigurationReport
+from repro.chain.ledger import Ledger, EpochStats
+from repro.chain.network import OverheadModel, OverheadEstimate, TX_RECORD_BYTES
+from repro.chain.state import AccountState, ShardStateStore, StateRegistry
+from repro.chain.crossshard import CrossShardExecutor, Receipt, ExecutionReport
+from repro.chain.economics import (
+    MigrationFeeSchedule,
+    flooding_attack_cost,
+    simulate_flooding,
+)
+
+__all__ = [
+    "ProtocolParams",
+    "Address",
+    "AccountRegistry",
+    "random_address",
+    "Transaction",
+    "TransactionBatch",
+    "Block",
+    "BlockHeader",
+    "compute_block_hash",
+    "GENESIS_HASH",
+    "ShardMapping",
+    "Mempool",
+    "ShardChain",
+    "BeaconChain",
+    "CommitReport",
+    "Miner",
+    "MinerPool",
+    "ReshuffleReport",
+    "EpochReconfigurator",
+    "ReconfigurationReport",
+    "Ledger",
+    "EpochStats",
+    "OverheadModel",
+    "OverheadEstimate",
+    "TX_RECORD_BYTES",
+    "AccountState",
+    "ShardStateStore",
+    "StateRegistry",
+    "CrossShardExecutor",
+    "Receipt",
+    "ExecutionReport",
+    "MigrationFeeSchedule",
+    "flooding_attack_cost",
+    "simulate_flooding",
+]

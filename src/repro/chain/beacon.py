@@ -1,0 +1,202 @@
+"""The beacon chain: validates and stores account-migration requests.
+
+Mosaic reuses the Ethereum-2.0-style beacon chain as the coordination
+layer (Section II-A / III-B). Clients submit migration requests (MRs) to
+the beacon chain; miners of the beacon chain run ordinary consensus to
+commit them. Per epoch, at most ``capacity`` MRs can commit — the paper
+bounds this by the shard capacity ``lambda`` — and when over-subscribed,
+requests with the largest potential improvement win (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.block import GENESIS_HASH, Block
+from repro.chain.mapping import ShardMapping
+from repro.chain.migration import MigrationRequest
+from repro.errors import BlockLinkError, MigrationError, ValidationError
+
+
+@dataclass
+class CommitReport:
+    """Outcome of one epoch's migration-request commitment round."""
+
+    epoch: int
+    proposed: int
+    committed: List[MigrationRequest] = field(default_factory=list)
+    rejected: List[MigrationRequest] = field(default_factory=list)
+
+    @property
+    def committed_count(self) -> int:
+        return len(self.committed)
+
+    @property
+    def rejected_count(self) -> int:
+        return len(self.rejected)
+
+
+def prioritize_requests(
+    requests: Sequence[MigrationRequest], capacity: Optional[int]
+) -> Tuple[List[MigrationRequest], List[MigrationRequest]]:
+    """Split ``requests`` into (committed, rejected) under ``capacity``.
+
+    Duplicate requests for one account keep only the highest-gain request
+    (a client controls its own account; conflicting requests are a client
+    bug, but the chain must still be deterministic about them). The
+    survivors are ordered by descending gain, ties broken by account id
+    for determinism, and the top ``capacity`` commit.
+    """
+    best_per_account: Dict[int, MigrationRequest] = {}
+    duplicates: List[MigrationRequest] = []
+    for request in requests:
+        current = best_per_account.get(request.account)
+        if current is None or request.gain > current.gain:
+            if current is not None:
+                duplicates.append(current)
+            best_per_account[request.account] = request
+        else:
+            duplicates.append(request)
+    ordered = sorted(
+        best_per_account.values(), key=lambda r: (-r.gain, r.account)
+    )
+    if capacity is None or capacity >= len(ordered):
+        return ordered, duplicates
+    if capacity < 0:
+        raise ValidationError(f"capacity must be >= 0, got {capacity}")
+    return ordered[:capacity], ordered[capacity:] + duplicates
+
+
+class BeaconChain:
+    """The beacon chain ``BC`` storing committed migration requests."""
+
+    CHAIN_ID = "beacon"
+
+    def __init__(self) -> None:
+        self._blocks: List[Block] = []
+        self._pending: List[MigrationRequest] = []
+        self._committed_log: List[MigrationRequest] = []
+
+    # -- chain view ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def blocks(self) -> Sequence[Block]:
+        """Read-only view of the beacon blocks."""
+        return tuple(self._blocks)
+
+    @property
+    def tip_hash(self) -> str:
+        return self._blocks[-1].block_hash if self._blocks else GENESIS_HASH
+
+    @property
+    def committed_requests(self) -> Sequence[MigrationRequest]:
+        """Every MR ever committed, in commit order (the set ``MR``)."""
+        return tuple(self._committed_log)
+
+    @property
+    def pending_requests(self) -> Sequence[MigrationRequest]:
+        """Requests submitted but not yet committed."""
+        return tuple(self._pending)
+
+    def verify(self) -> None:
+        """Re-verify the beacon chain's hash links."""
+        parent = GENESIS_HASH
+        for height, block in enumerate(self._blocks):
+            if block.header.height != height:
+                raise BlockLinkError(f"height mismatch at {height}")
+            if block.header.parent_hash != parent:
+                raise BlockLinkError(f"broken parent link at height {height}")
+            parent = block.block_hash
+
+    # -- request lifecycle -----------------------------------------------------
+
+    def submit(self, request: MigrationRequest) -> None:
+        """Accept a client's migration request into the beacon mempool."""
+        if not isinstance(request, MigrationRequest):
+            raise MigrationError(
+                f"expected MigrationRequest, got {type(request).__name__}"
+            )
+        self._pending.append(request)
+
+    def submit_many(self, requests: Sequence[MigrationRequest]) -> None:
+        """Accept several requests at once."""
+        for request in requests:
+            self.submit(request)
+
+    def commit_epoch(
+        self,
+        epoch: int,
+        capacity: Optional[int] = None,
+        mapping: Optional[ShardMapping] = None,
+    ) -> CommitReport:
+        """Run one commitment round: validate, prioritise, and block-commit.
+
+        When ``mapping`` is provided, requests whose ``from_shard`` no
+        longer matches the account's current shard are rejected (stale
+        requests, e.g. the client raced a previous migration). The
+        committed requests are packed into one beacon block.
+        """
+        proposed = list(self._pending)
+        self._pending.clear()
+
+        valid: List[MigrationRequest] = []
+        stale: List[MigrationRequest] = []
+        for request in proposed:
+            if mapping is not None:
+                if request.account >= mapping.n_accounts:
+                    stale.append(request)
+                    continue
+                if mapping.shard_of(request.account) != request.from_shard:
+                    stale.append(request)
+                    continue
+                if request.to_shard >= mapping.k:
+                    stale.append(request)
+                    continue
+            valid.append(request)
+
+        committed, rejected = prioritize_requests(valid, capacity)
+        block = Block.build(
+            chain_id=self.CHAIN_ID,
+            height=len(self._blocks),
+            parent_hash=self.tip_hash,
+            payload=committed,
+            epoch=epoch,
+        )
+        self._blocks.append(block)
+        self._committed_log.extend(committed)
+        return CommitReport(
+            epoch=epoch,
+            proposed=len(proposed),
+            committed=committed,
+            rejected=rejected + stale,
+        )
+
+    # -- miner-side synchronisation ---------------------------------------------
+
+    def requests_since(self, block_height: int) -> List[MigrationRequest]:
+        """MRs committed in blocks at height >= ``block_height``.
+
+        Miners call this during epoch reconfiguration to update their
+        locally stored mapping ``phi`` from the latest beacon blocks.
+        """
+        requests: List[MigrationRequest] = []
+        for block in self._blocks[max(0, block_height):]:
+            for item in block.payload:
+                if isinstance(item, MigrationRequest):
+                    requests.append(item)
+        return requests
+
+    def apply_to_mapping(
+        self, mapping: ShardMapping, since_height: int = 0
+    ) -> int:
+        """Apply committed MRs to ``mapping`` in place; return count applied."""
+        applied = 0
+        for request in self.requests_since(since_height):
+            if request.account < mapping.n_accounts:
+                mapping.assign(request.account, request.to_shard)
+                applied += 1
+        return applied

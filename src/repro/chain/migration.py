@@ -1,0 +1,51 @@
+"""Migration requests: the on-chain record of a client's shard move.
+
+A migration request (``MR`` in the paper) is a beacon-chain transaction
+stating "move account ``nu`` from shard ``a`` to shard ``b``". Requests
+carry the potential gain the client computed so that, when more requests
+are proposed than the beacon chain can commit in one epoch, the ones with
+the largest improvement are prioritised (Section V-A, Parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MigrationError
+
+
+@dataclass(frozen=True)
+class MigrationRequest:
+    """An account-migration request destined for the beacon chain.
+
+    Attributes:
+        account: integer account id of the migrating account.
+        from_shard: shard the account currently resides in.
+        to_shard: shard the client wants to move to.
+        gain: client-computed improvement in Potential (Eq. 4); used for
+            prioritisation when the beacon chain is congested.
+        epoch: epoch index in which the request was proposed.
+        fee: fee paid to the beacon chain (anti-DoS economics, Section VII-B).
+    """
+
+    account: int
+    from_shard: int
+    to_shard: int
+    gain: float = 0.0
+    epoch: int = 0
+    fee: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.account < 0:
+            raise MigrationError(f"account must be >= 0, got {self.account}")
+        if self.from_shard < 0 or self.to_shard < 0:
+            raise MigrationError("shard ids must be >= 0")
+        if self.from_shard == self.to_shard:
+            raise MigrationError(
+                f"migration must change shards (account {self.account} "
+                f"stays on shard {self.from_shard})"
+            )
+        if self.epoch < 0:
+            raise MigrationError(f"epoch must be >= 0, got {self.epoch}")
+        if self.fee < 0:
+            raise MigrationError(f"fee must be >= 0, got {self.fee}")

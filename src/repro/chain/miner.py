@@ -1,0 +1,127 @@
+"""Miners and Elastico-style periodic reshuffling.
+
+Permissionless sharding protocols periodically reshuffle miners across
+shards so malicious miners cannot camp in one shard (Section II-A). The
+reshuffle here is a seeded uniform permutation that keeps committee sizes
+balanced, and the pool reports which miners changed shard — those miners
+must synchronise the state of their new shard, which is exactly the
+synchronisation phase Mosaic piggybacks account migration onto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ValidationError
+from repro.util.rng import RngFactory
+
+
+@dataclass
+class Miner:
+    """A consensus participant assigned to one shard (or the beacon chain)."""
+
+    miner_id: int
+    shard: int
+
+    BEACON = -1  # sentinel shard id for beacon-chain miners
+
+    def __post_init__(self) -> None:
+        if self.miner_id < 0:
+            raise ValidationError(f"miner_id must be >= 0, got {self.miner_id}")
+        if self.shard < Miner.BEACON:
+            raise ValidationError(f"invalid shard {self.shard}")
+
+    @property
+    def on_beacon(self) -> bool:
+        """True when this miner maintains the beacon chain."""
+        return self.shard == Miner.BEACON
+
+
+@dataclass
+class ReshuffleReport:
+    """Summary of one epoch's miner reshuffle."""
+
+    epoch: int
+    moved_miners: List[int] = field(default_factory=list)
+    assignment: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def moved_count(self) -> int:
+        return len(self.moved_miners)
+
+
+class MinerPool:
+    """The miner set ``M`` partitioned into per-shard committees + beacon.
+
+    ``miners_per_shard`` miners serve each of the ``k`` shards and one
+    additional committee of the same size serves the beacon chain,
+    mirroring the paper's assumption that the beacon chain runs the same
+    consensus as a shard.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        miners_per_shard: int,
+        rng_factory: RngFactory,
+    ) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if miners_per_shard < 1:
+            raise ConfigurationError(
+                f"miners_per_shard must be >= 1, got {miners_per_shard}"
+            )
+        self.k = k
+        self.miners_per_shard = miners_per_shard
+        self._rng_factory = rng_factory
+        total = (k + 1) * miners_per_shard
+        self._miners: List[Miner] = []
+        for miner_id in range(total):
+            shard = miner_id // miners_per_shard
+            shard = Miner.BEACON if shard == k else shard
+            self._miners.append(Miner(miner_id=miner_id, shard=shard))
+
+    def __len__(self) -> int:
+        return len(self._miners)
+
+    @property
+    def miners(self) -> Sequence[Miner]:
+        """Read-only view of all miners."""
+        return tuple(self._miners)
+
+    def committee(self, shard: int) -> List[Miner]:
+        """Miners currently assigned to ``shard`` (or ``Miner.BEACON``)."""
+        return [m for m in self._miners if m.shard == shard]
+
+    def committee_sizes(self) -> Dict[int, int]:
+        """Committee size per shard id (including the beacon at -1)."""
+        sizes: Dict[int, int] = {Miner.BEACON: 0}
+        for shard in range(self.k):
+            sizes[shard] = 0
+        for miner in self._miners:
+            sizes[miner.shard] += 1
+        return sizes
+
+    def reshuffle(self, epoch: int) -> ReshuffleReport:
+        """Randomly permute miners across shards, keeping sizes balanced.
+
+        The permutation is derived from the pool's RNG factory and the
+        epoch index, so every miner computes the same assignment locally
+        (the paper's protocols derive this from a shared randomness
+        beacon).
+        """
+        rng = self._rng_factory.generator(f"miner-reshuffle-{epoch}")
+        order = rng.permutation(len(self._miners))
+        report = ReshuffleReport(epoch=epoch)
+        for slot, miner_index in enumerate(order):
+            shard = slot // self.miners_per_shard
+            shard = Miner.BEACON if shard == self.k else shard
+            miner = self._miners[int(miner_index)]
+            if miner.shard != shard:
+                report.moved_miners.append(miner.miner_id)
+            miner.shard = shard
+            report.assignment[miner.miner_id] = shard
+        return report

@@ -1,0 +1,166 @@
+"""Account state: balances, nonces, and per-shard state stores.
+
+The allocation layer treats shards as transaction counters; this module
+gives them actual state so the substrate can *execute* transfers. Each
+shard keeps a :class:`ShardStateStore` over the accounts
+``phi^{-1}(shard)``; epoch reconfiguration moves account state between
+stores (the migration traffic the paper accounts for), and the
+cross-shard executor (:mod:`repro.chain.crossshard`) debits and credits
+across stores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import ChainError, ValidationError
+
+#: Serialised size of one account state record (address, balance, nonce,
+#: storage-root digest) — matches ACCOUNT_STATE_BYTES in repro.chain.epoch.
+STATE_RECORD_BYTES = 128
+
+
+@dataclass(frozen=True)
+class AccountState:
+    """Balance-and-nonce state of one account."""
+
+    balance: float = 0.0
+    nonce: int = 0
+
+    def __post_init__(self) -> None:
+        if self.balance < 0:
+            raise ValidationError(f"balance must be >= 0, got {self.balance}")
+        if self.nonce < 0:
+            raise ValidationError(f"nonce must be >= 0, got {self.nonce}")
+
+    def credited(self, amount: float) -> "AccountState":
+        """A copy with ``amount`` added to the balance."""
+        if amount < 0:
+            raise ValidationError(f"credit amount must be >= 0, got {amount}")
+        return replace(self, balance=self.balance + amount)
+
+    def debited(self, amount: float) -> "AccountState":
+        """A copy with ``amount`` removed and the nonce bumped.
+
+        Raises :class:`ChainError` when the balance cannot cover it.
+        """
+        if amount < 0:
+            raise ValidationError(f"debit amount must be >= 0, got {amount}")
+        if amount > self.balance:
+            raise ChainError(
+                f"insufficient balance: {self.balance} < {amount}"
+            )
+        return replace(self, balance=self.balance - amount, nonce=self.nonce + 1)
+
+
+class ShardStateStore:
+    """The state of all accounts resident on one shard."""
+
+    def __init__(self, shard_id: int) -> None:
+        if shard_id < 0:
+            raise ValidationError(f"shard_id must be >= 0, got {shard_id}")
+        self.shard_id = shard_id
+        self._states: Dict[int, AccountState] = {}
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, account: int) -> bool:
+        return account in self._states
+
+    def accounts(self) -> Iterator[int]:
+        """Resident account ids (unspecified order)."""
+        return iter(self._states)
+
+    def get(self, account: int) -> AccountState:
+        """State of ``account``; a fresh zero state when never seen."""
+        return self._states.get(account, AccountState())
+
+    def put(self, account: int, state: AccountState) -> None:
+        """Install ``state`` for ``account``."""
+        if account < 0:
+            raise ValidationError(f"account must be >= 0, got {account}")
+        self._states[account] = state
+
+    def credit(self, account: int, amount: float) -> AccountState:
+        """Add funds (creating the account on first touch)."""
+        state = self.get(account).credited(amount)
+        self._states[account] = state
+        return state
+
+    def debit(self, account: int, amount: float) -> AccountState:
+        """Remove funds; raises :class:`ChainError` when underfunded."""
+        state = self.get(account).debited(amount)
+        self._states[account] = state
+        return state
+
+    def remove(self, account: int) -> AccountState:
+        """Remove and return an account's state (for migration)."""
+        try:
+            return self._states.pop(account)
+        except KeyError:
+            raise ChainError(
+                f"account {account} is not resident on shard {self.shard_id}"
+            ) from None
+
+    def total_balance(self) -> float:
+        """Sum of all resident balances (conservation checks)."""
+        return sum(state.balance for state in self._states.values())
+
+    def state_root(self) -> str:
+        """Deterministic digest over the sorted account states."""
+        hasher = hashlib.sha256()
+        for account in sorted(self._states):
+            state = self._states[account]
+            hasher.update(
+                f"{account}:{state.balance!r}:{state.nonce}".encode("utf-8")
+            )
+            hasher.update(b"\x00")
+        return "0x" + hasher.hexdigest()
+
+    def serialized_bytes(self) -> int:
+        """Bytes a miner transfers to sync this shard's state."""
+        return len(self._states) * STATE_RECORD_BYTES
+
+
+class StateRegistry:
+    """All shards' state stores plus migration between them."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.stores: Tuple[ShardStateStore, ...] = tuple(
+            ShardStateStore(shard) for shard in range(k)
+        )
+
+    def store_of(self, shard: int) -> ShardStateStore:
+        if not 0 <= shard < self.k:
+            raise ValidationError(f"shard {shard} out of range [0, {self.k})")
+        return self.stores[shard]
+
+    def locate(self, account: int) -> Optional[int]:
+        """Shard currently holding ``account``'s state, or None."""
+        for store in self.stores:
+            if account in store:
+                return store.shard_id
+        return None
+
+    def migrate(self, account: int, from_shard: int, to_shard: int) -> int:
+        """Move an account's state between shards; returns bytes moved.
+
+        Accounts that were never touched have an implicit zero state, so
+        migrating an unknown account is a no-op costing nothing.
+        """
+        source = self.store_of(from_shard)
+        target = self.store_of(to_shard)
+        if account not in source:
+            return 0
+        target.put(account, source.remove(account))
+        return STATE_RECORD_BYTES
+
+    def total_balance(self) -> float:
+        """System-wide balance — invariant under execution + migration."""
+        return sum(store.total_balance() for store in self.stores)

@@ -1,0 +1,190 @@
+"""Transactions: a per-object view and a columnar batch view.
+
+The paper's model (Section III-A) treats a transaction as the set of
+accounts it modifies, ``A_Tx``. Ethereum value transfers touch exactly two
+accounts (sender, receiver), which is what both the real dataset and our
+synthetic traces contain, so the columnar hot path stores sender/receiver
+arrays. :class:`Transaction` is the friendly single-object API used in
+examples, wallets, and block bodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: On-disk size we charge per committed transaction record when accounting
+#: storage/communication (Table VI).  Roughly an Ethereum ETL CSV row.
+TX_RECORD_BYTES = 109
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A single committed transaction.
+
+    ``sender`` and ``receiver`` are integer account ids (see
+    :class:`repro.chain.account.AccountRegistry`).
+    """
+
+    sender: int
+    receiver: int
+    block: int = 0
+    value: float = 0.0
+    fee: float = 0.0
+    tx_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sender < 0 or self.receiver < 0:
+            raise ValidationError(
+                f"account ids must be >= 0, got ({self.sender}, {self.receiver})"
+            )
+        if self.block < 0:
+            raise ValidationError(f"block must be >= 0, got {self.block}")
+        if self.value < 0 or self.fee < 0:
+            raise ValidationError("value and fee must be >= 0")
+
+    @property
+    def accounts(self) -> FrozenSet[int]:
+        """The set ``A_Tx`` of accounts this transaction modifies."""
+        return frozenset((self.sender, self.receiver))
+
+    def involves(self, account_id: int) -> bool:
+        """True when ``account_id`` is modified by this transaction."""
+        return account_id == self.sender or account_id == self.receiver
+
+    def counterparty(self, account_id: int) -> int:
+        """Return the other account, from ``account_id``'s point of view."""
+        if account_id == self.sender:
+            return self.receiver
+        if account_id == self.receiver:
+            return self.sender
+        raise ValidationError(
+            f"account {account_id} is not part of transaction {self!r}"
+        )
+
+
+class TransactionBatch:
+    """Columnar batch of transactions (struct-of-arrays).
+
+    All metric and allocation hot paths operate on batches: numpy arrays
+    ``senders``, ``receivers`` and ``blocks`` of equal length. Batches are
+    immutable; slicing returns views wherever numpy allows.
+    """
+
+    __slots__ = ("senders", "receivers", "blocks")
+
+    def __init__(
+        self,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        blocks: Optional[np.ndarray] = None,
+    ) -> None:
+        senders = np.asarray(senders, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        if senders.ndim != 1 or receivers.ndim != 1:
+            raise ValidationError("senders/receivers must be 1-D arrays")
+        if len(senders) != len(receivers):
+            raise ValidationError(
+                f"length mismatch: {len(senders)} senders vs {len(receivers)} receivers"
+            )
+        if blocks is None:
+            blocks = np.zeros(len(senders), dtype=np.int64)
+        else:
+            blocks = np.asarray(blocks, dtype=np.int64)
+            if blocks.shape != senders.shape:
+                raise ValidationError("blocks must match senders in shape")
+        if len(senders) and (senders.min() < 0 or receivers.min() < 0):
+            raise ValidationError("account ids must be >= 0")
+        self.senders = senders
+        self.receivers = receivers
+        self.blocks = blocks
+
+    def __len__(self) -> int:
+        return len(self.senders)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        for i in range(len(self)):
+            yield Transaction(
+                sender=int(self.senders[i]),
+                receiver=int(self.receivers[i]),
+                block=int(self.blocks[i]),
+                tx_id=i,
+            )
+
+    def __getitem__(self, index: slice) -> "TransactionBatch":
+        if not isinstance(index, slice):
+            raise TypeError("use .at(i) for single transactions; indexing is by slice")
+        return TransactionBatch(
+            self.senders[index], self.receivers[index], self.blocks[index]
+        )
+
+    def at(self, index: int) -> Transaction:
+        """Return the ``index``-th transaction as an object."""
+        return Transaction(
+            sender=int(self.senders[index]),
+            receiver=int(self.receivers[index]),
+            block=int(self.blocks[index]),
+            tx_id=index,
+        )
+
+    @classmethod
+    def empty(cls) -> "TransactionBatch":
+        """An empty batch."""
+        zero = np.zeros(0, dtype=np.int64)
+        return cls(zero, zero.copy(), zero.copy())
+
+    @classmethod
+    def from_transactions(cls, transactions: Sequence[Transaction]) -> "TransactionBatch":
+        """Build a batch from transaction objects (test/example helper)."""
+        if not transactions:
+            return cls.empty()
+        return cls(
+            np.array([t.sender for t in transactions], dtype=np.int64),
+            np.array([t.receiver for t in transactions], dtype=np.int64),
+            np.array([t.block for t in transactions], dtype=np.int64),
+        )
+
+    def select(self, mask: np.ndarray) -> "TransactionBatch":
+        """Return the sub-batch where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.senders.shape:
+            raise ValidationError("mask shape must match batch length")
+        return TransactionBatch(
+            self.senders[mask], self.receivers[mask], self.blocks[mask]
+        )
+
+    def concat(self, other: "TransactionBatch") -> "TransactionBatch":
+        """Concatenate two batches (order preserved: self then other)."""
+        return TransactionBatch(
+            np.concatenate([self.senders, other.senders]),
+            np.concatenate([self.receivers, other.receivers]),
+            np.concatenate([self.blocks, other.blocks]),
+        )
+
+    def involving(self, account_id: int) -> "TransactionBatch":
+        """Sub-batch of transactions touching ``account_id`` (a client's T_nu)."""
+        mask = (self.senders == account_id) | (self.receivers == account_id)
+        return self.select(mask)
+
+    def touched_accounts(self) -> np.ndarray:
+        """Sorted unique account ids appearing in this batch."""
+        return np.unique(np.concatenate([self.senders, self.receivers]))
+
+    def max_account_id(self) -> int:
+        """Largest account id present, or -1 for an empty batch."""
+        if len(self) == 0:
+            return -1
+        return int(max(self.senders.max(), self.receivers.max()))
+
+    def record_bytes(self) -> int:
+        """Storage footprint charged for these transactions (Table VI)."""
+        return len(self) * TX_RECORD_BYTES
+
+    def split_by_block(self, boundary: int) -> Tuple["TransactionBatch", "TransactionBatch"]:
+        """Split into (blocks < boundary, blocks >= boundary)."""
+        mask = self.blocks < boundary
+        return self.select(mask), self.select(~mask)

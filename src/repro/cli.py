@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — write a synthetic Ethereum-like trace as an
+  ethereum-etl CSV;
+* ``simulate`` — run one allocator over a trace (CSV or synthetic) and
+  print its metrics;
+* ``compare``  — run a named scenario across several methods and print
+  a comparison table (optionally a Markdown report);
+* ``scenarios`` — list the built-in scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.report import write_report
+from repro.chain.params import ProtocolParams
+from repro.data.ethereum import EthereumTraceConfig, generate_ethereum_like_trace
+from repro.data.etl import read_transactions_csv, write_transactions_csv
+from repro.errors import ReproError
+from repro.sim.engine import Simulation, SimulationConfig
+from repro.sim.recorder import summarize_results
+from repro.sim.scenario import DEFAULT_METHODS, SCENARIOS, get_scenario, run_comparison
+from repro.util.formatting import format_bytes, format_seconds, render_table
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--accounts", type=int, default=3_000, help="account universe size"
+    )
+    parser.add_argument(
+        "--transactions", type=int, default=40_000, help="transaction count"
+    )
+    parser.add_argument("--blocks", type=int, default=2_400, help="block span")
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+
+def _trace_config(args: argparse.Namespace) -> EthereumTraceConfig:
+    return EthereumTraceConfig(
+        n_accounts=args.accounts,
+        n_transactions=args.transactions,
+        n_blocks=args.blocks,
+        hub_fraction=0.01,
+        hub_transaction_share=0.12,
+        seed=args.seed,
+    )
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    trace = generate_ethereum_like_trace(_trace_config(args))
+    rows = write_transactions_csv(args.output, trace)
+    print(f"wrote {rows:,} transactions to {args.output}")
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    if args.input:
+        trace, _registry = read_transactions_csv(args.input)
+        print(f"loaded {len(trace):,} transactions from {args.input}")
+    else:
+        trace = generate_ethereum_like_trace(_trace_config(args))
+        print(f"generated {len(trace):,} synthetic transactions")
+
+    factory = DEFAULT_METHODS.get(args.method)
+    if factory is None:
+        print(
+            f"error: unknown method {args.method!r}; "
+            f"available: {sorted(DEFAULT_METHODS)}",
+            file=sys.stderr,
+        )
+        return 2
+    params = ProtocolParams(
+        k=args.shards, eta=args.eta, tau=args.tau, beta=args.beta, seed=args.seed
+    )
+    config = SimulationConfig(params=params)
+    result = Simulation(trace, factory(), config).run()
+    summary = summarize_results(result)
+    print()
+    print(
+        render_table(
+            ["Metric", "Value"],
+            [
+                ["epochs", summary["epochs"]],
+                ["cross-shard ratio", f"{summary['mean_cross_shard_ratio']:.2%}"],
+                [
+                    "normalised throughput",
+                    f"{summary['mean_normalized_throughput']:.2f}",
+                ],
+                [
+                    "workload deviation",
+                    f"{summary['mean_workload_deviation']:.2f}",
+                ],
+                [
+                    "time per decision",
+                    format_seconds(float(summary["mean_unit_time"])),
+                ],
+                ["input size", format_bytes(float(summary["mean_input_bytes"]))],
+                ["migrations committed", summary["total_migrations"]],
+            ],
+        )
+    )
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    methods = args.methods.split(",") if args.methods else None
+    print(f"scenario: {scenario.name} — {scenario.description}")
+    summaries = run_comparison(scenario, methods=methods)
+    rows = [
+        [
+            name,
+            f"{summary['mean_cross_shard_ratio']:.2%}",
+            f"{summary['mean_normalized_throughput']:.2f}",
+            f"{summary['mean_workload_deviation']:.2f}",
+            format_seconds(float(summary["mean_unit_time"])),
+        ]
+        for name, summary in summaries.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["Method", "Cross-shard", "Throughput", "Workload dev.", "Time/decision"],
+            rows,
+        )
+    )
+    if args.report:
+        annotated = []
+        for summary in summaries.values():
+            entry = dict(summary)
+            entry["experiment"] = scenario.name
+            annotated.append(entry)
+        path = write_report(
+            annotated,
+            args.report,
+            title=f"Scenario: {scenario.name}",
+            preamble=scenario.description,
+        )
+        print(f"\nreport written to {path}")
+    return 0
+
+
+def _command_scenarios(_args: argparse.Namespace) -> int:
+    rows = [
+        [scenario.name, scenario.description] for scenario in SCENARIOS.values()
+    ]
+    print(render_table(["Scenario", "Description"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mosaic: client-driven account allocation (reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="write a synthetic trace as an ethereum-etl CSV"
+    )
+    _add_trace_arguments(generate)
+    generate.add_argument("output", help="output CSV path")
+    generate.set_defaults(handler=_command_generate)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run one allocator over a trace"
+    )
+    _add_trace_arguments(simulate)
+    simulate.add_argument(
+        "--input", help="ethereum-etl CSV to replay (default: synthesise)"
+    )
+    simulate.add_argument(
+        "--method",
+        default="mosaic-pilot",
+        help=f"allocator ({', '.join(sorted(DEFAULT_METHODS))})",
+    )
+    simulate.add_argument("--shards", "-k", type=int, default=16)
+    simulate.add_argument("--eta", type=float, default=2.0)
+    simulate.add_argument("--tau", type=int, default=30)
+    simulate.add_argument("--beta", type=float, default=0.0)
+    simulate.set_defaults(handler=_command_simulate)
+
+    compare = subparsers.add_parser(
+        "compare", help="run a named scenario across methods"
+    )
+    compare.add_argument(
+        "--scenario", default="paper-default", help="scenario name"
+    )
+    compare.add_argument(
+        "--methods", help="comma-separated method subset (default: all)"
+    )
+    compare.add_argument("--report", help="write a Markdown report here")
+    compare.set_defaults(handler=_command_compare)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="list built-in scenarios"
+    )
+    scenarios.set_defaults(handler=_command_scenarios)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

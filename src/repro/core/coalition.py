@@ -1,0 +1,213 @@
+"""Client coalitions: coordinated shard selection (Section VII-C).
+
+The paper leaves coordinated clients as future work: "clients may
+coordinate with each other for shard allocation, which would be
+reflected in the phi(A_Tx - {nu}) of Equation (1). This introduces the
+potential for collaborated clients with enhanced performance."
+
+This module implements the natural first model. A :class:`Coalition`
+is a set of accounts (friends, a business and its customers, a DAO)
+that decide *jointly*: they evaluate, for each shard, the total cost of
+the whole group relocating there — internal transactions between
+members are counted as intra-shard wherever the group lands, which is
+exactly the information an individually-optimising client cannot use —
+and submit coordinated migration requests for every member.
+
+Formally, the coalition potential of shard ``i`` is::
+
+    P_C(i) = sum_{nu in C} P^nu_i(Psi^nu_ext)  +  (2*eta - 1) * W_int * xi_i
+
+where ``Psi^nu_ext`` counts only interactions with non-members (member
+interactions follow the group, so they contribute the intra-shard bonus
+``W_int``, the total internal interaction weight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chain.mapping import ShardMapping
+from repro.chain.migration import MigrationRequest
+from repro.chain.transaction import TransactionBatch
+from repro.core.interaction import interaction_matrix
+from repro.errors import ValidationError
+from repro.workload.observer import WorkloadSnapshot
+
+
+@dataclass(frozen=True)
+class CoalitionDecision:
+    """Outcome of one coalition-wide shard evaluation."""
+
+    members: Tuple[int, ...]
+    best_shard: int
+    gain: float
+    potentials: np.ndarray
+
+    @property
+    def wants_migration(self) -> bool:
+        """True when moving the whole group strictly lowers its cost."""
+        return self.gain > 0
+
+
+class Coalition:
+    """A group of accounts optimising their shard jointly."""
+
+    def __init__(self, members: Sequence[int], eta: float) -> None:
+        unique = sorted(set(int(m) for m in members))
+        if len(unique) < 2:
+            raise ValidationError("a coalition needs at least two members")
+        if unique[0] < 0:
+            raise ValidationError("account ids must be >= 0")
+        if eta < 1:
+            raise ValidationError(f"eta must be >= 1, got {eta}")
+        self.members = tuple(unique)
+        self.eta = eta
+        self._member_set: FrozenSet[int] = frozenset(unique)
+
+    def split_interactions(
+        self, history: TransactionBatch, mapping: ShardMapping
+    ) -> Tuple[np.ndarray, float]:
+        """Split members' interactions into (external Psi matrix, W_int).
+
+        ``Psi_ext[r, i]`` counts member ``r``'s interactions with
+        *non-member* accounts currently on shard ``i``; ``W_int`` is the
+        total weight of member-to-member interactions (each internal
+        transaction counted once).
+        """
+        member_array = np.asarray(self.members, dtype=np.int64)
+        sender_in = np.isin(history.senders, member_array)
+        receiver_in = np.isin(history.receivers, member_array)
+        internal_mask = sender_in & receiver_in
+        external_mask = (sender_in | receiver_in) & ~internal_mask
+        external = history.select(external_mask)
+        psi_ext = interaction_matrix(external, mapping, member_array)
+        internal_weight = float(internal_mask.sum())
+        return psi_ext, internal_weight
+
+    def decide(
+        self,
+        history: TransactionBatch,
+        snapshot: WorkloadSnapshot,
+        mapping: ShardMapping,
+    ) -> CoalitionDecision:
+        """Choose the best shard for the whole group.
+
+        The current cost baseline is the group's summed individual
+        Potential under the status quo (members may currently sit on
+        different shards); the gain is relative to that.
+        """
+        if snapshot.k != mapping.k:
+            raise ValidationError(
+                f"snapshot has k={snapshot.k}, mapping has k={mapping.k}"
+            )
+        eta = self.eta
+        omega = snapshot.omega
+        psi_ext, internal_weight = self.split_interactions(history, mapping)
+
+        # External part: standard per-member Potential, vectorised over
+        # candidate shards. psi totals include internal interactions —
+        # the group's transactions still cost fees wherever it sits.
+        psi_totals = psi_ext.sum(axis=1) + _internal_degree(
+            history, self.members
+        )
+        coef = (2.0 * eta - 1.0) * psi_ext - eta * psi_totals[:, np.newaxis]
+        member_potentials = coef * omega[np.newaxis, :]
+
+        # Internal part: every internal interaction becomes intra-shard
+        # when the group co-locates, worth (2*eta - 1) * xi_i per unit
+        # relative to it being cross-shard (the same saving Eq. 4 grants
+        # a single client for co-locating with a counterparty).
+        internal_bonus = (2.0 * eta - 1.0) * internal_weight * omega
+
+        group_potentials = member_potentials.sum(axis=0) + internal_bonus
+
+        # Status quo: members stay where they are; internal interactions
+        # are intra only for members already sharing a shard.
+        current_shards = mapping.shards_of(np.asarray(self.members))
+        rows = np.arange(len(self.members))
+        current_external = member_potentials[rows, current_shards].sum()
+        current_internal = _status_quo_internal_bonus(
+            history, self.members, mapping, omega, eta
+        )
+        current_value = current_external + current_internal
+
+        best = int(np.argmax(group_potentials))
+        gain = float(group_potentials[best] - current_value)
+        return CoalitionDecision(
+            members=self.members,
+            best_shard=best,
+            gain=gain,
+            potentials=group_potentials,
+        )
+
+    def propose_migrations(
+        self,
+        history: TransactionBatch,
+        snapshot: WorkloadSnapshot,
+        mapping: ShardMapping,
+        epoch: int = 0,
+    ) -> List[MigrationRequest]:
+        """Coordinated migration requests for every member not already
+        on the chosen shard (empty when staying put is optimal)."""
+        decision = self.decide(history, snapshot, mapping)
+        if not decision.wants_migration:
+            return []
+        requests = []
+        per_member_gain = decision.gain / len(self.members)
+        for member in self.members:
+            current = mapping.shard_of(member)
+            if current == decision.best_shard:
+                continue
+            requests.append(
+                MigrationRequest(
+                    account=member,
+                    from_shard=current,
+                    to_shard=decision.best_shard,
+                    gain=per_member_gain,
+                    epoch=epoch,
+                )
+            )
+        return requests
+
+
+def _internal_degree(
+    history: TransactionBatch, members: Tuple[int, ...]
+) -> np.ndarray:
+    """Per-member count of internal (member-to-member) interactions."""
+    member_array = np.asarray(members, dtype=np.int64)
+    sender_in = np.isin(history.senders, member_array)
+    receiver_in = np.isin(history.receivers, member_array)
+    internal = history.select(sender_in & receiver_in)
+    counts = np.zeros(len(members), dtype=np.float64)
+    for ids in (internal.senders, internal.receivers):
+        rows = np.searchsorted(member_array, ids)
+        rows = np.clip(rows, 0, len(members) - 1)
+        present = member_array[rows] == ids
+        counts += np.bincount(rows[present], minlength=len(members))
+    return counts
+
+
+def _status_quo_internal_bonus(
+    history: TransactionBatch,
+    members: Tuple[int, ...],
+    mapping: ShardMapping,
+    omega: np.ndarray,
+    eta: float,
+) -> float:
+    """Internal-interaction value under the current (split) placement."""
+    member_array = np.asarray(members, dtype=np.int64)
+    sender_in = np.isin(history.senders, member_array)
+    receiver_in = np.isin(history.receivers, member_array)
+    internal = history.select(sender_in & receiver_in)
+    if len(internal) == 0:
+        return 0.0
+    sender_shards = mapping.shards_of(internal.senders)
+    receiver_shards = mapping.shards_of(internal.receivers)
+    intra = sender_shards == receiver_shards
+    # Intra internal pairs already earn the co-location bonus on their
+    # shared shard; cross internal pairs earn nothing.
+    bonus = (2.0 * eta - 1.0) * omega[sender_shards[intra]]
+    return float(bonus.sum())

@@ -1,0 +1,142 @@
+"""Fee models: the monotone function ``xi_i = f(omega_i)`` (Section IV).
+
+Pilot prices residing in a shard by the fee its transactions will pay
+there. The paper uses the identity ``f(omega) = omega`` "for
+simplicity" and notes that "one can design a more specialized function
+f for the specific needs of applications". This module provides that
+extension point.
+
+The paper's Eq. 3 -> Eq. 4 algebra goes through for *any* per-shard fee
+vector ``xi``: substituting ``xi_i`` for ``omega_i`` in the derivation
+gives the generalised Potential::
+
+    P_i = [(2*eta - 1) * psi_i - eta * psi] * f(omega_i)
+
+so Pilot remains O(k) per decision under every fee model here (the
+property test in ``tests/test_core_fees.py`` re-verifies the
+equivalence for each model).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ValidationError
+
+
+class FeeModel(abc.ABC):
+    """A monotone map from shard workload ``omega`` to fee ``xi``."""
+
+    #: Short name used in configuration and reports.
+    name: str = "fee"
+
+    @abc.abstractmethod
+    def fees(self, omega: np.ndarray) -> np.ndarray:
+        """Vectorised ``xi = f(omega)``; must preserve shape and order."""
+
+    def __call__(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=np.float64)
+        if omega.ndim != 1:
+            raise ValidationError("omega must be a 1-D vector")
+        if len(omega) and omega.min() < 0:
+            raise ValidationError("workloads must be >= 0")
+        xi = np.asarray(self.fees(omega), dtype=np.float64)
+        if xi.shape != omega.shape:
+            raise ValidationError(
+                f"{type(self).__name__}.fees changed the shape "
+                f"({omega.shape} -> {xi.shape})"
+            )
+        if len(xi) and xi.min() < 0:
+            raise ValidationError("fees must be >= 0")
+        return xi
+
+
+@dataclass(frozen=True)
+class LinearFee(FeeModel):
+    """``xi = slope * omega`` — the paper's default at slope 1."""
+
+    slope: float = 1.0
+    name = "linear"
+
+    def __post_init__(self) -> None:
+        if self.slope <= 0:
+            raise ConfigurationError(f"slope must be > 0, got {self.slope}")
+
+    def fees(self, omega: np.ndarray) -> np.ndarray:
+        return self.slope * omega
+
+
+@dataclass(frozen=True)
+class PowerFee(FeeModel):
+    """``xi = omega ** exponent`` — sub/super-linear congestion pricing.
+
+    ``exponent < 1`` dampens congestion differences (clients care less
+    about load); ``exponent > 1`` amplifies them (latency-critical
+    clients avoiding busy shards).
+    """
+
+    exponent: float = 0.5
+    name = "power"
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise ConfigurationError(
+                f"exponent must be > 0, got {self.exponent}"
+            )
+
+    def fees(self, omega: np.ndarray) -> np.ndarray:
+        return np.power(omega, self.exponent)
+
+
+@dataclass(frozen=True)
+class BaseFeeMarket(FeeModel):
+    """An EIP-1559-flavoured fee market.
+
+    Fees stay at ``base_fee`` while a shard runs below its ``target``
+    workload and grow exponentially with over-target utilisation,
+    mirroring how Ethereum's base fee reacts to full blocks::
+
+        xi = base_fee * exp(sensitivity * max(0, omega / target - 1))
+    """
+
+    target: float
+    base_fee: float = 1.0
+    sensitivity: float = 1.0
+    name = "base-fee-market"
+
+    def __post_init__(self) -> None:
+        if self.target <= 0:
+            raise ConfigurationError(f"target must be > 0, got {self.target}")
+        if self.base_fee <= 0:
+            raise ConfigurationError(
+                f"base_fee must be > 0, got {self.base_fee}"
+            )
+        if self.sensitivity <= 0:
+            raise ConfigurationError(
+                f"sensitivity must be > 0, got {self.sensitivity}"
+            )
+
+    def fees(self, omega: np.ndarray) -> np.ndarray:
+        utilisation = np.maximum(0.0, omega / self.target - 1.0)
+        return self.base_fee * np.exp(self.sensitivity * utilisation)
+
+
+def generalized_potential_vector(
+    psi: np.ndarray,
+    omega: np.ndarray,
+    eta: float,
+    fee_model: FeeModel,
+) -> np.ndarray:
+    """Eq. 4 with ``xi = f(omega)``: one Potential per shard."""
+    psi = np.asarray(psi, dtype=np.float64)
+    omega = np.asarray(omega, dtype=np.float64)
+    if psi.shape != omega.shape:
+        raise ValidationError("psi and omega must have equal shape")
+    if eta < 1:
+        raise ValidationError(f"eta must be >= 1, got {eta}")
+    xi = fee_model(omega)
+    psi_total = psi.sum()
+    return ((2.0 * eta - 1.0) * psi - eta * psi_total) * xi

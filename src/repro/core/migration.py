@@ -1,0 +1,103 @@
+"""Migration-request policy: capacity capping and prioritisation.
+
+The beacon chain can commit at most ``lambda`` migration requests per
+epoch (it runs the same consensus as a shard, Section V-A). When clients
+propose more, "the migration requests that offer the most significant
+improvements in P will be prioritized for commitment". This module
+packages that policy so both the Mosaic allocator and the full
+beacon-chain substrate apply identical rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.chain.beacon import prioritize_requests
+from repro.chain.mapping import ShardMapping
+from repro.chain.migration import MigrationRequest
+from repro.errors import MigrationError
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """Result of filtering one epoch's migration proposals."""
+
+    committed: Tuple[MigrationRequest, ...]
+    rejected: Tuple[MigrationRequest, ...]
+
+    @property
+    def committed_count(self) -> int:
+        return len(self.committed)
+
+
+class MigrationPolicy:
+    """Capacity-capped, gain-prioritised commitment policy.
+
+    Args:
+        capacity: maximum requests committed per epoch (``None`` =
+            unlimited, used by the ablation study).
+        fifo: when True, commit in submission order instead of by gain —
+            the ablation baseline for the prioritisation design choice.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, fifo: bool = False) -> None:
+        if capacity is not None and capacity < 0:
+            raise MigrationError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.fifo = fifo
+
+    def select(
+        self,
+        requests: Sequence[MigrationRequest],
+        mapping: Optional[ShardMapping] = None,
+    ) -> PolicyOutcome:
+        """Validate and choose which requests commit this epoch."""
+        valid: List[MigrationRequest] = []
+        stale: List[MigrationRequest] = []
+        for request in requests:
+            if mapping is not None:
+                if (
+                    request.account >= mapping.n_accounts
+                    or request.to_shard >= mapping.k
+                    or mapping.shard_of(request.account) != request.from_shard
+                ):
+                    stale.append(request)
+                    continue
+            valid.append(request)
+
+        if self.fifo:
+            seen = set()
+            deduped: List[MigrationRequest] = []
+            dropped: List[MigrationRequest] = []
+            for request in valid:
+                if request.account in seen:
+                    dropped.append(request)
+                    continue
+                seen.add(request.account)
+                deduped.append(request)
+            if self.capacity is None or self.capacity >= len(deduped):
+                committed, over = deduped, []
+            else:
+                committed = deduped[: self.capacity]
+                over = deduped[self.capacity :]
+            return PolicyOutcome(
+                committed=tuple(committed),
+                rejected=tuple(over + dropped + stale),
+            )
+
+        committed, rejected = prioritize_requests(valid, self.capacity)
+        return PolicyOutcome(
+            committed=tuple(committed), rejected=tuple(rejected + stale)
+        )
+
+    def apply(
+        self,
+        requests: Sequence[MigrationRequest],
+        mapping: ShardMapping,
+    ) -> PolicyOutcome:
+        """Select and apply the committed requests to ``mapping`` in place."""
+        outcome = self.select(requests, mapping)
+        for request in outcome.committed:
+            mapping.assign(request.account, request.to_shard)
+        return outcome

@@ -1,0 +1,25 @@
+"""Datasets: trace containers, synthetic Ethereum-like generation, ETL."""
+
+from repro.data.trace import Trace, EpochView
+from repro.data.generators import (
+    zipf_weights,
+    sample_pairs,
+    CommunityConfig,
+    community_pair_sampler,
+)
+from repro.data.ethereum import EthereumTraceConfig, generate_ethereum_like_trace
+from repro.data.etl import write_transactions_csv, read_transactions_csv, ETL_COLUMNS
+
+__all__ = [
+    "Trace",
+    "EpochView",
+    "zipf_weights",
+    "sample_pairs",
+    "CommunityConfig",
+    "community_pair_sampler",
+    "EthereumTraceConfig",
+    "generate_ethereum_like_trace",
+    "write_transactions_csv",
+    "read_transactions_csv",
+    "ETL_COLUMNS",
+]

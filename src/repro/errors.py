@@ -1,0 +1,64 @@
+"""Exception hierarchy for the Mosaic reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch library failures without masking programming errors
+(``TypeError``, ``AttributeError``, ...) raised by misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter or configuration value is invalid or inconsistent."""
+
+
+class ValidationError(ReproError):
+    """A runtime invariant check failed (bad input data, broken state)."""
+
+
+class MappingError(ReproError):
+    """An account-shard mapping operation violated Definition 1."""
+
+
+class UnknownAccountError(MappingError):
+    """An account id or address is not present in the registry/mapping."""
+
+    def __init__(self, account: object) -> None:
+        super().__init__(f"unknown account: {account!r}")
+        self.account = account
+
+
+class ChainError(ReproError):
+    """A blockchain substrate operation failed (bad block, broken link)."""
+
+
+class BlockLinkError(ChainError):
+    """A block does not extend the chain tip it was appended to."""
+
+
+class CapacityExceededError(ChainError):
+    """A block or beacon commitment exceeded the shard capacity ``lambda``."""
+
+
+class MigrationError(ReproError):
+    """A migration request is malformed or cannot be applied."""
+
+
+class AllocationError(ReproError):
+    """An allocation algorithm failed to produce a valid result."""
+
+
+class PartitionError(AllocationError):
+    """The multilevel graph partitioner could not satisfy its constraints."""
+
+
+class DataError(ReproError):
+    """Trace loading, generation, or ETL failed."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""

@@ -1,0 +1,242 @@
+"""The epoch-driven simulation engine (evaluation protocol of Section V).
+
+Protocol per evaluation epoch ``t``:
+
+1. Accounts appearing for the first time are placed by the allocator's
+   new-account rule (hash methods hash them, graph methods randomise,
+   Mosaic clients choose for themselves).
+2. The epoch's transactions are processed under the mapping computed at
+   the end of epoch ``t - 1``; the effectiveness metrics are recorded
+   ("evaluation metrics are calculated using the data from the current
+   epoch based on the allocation results computed at the end of the
+   preceding epoch").
+3. The allocator updates the mapping for epoch ``t + 1``. It sees the
+   epoch's committed transactions plus, as its workload oracle, the
+   mempool of pending transactions — the next epoch's batch in
+   ``lookahead`` mode (the paper's setup) or the current epoch's batch
+   in ``trailing`` mode (ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.allocation.base import Allocator, UpdateContext
+from repro.chain.mapping import ShardMapping
+from repro.chain.params import ProtocolParams
+from repro.chain.transaction import TransactionBatch
+from repro.data.trace import Trace
+from repro.errors import SimulationError
+from repro.sim.metrics import epoch_metrics
+from repro.util.validation import check_in_range
+
+ORACLE_LOOKAHEAD = "lookahead"
+ORACLE_TRAILING = "trailing"
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Configuration of one simulation run."""
+
+    params: ProtocolParams
+    history_fraction: float = 0.9
+    max_epochs: Optional[int] = None
+    oracle_mode: str = ORACLE_LOOKAHEAD
+
+    def __post_init__(self) -> None:
+        check_in_range("history_fraction", self.history_fraction, 0.0, 1.0)
+        if self.oracle_mode not in (ORACLE_LOOKAHEAD, ORACLE_TRAILING):
+            raise SimulationError(
+                f"oracle_mode must be '{ORACLE_LOOKAHEAD}' or "
+                f"'{ORACLE_TRAILING}', got {self.oracle_mode!r}"
+            )
+        if self.max_epochs is not None and self.max_epochs < 1:
+            raise SimulationError(
+                f"max_epochs must be >= 1, got {self.max_epochs}"
+            )
+
+
+@dataclass
+class EpochRecord:
+    """Per-epoch measurements."""
+
+    epoch: int
+    transactions: int
+    cross_shard_ratio: float
+    workload_deviation: float
+    normalized_throughput: float
+    execution_time: float
+    unit_time: float
+    input_bytes: float
+    migrations: int
+    proposed_migrations: int
+    new_accounts: int
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated outcome of one run."""
+
+    allocator_name: str
+    params: ProtocolParams
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def _mean(self, attribute: str, weighted: bool = False) -> float:
+        if not self.records:
+            return 0.0
+        values = np.array([getattr(r, attribute) for r in self.records])
+        if weighted:
+            weights = np.array([r.transactions for r in self.records], dtype=float)
+            if weights.sum() == 0:
+                return 0.0
+            return float(np.average(values, weights=weights))
+        return float(values.mean())
+
+    @property
+    def epochs(self) -> int:
+        return len(self.records)
+
+    @property
+    def mean_cross_shard_ratio(self) -> float:
+        """Transaction-weighted average cross-shard ratio."""
+        return self._mean("cross_shard_ratio", weighted=True)
+
+    @property
+    def mean_workload_deviation(self) -> float:
+        return self._mean("workload_deviation")
+
+    @property
+    def mean_normalized_throughput(self) -> float:
+        return self._mean("normalized_throughput")
+
+    @property
+    def mean_execution_time(self) -> float:
+        return self._mean("execution_time")
+
+    @property
+    def mean_unit_time(self) -> float:
+        return self._mean("unit_time")
+
+    @property
+    def mean_input_bytes(self) -> float:
+        return self._mean("input_bytes")
+
+    @property
+    def total_migrations(self) -> int:
+        return int(sum(r.migrations for r in self.records))
+
+    @property
+    def total_proposed_migrations(self) -> int:
+        return int(sum(r.proposed_migrations for r in self.records))
+
+    @property
+    def total_transactions(self) -> int:
+        return int(sum(r.transactions for r in self.records))
+
+
+class Simulation:
+    """Drives one allocator over one trace under one configuration."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        allocator: Allocator,
+        config: SimulationConfig,
+    ) -> None:
+        self.trace = trace
+        self.allocator = allocator
+        self.config = config
+
+    def run(self) -> SimulationResult:
+        """Execute the full evaluation protocol; return the result."""
+        params = self.config.params
+        history, evaluation = self.trace.split(self.config.history_fraction)
+
+        mapping = self.allocator.initialize(history, params)
+        if mapping.k != params.k:
+            raise SimulationError(
+                f"allocator produced k={mapping.k}, expected {params.k}"
+            )
+        if mapping.n_accounts < self.trace.n_accounts:
+            raise SimulationError(
+                "allocator's initial mapping must cover the account universe "
+                f"({mapping.n_accounts} < {self.trace.n_accounts})"
+            )
+
+        seen = np.zeros(self.trace.n_accounts, dtype=bool)
+        seen[history.active_accounts()] = True
+
+        result = SimulationResult(
+            allocator_name=self.allocator.name, params=params
+        )
+        epoch_views = evaluation.epoch_list(params.tau, self.config.max_epochs)
+        empty = TransactionBatch.empty()
+
+        for position, view in enumerate(epoch_views):
+            batch = view.batch
+            if len(batch) == 0:
+                continue
+            capacity = params.derive_capacity(len(batch))
+
+            # 1. Place accounts never seen before.
+            touched = batch.touched_accounts()
+            new_ids = touched[~seen[touched]]
+            if len(new_ids):
+                placement_context = UpdateContext(
+                    epoch=view.index,
+                    params=params,
+                    committed=empty,
+                    mempool=batch,
+                    capacity=capacity,
+                )
+                placements = self.allocator.place_new_accounts(
+                    new_ids, mapping, placement_context
+                )
+                mapping.assign_many(new_ids, placements)
+                seen[new_ids] = True
+
+            # 2. Metrics under the previous epoch's allocation.
+            ratio, deviation, norm_throughput, _ = epoch_metrics(
+                batch, mapping, params.eta, capacity
+            )
+
+            # 3. Allocator update for the next epoch.
+            if self.config.oracle_mode == ORACLE_LOOKAHEAD:
+                mempool = (
+                    epoch_views[position + 1].batch
+                    if position + 1 < len(epoch_views)
+                    else empty
+                )
+            else:
+                mempool = batch
+            context = UpdateContext(
+                epoch=view.index,
+                params=params,
+                committed=batch,
+                mempool=mempool,
+                capacity=capacity,
+            )
+            update = self.allocator.update(mapping, context)
+            if update.mapping.k != params.k:
+                raise SimulationError("allocator changed k during update")
+            mapping = update.mapping
+
+            result.records.append(
+                EpochRecord(
+                    epoch=view.index,
+                    transactions=len(batch),
+                    cross_shard_ratio=ratio,
+                    workload_deviation=deviation,
+                    normalized_throughput=norm_throughput,
+                    execution_time=update.execution_time,
+                    unit_time=update.unit_time,
+                    input_bytes=update.input_bytes,
+                    migrations=update.migrations,
+                    proposed_migrations=update.proposed_migrations,
+                    new_accounts=len(new_ids),
+                )
+            )
+        return result

@@ -1,0 +1,80 @@
+"""Result recording and aggregation for the benchmark harness."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.sim.engine import SimulationResult
+
+
+def summarize_results(result: SimulationResult) -> Dict[str, object]:
+    """Flatten a :class:`SimulationResult` into a JSON-friendly summary."""
+    return {
+        "allocator": result.allocator_name,
+        "k": result.params.k,
+        "eta": result.params.eta,
+        "tau": result.params.tau,
+        "beta": result.params.beta,
+        "epochs": result.epochs,
+        "total_transactions": result.total_transactions,
+        "mean_cross_shard_ratio": result.mean_cross_shard_ratio,
+        "mean_workload_deviation": result.mean_workload_deviation,
+        "mean_normalized_throughput": result.mean_normalized_throughput,
+        "mean_execution_time": result.mean_execution_time,
+        "mean_unit_time": result.mean_unit_time,
+        "mean_input_bytes": result.mean_input_bytes,
+        "total_migrations": result.total_migrations,
+        "total_proposed_migrations": result.total_proposed_migrations,
+    }
+
+
+class ResultRecorder:
+    """Collects run summaries and persists them as JSON.
+
+    The benchmark harness records every configuration it runs so
+    EXPERIMENTS.md can be regenerated from one artefact.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[Dict[str, object]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> Sequence[Dict[str, object]]:
+        return tuple(self._entries)
+
+    def record(
+        self,
+        result: SimulationResult,
+        experiment: str,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Summarise and store one run under an experiment label."""
+        summary = summarize_results(result)
+        summary["experiment"] = experiment
+        if extra:
+            summary.update(extra)
+        self._entries.append(summary)
+        return summary
+
+    def by_experiment(self, experiment: str) -> List[Dict[str, object]]:
+        """All summaries recorded under the given experiment label."""
+        return [e for e in self._entries if e.get("experiment") == experiment]
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write all entries to ``path`` as a JSON array."""
+        path = Path(path)
+        path.write_text(json.dumps(self._entries, indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ResultRecorder":
+        """Load a recorder previously saved with :meth:`save`."""
+        recorder = cls()
+        recorder._entries = json.loads(Path(path).read_text())
+        return recorder

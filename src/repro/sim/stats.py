@@ -1,0 +1,133 @@
+"""Multi-seed statistics: confidence intervals for simulation metrics.
+
+Single runs of the evaluation protocol are deterministic per seed, but
+the synthetic trace and the baseline tie-breaking are seed-dependent.
+``run_multi_seed`` repeats a scenario across seeds and aggregates each
+metric into a mean with a normal-approximation confidence interval, so
+comparisons between allocators can be reported with error bars rather
+than single points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Sequence
+
+from repro.allocation.base import Allocator
+from repro.data.ethereum import generate_ethereum_like_trace
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulation, SimulationResult
+from repro.sim.scenario import Scenario
+
+#: Metrics aggregated across seeds (attribute names on SimulationResult).
+AGGREGATED_METRICS = (
+    "mean_cross_shard_ratio",
+    "mean_normalized_throughput",
+    "mean_workload_deviation",
+    "mean_unit_time",
+    "mean_input_bytes",
+)
+
+#: z-value for a 95% normal-approximation confidence interval.
+_Z_95 = 1.959964
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean, spread, and 95% CI of one metric across seeds."""
+
+    metric: str
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    n: int
+
+    @property
+    def ci_half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def overlaps(self, other: "MetricSummary") -> bool:
+        """True when the two confidence intervals overlap."""
+        return self.ci_low <= other.ci_high and other.ci_low <= self.ci_high
+
+
+def summarize_metric(metric: str, values: Sequence[float]) -> MetricSummary:
+    """Aggregate raw per-seed values into a :class:`MetricSummary`."""
+    if not values:
+        raise ConfigurationError(f"metric {metric!r} has no values")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(variance)
+        half_width = _Z_95 * std / math.sqrt(n)
+    else:
+        std = 0.0
+        half_width = 0.0
+    return MetricSummary(
+        metric=metric,
+        mean=mean,
+        std=std,
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+        n=n,
+    )
+
+
+@dataclass(frozen=True)
+class MultiSeedResult:
+    """All metric summaries for one allocator across seeds."""
+
+    allocator: str
+    seeds: Sequence[int]
+    metrics: Dict[str, MetricSummary]
+    runs: Sequence[SimulationResult]
+
+    def metric(self, name: str) -> MetricSummary:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown metric {name!r}; available: {sorted(self.metrics)}"
+            ) from None
+
+
+def run_multi_seed(
+    scenario: Scenario,
+    allocator_factory: Callable[[], Allocator],
+    seeds: Sequence[int],
+    reseed_trace: bool = True,
+) -> MultiSeedResult:
+    """Run a scenario across ``seeds`` and aggregate the metrics.
+
+    ``reseed_trace=True`` (default) regenerates the trace per seed —
+    variance then covers workload randomness; ``False`` keeps one trace
+    and varies only the protocol seed (tie-breaks, reshuffles).
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    runs: List[SimulationResult] = []
+    for seed in seeds:
+        trace_config = scenario.trace_config
+        params = scenario.params.with_updates(seed=int(seed))
+        if reseed_trace:
+            trace_config = replace(trace_config, seed=int(seed))
+        trace = generate_ethereum_like_trace(trace_config)
+        config = scenario.simulation_config()
+        config = replace(config, params=params)
+        runs.append(Simulation(trace, allocator_factory(), config).run())
+
+    metrics = {
+        name: summarize_metric(
+            name, [getattr(run, name) for run in runs]
+        )
+        for name in AGGREGATED_METRICS
+    }
+    return MultiSeedResult(
+        allocator=runs[0].allocator_name,
+        seeds=tuple(int(s) for s in seeds),
+        metrics=metrics,
+        runs=tuple(runs),
+    )

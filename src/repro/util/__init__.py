@@ -1,0 +1,27 @@
+"""Shared utilities: validation helpers, RNG management, timers, tables."""
+
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_probability,
+    check_type,
+)
+from repro.util.rng import RngFactory, derive_seed
+from repro.util.timing import Timer, benchmark_callable
+from repro.util.formatting import format_bytes, format_seconds, render_table
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+    "check_type",
+    "RngFactory",
+    "derive_seed",
+    "Timer",
+    "benchmark_callable",
+    "format_bytes",
+    "format_seconds",
+    "render_table",
+]

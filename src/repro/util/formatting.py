@@ -1,0 +1,61 @@
+"""Human-readable formatting for benchmark output and reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_BYTE_UNITS = ["B", "KB", "MB", "GB", "TB"]
+
+
+def format_bytes(size: float) -> str:
+    """Render a byte count with a binary-ish unit, e.g. ``1.44 GB``.
+
+    The paper reports decimal multiples (1 KB = 1000 B), so we match that.
+    """
+    if size < 0:
+        raise ValueError("size must be >= 0")
+    value = float(size)
+    for unit in _BYTE_UNITS:
+        if value < 1000.0 or unit == _BYTE_UNITS[-1]:
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly, switching to scientific for tiny values."""
+    if seconds < 0:
+        raise ValueError("seconds must be >= 0")
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-3:
+        return f"{seconds:.2e} s"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.2f} s"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a plain-text table with padded columns.
+
+    Used by the benchmark harness to print rows shaped like the paper's
+    Tables I-VI.
+    """
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Timing helpers used by the efficiency experiments (Table IV)."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class Timer:
+    """Context-manager stopwatch accumulating wall-clock durations.
+
+    A single ``Timer`` may be entered many times; it records every lap so
+    the efficiency benchmarks can report means over repeated allocator
+    updates, exactly as the paper averages running times over epochs.
+    """
+
+    def __init__(self) -> None:
+        self.laps: List[float] = []
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            return
+        self.laps.append(time.perf_counter() - self._start)
+        self._start = None
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded laps, in seconds."""
+        return sum(self.laps)
+
+    @property
+    def mean(self) -> float:
+        """Mean lap duration in seconds (0.0 when nothing recorded)."""
+        return statistics.fmean(self.laps) if self.laps else 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of completed laps."""
+        return len(self.laps)
+
+    def reset(self) -> None:
+        """Discard all recorded laps."""
+        self.laps.clear()
+        self._start = None
+
+
+@dataclass
+class TimingStats:
+    """Summary of repeated timed calls."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    repeats: int
+    samples: List[float] = field(repr=False, default_factory=list)
+
+
+def benchmark_callable(fn: Callable[[], object], repeats: int = 5) -> TimingStats:
+    """Time ``fn`` ``repeats`` times and return summary statistics."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return TimingStats(
+        mean=statistics.fmean(samples),
+        minimum=min(samples),
+        maximum=max(samples),
+        repeats=repeats,
+        samples=samples,
+    )

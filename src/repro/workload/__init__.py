@@ -1,0 +1,5 @@
+"""Workload-distribution observation (the Etherscan-like public oracle)."""
+
+from repro.workload.observer import WorkloadOracle, WorkloadSnapshot
+
+__all__ = ["WorkloadOracle", "WorkloadSnapshot"]

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chain.mapping import ShardMapping
+from repro.chain.params import ProtocolParams
+from repro.chain.transaction import TransactionBatch
+from repro.data.ethereum import EthereumTraceConfig, generate_ethereum_like_trace
+from repro.data.trace import Trace
+
+
+@pytest.fixture
+def params() -> ProtocolParams:
+    """Default small-scale protocol parameters."""
+    return ProtocolParams(k=4, eta=2.0, tau=50, seed=11)
+
+
+@pytest.fixture
+def small_batch() -> TransactionBatch:
+    """Six transactions over five accounts, hand-checkable."""
+    return TransactionBatch(
+        senders=np.array([0, 0, 1, 2, 3, 4]),
+        receivers=np.array([1, 2, 2, 3, 4, 0]),
+        blocks=np.array([0, 0, 1, 1, 2, 2]),
+    )
+
+
+@pytest.fixture
+def small_mapping() -> ShardMapping:
+    """Five accounts over two shards: [0, 0, 1, 1, 0]."""
+    return ShardMapping(np.array([0, 0, 1, 1, 0]), k=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace() -> Trace:
+    """A small but realistic synthetic trace shared across tests."""
+    config = EthereumTraceConfig(
+        n_accounts=600,
+        n_transactions=6_000,
+        n_blocks=600,
+        seed=5,
+    )
+    return generate_ethereum_like_trace(config)
+
+
+@pytest.fixture(scope="session")
+def medium_trace() -> Trace:
+    """A mid-size trace for integration/shape tests."""
+    config = EthereumTraceConfig(
+        n_accounts=2_000,
+        n_transactions=24_000,
+        n_blocks=1_500,
+        seed=9,
+    )
+    return generate_ethereum_like_trace(config)

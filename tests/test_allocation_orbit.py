@@ -1,0 +1,128 @@
+"""Unit tests for the Orbit (pending-aware TxAllo) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.base import UpdateContext
+from repro.allocation.orbit import OrbitAllocator
+from repro.allocation.txallo import TxAlloAllocator
+from repro.chain.mapping import ShardMapping
+from repro.chain.transaction import TransactionBatch
+from repro.errors import ConfigurationError
+
+
+def pair_batch(pairs):
+    return TransactionBatch(
+        np.array([p[0] for p in pairs], dtype=np.int64),
+        np.array([p[1] for p in pairs], dtype=np.int64),
+    )
+
+
+class TestConfiguration:
+    def test_rejects_bad_pending_weight(self):
+        with pytest.raises(ConfigurationError):
+            OrbitAllocator(pending_weight=0.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            OrbitAllocator(window_epochs=0)
+
+
+class TestBehaviour:
+    def test_initialize_matches_txallo(self, tiny_trace, params):
+        orbit = OrbitAllocator()
+        txallo = TxAlloAllocator()
+        assert orbit.initialize(tiny_trace, params) == txallo.initialize(
+            tiny_trace, params
+        )
+
+    def test_update_uses_mempool_signal(self, params):
+        """An account whose *pending* (not committed) transactions all
+        point at one shard is moved there by Orbit but not by A-TxAllo
+        fed only the committed window."""
+        mapping = ShardMapping(np.array([1, 0, 0, 0, 1, 1]), k=params.k)
+        committed = pair_batch([(4, 5), (4, 5)])  # account 0 inactive
+        mempool = pair_batch([(0, 1), (0, 2), (0, 3), (0, 1)])
+
+        # Relax the workload cap: with a six-account toy graph the
+        # default 15% balance slack is tighter than one account's weight.
+        orbit = OrbitAllocator(balance_factor=4.0)
+        context = UpdateContext(
+            epoch=0,
+            params=params,
+            committed=committed,
+            mempool=mempool,
+            capacity=10.0,
+        )
+        update = orbit.update(mapping, context)
+        assert update.mapping.shard_of(0) == 0  # moved to its peers
+
+        plain = TxAlloAllocator(mode="adaptive", balance_factor=4.0)
+        plain_update = plain.update(mapping, context)
+        assert plain_update.mapping.shard_of(0) == 1  # no pending signal
+
+    def test_pending_weight_scales_influence(self, params):
+        mapping = ShardMapping(np.array([1, 0, 0, 0]), k=params.k)
+        # Committed history keeps account 0 on shard 1; weak pending
+        # signal points at shard 0.
+        committed = pair_batch([(0, 3)] * 6)
+        mapping.assign(3, 1)  # committed peer on shard 1
+        mempool = pair_batch([(0, 1)])
+        context = UpdateContext(
+            epoch=0,
+            params=params,
+            committed=committed,
+            mempool=mempool,
+            capacity=10.0,
+        )
+        strong = OrbitAllocator(pending_weight=1.0).update(
+            mapping, context
+        )
+        weak = OrbitAllocator(pending_weight=0.05).update(mapping, context)
+        # Both keep account 0 with its dominant committed peer.
+        assert strong.mapping.shard_of(0) == 1
+        assert weak.mapping.shard_of(0) == 1
+
+    def test_input_accounting_includes_mempool(self, params):
+        mapping = ShardMapping(np.array([1, 0, 0, 0]), k=params.k)
+        committed = pair_batch([(0, 1)])
+        big_mempool = pair_batch([(i % 3, 3) for i in range(2)] * 1)
+        context_small = UpdateContext(
+            epoch=0,
+            params=params,
+            committed=committed,
+            mempool=TransactionBatch.empty(),
+            capacity=10.0,
+        )
+        context_big = UpdateContext(
+            epoch=0,
+            params=params,
+            committed=committed,
+            mempool=big_mempool,
+            capacity=10.0,
+        )
+        small = OrbitAllocator().update(mapping, context_small)
+        big = OrbitAllocator().update(mapping, context_big)
+        assert big.input_bytes > small.input_bytes
+
+    def test_full_simulation_run(self, tiny_trace, params):
+        from repro.sim.engine import Simulation, SimulationConfig
+
+        config = SimulationConfig(params=params, history_fraction=0.8)
+        result = Simulation(tiny_trace, OrbitAllocator(), config).run()
+        assert result.epochs > 0
+        assert result.allocator_name == "orbit"
+
+    def test_orbit_beats_plain_adaptive_on_ratio(self, medium_trace, params):
+        """The lookahead should not hurt — usually it helps."""
+        from repro.sim.engine import Simulation, SimulationConfig
+
+        config = SimulationConfig(params=params)
+        orbit = Simulation(medium_trace, OrbitAllocator(), config).run()
+        plain = Simulation(
+            medium_trace, TxAlloAllocator(mode="adaptive"), config
+        ).run()
+        assert (
+            orbit.mean_cross_shard_ratio
+            <= plain.mean_cross_shard_ratio + 0.03
+        )

@@ -1,0 +1,161 @@
+"""Unit tests for the TxAllo re-implementation."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.base import UpdateContext
+from repro.allocation.graph import TransactionGraph
+from repro.allocation.txallo import TxAlloAllocator, a_txallo, g_txallo
+from repro.chain.mapping import ShardMapping
+from repro.errors import AllocationError
+
+
+def community_graph(n_communities=4, size=10, seed=0):
+    """Dense communities with sparse global noise."""
+    rng = np.random.default_rng(seed)
+    n = n_communities * size
+    graph = TransactionGraph(n)
+    for c in range(n_communities):
+        members = range(c * size, (c + 1) * size)
+        for i in members:
+            for j in members:
+                if i < j:
+                    graph.add_edge(i, j, 3.0)
+    for _ in range(n):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            graph.add_edge(int(u), int(v), 1.0)
+    return graph
+
+
+class TestGTxAllo:
+    def test_deterministic(self):
+        graph = community_graph()
+        a = g_txallo(graph, k=4, eta=2.0)
+        b = g_txallo(graph, k=4, eta=2.0)
+        assert np.array_equal(a, b)
+
+    def test_reduces_cut_vs_initial(self):
+        graph = community_graph()
+        initial = np.arange(graph.n_accounts) % 4
+        result = g_txallo(graph, k=4, eta=2.0, initial=initial.copy())
+        assert graph.cut_weight(result) < graph.cut_weight(initial)
+
+    def test_groups_communities(self):
+        graph = community_graph(n_communities=2, size=12)
+        result = g_txallo(graph, k=2, eta=2.0)
+        # Most of each community should share a shard.
+        first = np.bincount(result[:12], minlength=2)
+        second = np.bincount(result[12:], minlength=2)
+        assert first.max() >= 9
+        assert second.max() >= 9
+
+    def test_respects_workload_cap(self):
+        graph = community_graph()
+        balance = 1.15
+        result = g_txallo(graph, k=4, eta=2.0, balance_factor=balance)
+        degrees = graph.vertex_weights()
+        loads = np.bincount(result, weights=degrees, minlength=4)
+        average = degrees.sum() / 4
+        # Moves respect the cap; the initial assignment is balanced, so
+        # the final loads stay within the cap plus one max-degree slack.
+        assert loads.max() <= balance * average + degrees.max()
+
+    def test_assignment_in_range(self):
+        result = g_txallo(community_graph(), k=3, eta=5.0)
+        assert result.min() >= 0 and result.max() < 3
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(AllocationError):
+            g_txallo(community_graph(), k=0, eta=2.0)
+
+    def test_rejects_wrong_initial_length(self):
+        with pytest.raises(AllocationError):
+            g_txallo(
+                community_graph(), k=2, eta=2.0, initial=np.zeros(3, dtype=int)
+            )
+
+    def test_empty_graph_keeps_initial(self):
+        graph = TransactionGraph(5)
+        initial = np.array([0, 1, 0, 1, 0])
+        result = g_txallo(graph, k=2, eta=2.0, initial=initial)
+        assert np.array_equal(result, initial)
+
+
+class TestATxAllo:
+    def test_only_active_accounts_move(self):
+        graph = community_graph()
+        assignment = np.arange(graph.n_accounts) % 4
+        active = [0, 1, 2]
+        result, moved = a_txallo(graph, assignment, active, k=4, eta=2.0)
+        changed = np.flatnonzero(result != assignment)
+        assert set(changed.tolist()) <= set(active)
+        assert moved == len(changed)
+
+    def test_no_active_accounts_is_noop(self):
+        graph = community_graph()
+        assignment = np.arange(graph.n_accounts) % 4
+        result, moved = a_txallo(graph, assignment, [], k=4, eta=2.0)
+        assert moved == 0
+        assert np.array_equal(result, assignment)
+
+    def test_improves_colocation_for_active(self):
+        graph = community_graph(n_communities=2, size=12, seed=1)
+        # Community 0 on shard 0, community 1 on shard 1, but account 0
+        # misplaced on shard 1.
+        assignment = np.array([0] * 12 + [1] * 12)
+        assignment[0] = 1
+        result, moved = a_txallo(graph, assignment, [0], k=2, eta=2.0)
+        assert moved == 1
+        assert result[0] == 0
+
+    def test_isolated_active_account_ignored(self):
+        graph = community_graph()
+        assignment = np.arange(graph.n_accounts) % 4
+        result, moved = a_txallo(
+            graph, assignment, [graph.n_accounts - 1, 10_000], k=4, eta=2.0
+        )
+        assert moved >= 0  # out-of-graph ids must not crash
+
+
+class TestTxAlloAllocator:
+    def test_rejects_bad_mode(self):
+        with pytest.raises(AllocationError):
+            TxAlloAllocator(mode="bogus")
+
+    def test_names(self):
+        assert TxAlloAllocator(mode="adaptive").name == "txallo-a"
+        assert TxAlloAllocator(mode="full").name == "txallo-g"
+
+    @pytest.mark.parametrize("mode", ["adaptive", "full"])
+    def test_initialize_and_update(self, tiny_trace, params, mode):
+        allocator = TxAlloAllocator(mode=mode)
+        mapping = allocator.initialize(tiny_trace, params)
+        assert mapping.n_accounts == tiny_trace.n_accounts
+        context = UpdateContext(
+            epoch=0,
+            params=params,
+            committed=tiny_trace.batch[:400],
+            mempool=tiny_trace.batch[400:700],
+            capacity=100.0,
+        )
+        update = allocator.update(mapping, context)
+        assert update.mapping.k == params.k
+        assert update.input_bytes > 0
+        assert update.migrations == update.proposed_migrations
+
+    def test_adaptive_uses_less_input_than_full(self, tiny_trace, params):
+        adaptive = TxAlloAllocator(mode="adaptive")
+        full = TxAlloAllocator(mode="full")
+        mapping_a = adaptive.initialize(tiny_trace, params)
+        mapping_g = full.initialize(tiny_trace, params)
+        context = UpdateContext(
+            epoch=0,
+            params=params,
+            committed=tiny_trace.batch[:300],
+            mempool=tiny_trace.batch[300:600],
+            capacity=100.0,
+        )
+        update_a = adaptive.update(mapping_a, context)
+        update_g = full.update(mapping_g, context)
+        assert update_a.input_bytes < update_g.input_bytes

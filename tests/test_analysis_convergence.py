@@ -1,0 +1,118 @@
+"""Unit tests for convergence analysis over epoch time series."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    convergence_report,
+    epochs_to_reach,
+    metric_trend,
+    migration_decay,
+)
+from repro.chain.params import ProtocolParams
+from repro.errors import ValidationError
+from repro.sim.engine import EpochRecord, SimulationResult
+
+
+def result_with(ratios, migrations=None):
+    params = ProtocolParams(k=4, eta=2.0, tau=10)
+    result = SimulationResult(allocator_name="x", params=params)
+    migrations = migrations or [0] * len(ratios)
+    for epoch, (ratio, migration_count) in enumerate(zip(ratios, migrations)):
+        result.records.append(
+            EpochRecord(
+                epoch=epoch,
+                transactions=100,
+                cross_shard_ratio=ratio,
+                workload_deviation=0.5,
+                normalized_throughput=2.0,
+                execution_time=0.0,
+                unit_time=0.0,
+                input_bytes=0.0,
+                migrations=migration_count,
+                proposed_migrations=migration_count,
+                new_accounts=0,
+            )
+        )
+    return result
+
+
+class TestMetricTrend:
+    def test_improving_series(self):
+        trend = metric_trend(
+            result_with([0.9, 0.7, 0.5, 0.4, 0.35, 0.34]), "cross_shard_ratio"
+        )
+        assert trend.improving
+        assert trend.slope_per_epoch < 0
+        assert trend.relative_change < 0
+
+    def test_flat_series(self):
+        trend = metric_trend(result_with([0.5, 0.5, 0.5]), "cross_shard_ratio")
+        assert not trend.improving
+        assert trend.slope_per_epoch == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_epoch(self):
+        trend = metric_trend(result_with([0.4]), "cross_shard_ratio")
+        assert trend.slope_per_epoch == 0.0
+        assert trend.first_third_mean == trend.last_third_mean == 0.4
+
+    def test_empty_rejected(self):
+        params = ProtocolParams(k=4, eta=2.0, tau=10)
+        empty = SimulationResult(allocator_name="x", params=params)
+        with pytest.raises(ValidationError):
+            metric_trend(empty, "cross_shard_ratio")
+
+
+class TestMigrationDecay:
+    def test_quiescing_system(self):
+        result = result_with(
+            [0.5] * 6, migrations=[100, 80, 40, 10, 5, 2]
+        )
+        assert migration_decay(result) < 0.2
+
+    def test_steady_churn(self):
+        result = result_with([0.5] * 6, migrations=[50] * 6)
+        assert migration_decay(result) == pytest.approx(1.0)
+
+    def test_no_migrations(self):
+        result = result_with([0.5] * 6)
+        assert migration_decay(result) == 0.0
+
+    def test_late_onset(self):
+        result = result_with([0.5] * 6, migrations=[0, 0, 0, 0, 10, 10])
+        assert migration_decay(result) == float("inf")
+
+
+class TestEpochsToReach:
+    def test_threshold_hit(self):
+        result = result_with([0.9, 0.6, 0.4, 0.3])
+        assert epochs_to_reach(result, "cross_shard_ratio", 0.45) == 2
+
+    def test_threshold_never_hit(self):
+        result = result_with([0.9, 0.8])
+        assert epochs_to_reach(result, "cross_shard_ratio", 0.1) == -1
+
+    def test_above_direction(self):
+        result = result_with([0.2, 0.5, 0.9])
+        assert (
+            epochs_to_reach(result, "cross_shard_ratio", 0.8, below=False) == 2
+        )
+
+
+class TestEndToEnd:
+    def test_mosaic_run_is_improving(self, medium_trace, params):
+        """Mosaic's cross-shard ratio should trend down from a random
+        start as clients migrate toward their counterparties."""
+        from repro.core.mosaic import MosaicAllocator
+        from repro.sim.engine import Simulation, SimulationConfig
+
+        config = SimulationConfig(params=params)
+        result = Simulation(medium_trace, MosaicAllocator(), config).run()
+        trend = metric_trend(result, "cross_shard_ratio")
+        assert trend.improving
+        report = convergence_report(result)
+        assert {t.metric for t in report} == {
+            "cross_shard_ratio",
+            "workload_deviation",
+            "normalized_throughput",
+        }

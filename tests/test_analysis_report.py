@@ -1,0 +1,94 @@
+"""Unit tests for the Markdown report generator."""
+
+import pytest
+
+from repro.analysis.report import (
+    render_experiment_section,
+    render_report,
+    write_report,
+)
+from repro.errors import ValidationError
+
+
+def summary(allocator="pilot", experiment="table1", **overrides):
+    base = {
+        "allocator": allocator,
+        "experiment": experiment,
+        "k": 16,
+        "eta": 2.0,
+        "beta": 0.0,
+        "mean_cross_shard_ratio": 0.34,
+        "mean_normalized_throughput": 6.2,
+        "mean_workload_deviation": 0.5,
+        "total_migrations": 450,
+        "mean_unit_time": 4.3e-6,
+        "mean_input_bytes": 199.0,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestSection:
+    def test_contains_metrics(self):
+        text = render_experiment_section("Table I", [summary()])
+        assert "## Table I" in text
+        assert "34.00%" in text
+        assert "6.20" in text
+        assert "199 B" in text
+
+    def test_setting_label_includes_beta_when_set(self):
+        text = render_experiment_section(
+            "Beta", [summary(beta=0.75)]
+        )
+        assert "beta=0.75" in text
+
+    def test_setting_label_includes_scenario(self):
+        text = render_experiment_section(
+            "S", [summary(scenario="onboarding-wave")]
+        )
+        assert "onboarding-wave" in text
+
+    def test_missing_metrics_render_dash(self):
+        entry = summary()
+        del entry["mean_unit_time"]
+        entry["mean_cross_shard_ratio"] = None
+        text = render_experiment_section("X", [entry])
+        assert "| - |" in text
+
+    def test_empty_experiment_rejected(self):
+        with pytest.raises(ValidationError):
+            render_experiment_section("X", [])
+
+
+class TestReport:
+    def test_groups_by_experiment(self):
+        text = render_report(
+            [
+                summary(experiment="table1"),
+                summary(allocator="random", experiment="table1"),
+                summary(experiment="table2"),
+            ],
+            title="My report",
+        )
+        assert text.count("## table1") == 1
+        assert text.count("## table2") == 1
+        assert text.startswith("# My report")
+
+    def test_preamble_included(self):
+        text = render_report([summary()], preamble="Context paragraph.")
+        assert "Context paragraph." in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            render_report([])
+
+    def test_write_report(self, tmp_path):
+        path = write_report([summary()], tmp_path / "report.md")
+        assert path.exists()
+        assert "pilot" in path.read_text()
+
+    def test_markdown_table_is_valid(self):
+        text = render_report([summary()])
+        lines = [l for l in text.splitlines() if l.startswith("|")]
+        widths = {line.count("|") for line in lines}
+        assert len(widths) == 1  # consistent column count

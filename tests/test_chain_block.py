@@ -1,0 +1,59 @@
+"""Unit tests for blocks and hash chaining."""
+
+import pytest
+
+from repro.chain.block import (
+    GENESIS_HASH,
+    Block,
+    BlockHeader,
+    compute_block_hash,
+    payload_digest,
+)
+from repro.errors import ValidationError
+
+
+class TestHashing:
+    def test_hash_is_deterministic(self):
+        a = compute_block_hash("shard-0", 1, GENESIS_HASH, "d")
+        b = compute_block_hash("shard-0", 1, GENESIS_HASH, "d")
+        assert a == b
+
+    def test_hash_depends_on_every_field(self):
+        base = compute_block_hash("shard-0", 1, GENESIS_HASH, "d")
+        assert compute_block_hash("shard-1", 1, GENESIS_HASH, "d") != base
+        assert compute_block_hash("shard-0", 2, GENESIS_HASH, "d") != base
+        assert compute_block_hash("shard-0", 1, "0xff", "d") != base
+        assert compute_block_hash("shard-0", 1, GENESIS_HASH, "e") != base
+
+    def test_payload_digest_order_sensitive(self):
+        assert payload_digest(["a", "b"]) != payload_digest(["b", "a"])
+
+    def test_payload_digest_empty(self):
+        assert isinstance(payload_digest([]), str)
+
+
+class TestBlock:
+    def test_build_roundtrip(self):
+        block = Block.build("shard-0", 0, GENESIS_HASH, ["tx1", "tx2"], epoch=3)
+        assert block.height == 0
+        assert block.header.epoch == 3
+        assert block.payload == ("tx1", "tx2")
+        assert block.block_hash.startswith("0x")
+
+    def test_payload_tamper_detected(self):
+        block = Block.build("shard-0", 0, GENESIS_HASH, ["tx1"])
+        with pytest.raises(ValidationError, match="digest"):
+            Block(header=block.header, payload=("tampered",))
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ValidationError):
+            BlockHeader("shard-0", -1, GENESIS_HASH, "d")
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValidationError):
+            BlockHeader("shard-0", 0, GENESIS_HASH, "d", epoch=-1)
+
+    def test_same_payload_different_chain_different_hash(self):
+        a = Block.build("shard-0", 0, GENESIS_HASH, ["x"])
+        b = Block.build("shard-1", 0, GENESIS_HASH, ["x"])
+        assert a.block_hash != b.block_hash

@@ -1,0 +1,184 @@
+"""Unit tests for shard chains and the beacon chain."""
+
+import numpy as np
+import pytest
+
+from repro.chain.beacon import BeaconChain, prioritize_requests
+from repro.chain.block import Block, GENESIS_HASH
+from repro.chain.mapping import ShardMapping
+from repro.chain.migration import MigrationRequest
+from repro.chain.shard import ShardChain
+from repro.errors import BlockLinkError, MigrationError, ValidationError
+
+
+def mr(account, src=0, dst=1, gain=1.0, epoch=0):
+    return MigrationRequest(
+        account=account, from_shard=src, to_shard=dst, gain=gain, epoch=epoch
+    )
+
+
+class TestShardChain:
+    def test_append_links_blocks(self):
+        chain = ShardChain(0)
+        first = chain.append_block(["a"], epoch=0)
+        second = chain.append_block(["b"], epoch=0)
+        assert second.header.parent_hash == first.block_hash
+        assert chain.height == 1
+        chain.verify()
+
+    def test_tip_hash_starts_at_genesis(self):
+        assert ShardChain(0).tip_hash == GENESIS_HASH
+
+    def test_append_existing_validates_chain_id(self):
+        chain = ShardChain(0)
+        foreign = Block.build("shard-1", 0, GENESIS_HASH, [])
+        with pytest.raises(BlockLinkError):
+            chain.append_existing(foreign)
+
+    def test_append_existing_validates_height(self):
+        chain = ShardChain(0)
+        wrong_height = Block.build("shard-0", 5, GENESIS_HASH, [])
+        with pytest.raises(BlockLinkError):
+            chain.append_existing(wrong_height)
+
+    def test_append_existing_validates_parent(self):
+        chain = ShardChain(0)
+        chain.append_block(["a"])
+        orphan = Block.build("shard-0", 1, GENESIS_HASH, [])
+        with pytest.raises(BlockLinkError):
+            chain.append_existing(orphan)
+
+    def test_append_existing_accepts_valid_block(self):
+        chain = ShardChain(0)
+        block = Block.build("shard-0", 0, GENESIS_HASH, ["x"])
+        chain.append_existing(block)
+        assert chain.tip == block
+
+    def test_blocks_in_epoch(self):
+        chain = ShardChain(0)
+        chain.append_block([], epoch=0)
+        chain.append_block([], epoch=1)
+        chain.append_block([], epoch=1)
+        assert len(chain.blocks_in_epoch(1)) == 2
+
+    def test_rejects_negative_shard_id(self):
+        with pytest.raises(ValidationError):
+            ShardChain(-1)
+
+
+class TestPrioritizeRequests:
+    def test_orders_by_gain(self):
+        committed, rejected = prioritize_requests(
+            [mr(1, gain=1.0), mr(2, gain=3.0), mr(3, gain=2.0)], capacity=2
+        )
+        assert [r.account for r in committed] == [2, 3]
+        assert [r.account for r in rejected] == [1]
+
+    def test_deduplicates_per_account_keeping_best(self):
+        committed, rejected = prioritize_requests(
+            [mr(1, gain=1.0), mr(1, gain=5.0)], capacity=10
+        )
+        assert len(committed) == 1
+        assert committed[0].gain == 5.0
+        assert len(rejected) == 1
+
+    def test_unlimited_capacity(self):
+        committed, rejected = prioritize_requests(
+            [mr(i, gain=float(i)) for i in range(5)], capacity=None
+        )
+        assert len(committed) == 5
+        assert rejected == []
+
+    def test_tie_break_on_account_id(self):
+        committed, _ = prioritize_requests(
+            [mr(3, gain=1.0), mr(1, gain=1.0)], capacity=1
+        )
+        assert committed[0].account == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            prioritize_requests([mr(1)], capacity=-1)
+
+
+class TestBeaconChain:
+    def test_submit_and_commit(self):
+        beacon = BeaconChain()
+        beacon.submit(mr(1, gain=2.0))
+        beacon.submit(mr(2, gain=1.0))
+        report = beacon.commit_epoch(epoch=0, capacity=1)
+        assert report.committed_count == 1
+        assert report.committed[0].account == 1
+        assert report.rejected_count == 1
+        assert len(beacon) == 1
+        beacon.verify()
+
+    def test_submit_rejects_non_requests(self):
+        beacon = BeaconChain()
+        with pytest.raises(MigrationError):
+            beacon.submit("not a request")  # type: ignore[arg-type]
+
+    def test_stale_requests_filtered_against_mapping(self):
+        beacon = BeaconChain()
+        mapping = ShardMapping(np.array([1, 0]), k=2)
+        beacon.submit(mr(0, src=0, dst=1))  # stale: account 0 is on shard 1
+        beacon.submit(mr(1, src=0, dst=1))  # valid
+        report = beacon.commit_epoch(epoch=0, capacity=10, mapping=mapping)
+        assert [r.account for r in report.committed] == [1]
+        assert [r.account for r in report.rejected] == [0]
+
+    def test_unknown_account_is_stale(self):
+        beacon = BeaconChain()
+        mapping = ShardMapping(np.array([0]), k=2)
+        beacon.submit(mr(5, src=0, dst=1))
+        report = beacon.commit_epoch(epoch=0, mapping=mapping)
+        assert report.committed_count == 0
+
+    def test_requests_since(self):
+        beacon = BeaconChain()
+        beacon.submit(mr(1))
+        beacon.commit_epoch(epoch=0)
+        beacon.submit(mr(2))
+        beacon.commit_epoch(epoch=1)
+        assert [r.account for r in beacon.requests_since(0)] == [1, 2]
+        assert [r.account for r in beacon.requests_since(1)] == [2]
+
+    def test_apply_to_mapping(self):
+        beacon = BeaconChain()
+        mapping = ShardMapping(np.array([0, 0]), k=2)
+        beacon.submit(mr(1, src=0, dst=1))
+        beacon.commit_epoch(epoch=0, mapping=mapping)
+        applied = beacon.apply_to_mapping(mapping)
+        assert applied == 1
+        assert mapping.shard_of(1) == 1
+
+    def test_committed_log_accumulates(self):
+        beacon = BeaconChain()
+        for epoch in range(3):
+            beacon.submit(mr(epoch + 1))
+            beacon.commit_epoch(epoch=epoch)
+        assert len(beacon.committed_requests) == 3
+
+    def test_pending_cleared_after_commit(self):
+        beacon = BeaconChain()
+        beacon.submit(mr(1))
+        beacon.commit_epoch(epoch=0)
+        assert beacon.pending_requests == ()
+
+
+class TestMigrationRequest:
+    def test_same_shard_rejected(self):
+        with pytest.raises(MigrationError):
+            MigrationRequest(account=1, from_shard=2, to_shard=2)
+
+    def test_negative_account_rejected(self):
+        with pytest.raises(MigrationError):
+            MigrationRequest(account=-1, from_shard=0, to_shard=1)
+
+    def test_negative_fee_rejected(self):
+        with pytest.raises(MigrationError):
+            MigrationRequest(account=1, from_shard=0, to_shard=1, fee=-1.0)
+
+    def test_frozen(self):
+        request = mr(1)
+        with pytest.raises(Exception):
+            request.gain = 9.0  # type: ignore[misc]

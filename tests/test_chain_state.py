@@ -1,0 +1,136 @@
+"""Unit tests for account state and per-shard state stores."""
+
+import pytest
+
+from repro.chain.state import (
+    STATE_RECORD_BYTES,
+    AccountState,
+    ShardStateStore,
+    StateRegistry,
+)
+from repro.errors import ChainError, ValidationError
+
+
+class TestAccountState:
+    def test_defaults(self):
+        state = AccountState()
+        assert state.balance == 0.0
+        assert state.nonce == 0
+
+    def test_credit_returns_new_state(self):
+        state = AccountState(balance=1.0)
+        credited = state.credited(2.0)
+        assert credited.balance == 3.0
+        assert state.balance == 1.0  # immutable
+
+    def test_debit_bumps_nonce(self):
+        state = AccountState(balance=5.0, nonce=3).debited(2.0)
+        assert state.balance == 3.0
+        assert state.nonce == 4
+
+    def test_overdraft_rejected(self):
+        with pytest.raises(ChainError, match="insufficient"):
+            AccountState(balance=1.0).debited(2.0)
+
+    def test_negative_amounts_rejected(self):
+        state = AccountState(balance=1.0)
+        with pytest.raises(ValidationError):
+            state.credited(-1.0)
+        with pytest.raises(ValidationError):
+            state.debited(-1.0)
+
+    def test_negative_construction_rejected(self):
+        with pytest.raises(ValidationError):
+            AccountState(balance=-1.0)
+        with pytest.raises(ValidationError):
+            AccountState(nonce=-1)
+
+
+class TestShardStateStore:
+    def test_get_unknown_is_zero_state(self):
+        store = ShardStateStore(0)
+        assert store.get(7) == AccountState()
+        assert 7 not in store
+
+    def test_credit_creates_account(self):
+        store = ShardStateStore(0)
+        store.credit(7, 10.0)
+        assert 7 in store
+        assert store.get(7).balance == 10.0
+
+    def test_debit_path(self):
+        store = ShardStateStore(0)
+        store.credit(7, 10.0)
+        store.debit(7, 4.0)
+        assert store.get(7).balance == 6.0
+        with pytest.raises(ChainError):
+            store.debit(7, 100.0)
+
+    def test_remove_for_migration(self):
+        store = ShardStateStore(0)
+        store.credit(7, 10.0)
+        state = store.remove(7)
+        assert state.balance == 10.0
+        assert 7 not in store
+        with pytest.raises(ChainError):
+            store.remove(7)
+
+    def test_total_balance(self):
+        store = ShardStateStore(0)
+        store.credit(1, 3.0)
+        store.credit(2, 4.0)
+        assert store.total_balance() == 7.0
+
+    def test_state_root_deterministic_and_order_free(self):
+        a = ShardStateStore(0)
+        a.credit(1, 3.0)
+        a.credit(2, 4.0)
+        b = ShardStateStore(0)
+        b.credit(2, 4.0)
+        b.credit(1, 3.0)
+        assert a.state_root() == b.state_root()
+
+    def test_state_root_changes_with_state(self):
+        store = ShardStateStore(0)
+        store.credit(1, 3.0)
+        before = store.state_root()
+        store.credit(1, 1.0)
+        assert store.state_root() != before
+
+    def test_serialized_bytes(self):
+        store = ShardStateStore(0)
+        store.credit(1, 1.0)
+        store.credit(2, 1.0)
+        assert store.serialized_bytes() == 2 * STATE_RECORD_BYTES
+
+
+class TestStateRegistry:
+    def test_store_lookup(self):
+        registry = StateRegistry(k=3)
+        assert registry.store_of(2).shard_id == 2
+        with pytest.raises(ValidationError):
+            registry.store_of(3)
+
+    def test_locate(self):
+        registry = StateRegistry(k=2)
+        registry.store_of(1).credit(7, 1.0)
+        assert registry.locate(7) == 1
+        assert registry.locate(8) is None
+
+    def test_migrate_moves_state_and_preserves_balance(self):
+        registry = StateRegistry(k=2)
+        registry.store_of(0).credit(7, 9.0)
+        before = registry.total_balance()
+        moved = registry.migrate(7, 0, 1)
+        assert moved == STATE_RECORD_BYTES
+        assert registry.locate(7) == 1
+        assert registry.store_of(1).get(7).balance == 9.0
+        assert registry.total_balance() == before
+
+    def test_migrate_untouched_account_is_free(self):
+        registry = StateRegistry(k=2)
+        assert registry.migrate(7, 0, 1) == 0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValidationError):
+            StateRegistry(k=0)

@@ -1,0 +1,149 @@
+"""Unit tests for Transaction and TransactionBatch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.transaction import (
+    TX_RECORD_BYTES,
+    Transaction,
+    TransactionBatch,
+)
+from repro.errors import ValidationError
+
+
+class TestTransaction:
+    def test_accounts_set(self):
+        tx = Transaction(sender=1, receiver=2)
+        assert tx.accounts == frozenset({1, 2})
+
+    def test_involves(self):
+        tx = Transaction(sender=1, receiver=2)
+        assert tx.involves(1) and tx.involves(2)
+        assert not tx.involves(3)
+
+    def test_counterparty(self):
+        tx = Transaction(sender=1, receiver=2)
+        assert tx.counterparty(1) == 2
+        assert tx.counterparty(2) == 1
+
+    def test_counterparty_of_stranger_raises(self):
+        with pytest.raises(ValidationError):
+            Transaction(sender=1, receiver=2).counterparty(3)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValidationError):
+            Transaction(sender=-1, receiver=2)
+
+    def test_rejects_negative_block(self):
+        with pytest.raises(ValidationError):
+            Transaction(sender=0, receiver=1, block=-1)
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValidationError):
+            Transaction(sender=0, receiver=1, value=-1.0)
+
+    def test_self_transfer_accounts(self):
+        tx = Transaction(sender=3, receiver=3)
+        assert tx.accounts == frozenset({3})
+
+
+class TestTransactionBatch:
+    def test_length_and_iteration(self, small_batch):
+        assert len(small_batch) == 6
+        transactions = list(small_batch)
+        assert transactions[0].sender == 0
+        assert transactions[-1].receiver == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            TransactionBatch(np.array([1, 2]), np.array([3]))
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValidationError):
+            TransactionBatch(np.array([-1]), np.array([2]))
+
+    def test_blocks_default_to_zero(self):
+        batch = TransactionBatch(np.array([0]), np.array([1]))
+        assert batch.blocks[0] == 0
+
+    def test_slice_returns_batch(self, small_batch):
+        head = small_batch[:2]
+        assert isinstance(head, TransactionBatch)
+        assert len(head) == 2
+
+    def test_integer_indexing_rejected(self, small_batch):
+        with pytest.raises(TypeError):
+            small_batch[0]  # noqa: B018
+
+    def test_at(self, small_batch):
+        tx = small_batch.at(2)
+        assert (tx.sender, tx.receiver, tx.block) == (1, 2, 1)
+
+    def test_empty(self):
+        batch = TransactionBatch.empty()
+        assert len(batch) == 0
+        assert batch.max_account_id() == -1
+
+    def test_from_transactions_roundtrip(self):
+        txs = [Transaction(0, 1, block=3), Transaction(2, 3, block=4)]
+        batch = TransactionBatch.from_transactions(txs)
+        assert len(batch) == 2
+        assert batch.at(1).block == 4
+
+    def test_select_mask(self, small_batch):
+        picked = small_batch.select(small_batch.senders == 0)
+        assert len(picked) == 2
+
+    def test_select_bad_mask_shape(self, small_batch):
+        with pytest.raises(ValidationError):
+            small_batch.select(np.array([True]))
+
+    def test_concat(self, small_batch):
+        combined = small_batch.concat(small_batch)
+        assert len(combined) == 12
+
+    def test_involving(self, small_batch):
+        own = small_batch.involving(0)
+        assert len(own) == 3  # 0->1, 0->2, 4->0
+        for tx in own:
+            assert tx.involves(0)
+
+    def test_touched_accounts_sorted_unique(self, small_batch):
+        touched = small_batch.touched_accounts()
+        assert list(touched) == [0, 1, 2, 3, 4]
+
+    def test_max_account_id(self, small_batch):
+        assert small_batch.max_account_id() == 4
+
+    def test_record_bytes(self, small_batch):
+        assert small_batch.record_bytes() == 6 * TX_RECORD_BYTES
+
+    def test_split_by_block(self, small_batch):
+        before, after = small_batch.split_by_block(1)
+        assert len(before) == 2
+        assert len(after) == 4
+        assert (before.blocks < 1).all()
+        assert (after.blocks >= 1).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=60),
+    boundary=st.integers(min_value=0, max_value=20),
+)
+def test_split_by_block_partitions_batch(n, boundary):
+    """Property: split_by_block is a partition preserving every row."""
+    rng = np.random.default_rng(n)
+    batch = TransactionBatch(
+        rng.integers(0, 10, size=n),
+        rng.integers(10, 20, size=n),
+        np.sort(rng.integers(0, 20, size=n)),
+    )
+    before, after = batch.split_by_block(boundary)
+    assert len(before) + len(after) == n
+    if len(before):
+        assert before.blocks.max() < boundary
+    if len(after):
+        assert after.blocks.min() >= boundary

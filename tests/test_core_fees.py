@@ -1,0 +1,147 @@
+"""Unit and property tests for the fee-model extension point."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.mapping import ShardMapping
+from repro.chain.transaction import TransactionBatch
+from repro.core.cost import transaction_cost
+from repro.core.fees import (
+    BaseFeeMarket,
+    LinearFee,
+    PowerFee,
+    generalized_potential_vector,
+)
+from repro.core.pilot import Pilot
+from repro.errors import ConfigurationError, ValidationError
+
+
+class TestFeeModels:
+    def test_linear_identity_matches_paper_default(self):
+        omega = np.array([1.0, 5.0, 2.0])
+        assert np.array_equal(LinearFee()(omega), omega)
+
+    def test_linear_slope(self):
+        assert np.array_equal(
+            LinearFee(slope=2.0)(np.array([3.0])), np.array([6.0])
+        )
+
+    def test_power_dampens(self):
+        omega = np.array([1.0, 100.0])
+        xi = PowerFee(exponent=0.5)(omega)
+        assert xi[1] / xi[0] == pytest.approx(10.0)
+
+    def test_base_fee_flat_below_target(self):
+        model = BaseFeeMarket(target=10.0, base_fee=2.0)
+        xi = model(np.array([0.0, 5.0, 10.0]))
+        assert np.allclose(xi, 2.0)
+
+    def test_base_fee_grows_above_target(self):
+        model = BaseFeeMarket(target=10.0, base_fee=1.0, sensitivity=1.0)
+        xi = model(np.array([10.0, 20.0, 30.0]))
+        assert xi[0] < xi[1] < xi[2]
+        assert xi[1] == pytest.approx(np.e)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: LinearFee(slope=0.0),
+            lambda: PowerFee(exponent=0.0),
+            lambda: BaseFeeMarket(target=0.0),
+            lambda: BaseFeeMarket(target=1.0, base_fee=0.0),
+            lambda: BaseFeeMarket(target=1.0, sensitivity=0.0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, factory):
+        with pytest.raises(ConfigurationError):
+            factory()
+
+    def test_negative_omega_rejected(self):
+        with pytest.raises(ValidationError):
+            LinearFee()(np.array([-1.0]))
+
+    def test_matrix_omega_rejected(self):
+        with pytest.raises(ValidationError):
+            LinearFee()(np.ones((2, 2)))
+
+    def test_monotonicity_of_all_models(self):
+        """Every fee model must be non-decreasing in omega."""
+        omega = np.linspace(0.0, 50.0, 51)
+        for model in (
+            LinearFee(),
+            PowerFee(exponent=0.5),
+            PowerFee(exponent=2.0),
+            BaseFeeMarket(target=10.0),
+        ):
+            xi = model(omega)
+            assert (np.diff(xi) >= -1e-12).all(), model
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    k=st.integers(2, 6),
+    seed=st.integers(0, 1000),
+    eta=st.sampled_from([1.0, 2.0, 5.0]),
+    model_index=st.integers(0, 2),
+)
+def test_generalized_potential_matches_cost_ordering(k, seed, eta, model_index):
+    """Property: argmax of the generalised Potential minimises Eq. 3
+    with ``xi = f(omega)`` for every fee model."""
+    rng = np.random.default_rng(seed)
+    psi = rng.uniform(0.0, 20.0, size=k)
+    omega = rng.uniform(0.1, 30.0, size=k)
+    model = [
+        LinearFee(slope=1.5),
+        PowerFee(exponent=0.5),
+        BaseFeeMarket(target=10.0, sensitivity=0.5),
+    ][model_index]
+    potentials = generalized_potential_vector(psi, omega, eta, model)
+    costs = np.array(
+        [
+            transaction_cost(psi, omega, shard, eta, fee_function=model)
+            for shard in range(k)
+        ]
+    )
+    best = int(np.argmax(potentials))
+    assert costs[best] == pytest.approx(costs.min(), rel=1e-9, abs=1e-6)
+
+
+class TestPilotWithFeeModel:
+    def test_identity_model_matches_default(self):
+        mapping = ShardMapping(np.array([0, 1, 1, 0]), k=2)
+        history = TransactionBatch(np.array([0, 0]), np.array([1, 2]))
+        omega = np.array([7.0, 3.0])
+        plain = Pilot(eta=2.0).decide(
+            0, history, TransactionBatch.empty(), omega, mapping
+        )
+        modelled = Pilot(eta=2.0, fee_model=LinearFee()).decide(
+            0, history, TransactionBatch.empty(), omega, mapping
+        )
+        assert plain.best_shard == modelled.best_shard
+        assert plain.gain == pytest.approx(modelled.gain)
+
+    def test_flat_fee_market_ignores_load_differences(self):
+        """Below-target shards all cost base_fee, so only interactions
+        matter and the heavily-loaded-but-friendly shard wins."""
+        mapping = ShardMapping(np.array([0, 1, 1, 1]), k=2)
+        history = TransactionBatch(
+            np.array([0, 0, 0]), np.array([1, 2, 3])
+        )
+        omega = np.array([1.0, 90.0])
+        market = BaseFeeMarket(target=100.0)  # both shards below target
+        decision = Pilot(eta=2.0, fee_model=market).decide(
+            0, history, TransactionBatch.empty(), omega, mapping
+        )
+        assert decision.best_shard == 1
+
+    def test_generalized_potential_validation(self):
+        with pytest.raises(ValidationError):
+            generalized_potential_vector(
+                np.ones(2), np.ones(3), 2.0, LinearFee()
+            )
+        with pytest.raises(ValidationError):
+            generalized_potential_vector(
+                np.ones(2), np.ones(2), 0.5, LinearFee()
+            )

@@ -1,0 +1,83 @@
+"""Unit tests for the migration-request policy."""
+
+import numpy as np
+import pytest
+
+from repro.chain.mapping import ShardMapping
+from repro.chain.migration import MigrationRequest
+from repro.core.migration import MigrationPolicy
+from repro.errors import MigrationError
+
+
+def mr(account, src=0, dst=1, gain=1.0):
+    return MigrationRequest(account=account, from_shard=src, to_shard=dst, gain=gain)
+
+
+@pytest.fixture
+def mapping():
+    return ShardMapping(np.zeros(10, dtype=np.int64), k=3)
+
+
+class TestGainPolicy:
+    def test_commits_by_gain_under_capacity(self, mapping):
+        policy = MigrationPolicy(capacity=2)
+        outcome = policy.select(
+            [mr(1, gain=1.0), mr(2, gain=3.0), mr(3, gain=2.0)], mapping
+        )
+        assert [r.account for r in outcome.committed] == [2, 3]
+        assert [r.account for r in outcome.rejected] == [1]
+
+    def test_unlimited_capacity(self, mapping):
+        policy = MigrationPolicy(capacity=None)
+        outcome = policy.select([mr(i) for i in range(5)], mapping)
+        assert outcome.committed_count == 5
+
+    def test_stale_requests_rejected(self, mapping):
+        mapping.assign(1, 2)
+        policy = MigrationPolicy()
+        outcome = policy.select([mr(1, src=0, dst=1)], mapping)
+        assert outcome.committed_count == 0
+        assert len(outcome.rejected) == 1
+
+    def test_unknown_account_rejected(self, mapping):
+        policy = MigrationPolicy()
+        outcome = policy.select([mr(99)], mapping)
+        assert outcome.committed_count == 0
+
+    def test_out_of_range_target_rejected(self, mapping):
+        policy = MigrationPolicy()
+        outcome = policy.select([mr(1, dst=7)], mapping)
+        assert outcome.committed_count == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(MigrationError):
+            MigrationPolicy(capacity=-1)
+
+
+class TestFifoPolicy:
+    def test_commits_in_submission_order(self, mapping):
+        policy = MigrationPolicy(capacity=2, fifo=True)
+        outcome = policy.select(
+            [mr(1, gain=0.1), mr(2, gain=9.0), mr(3, gain=5.0)], mapping
+        )
+        assert [r.account for r in outcome.committed] == [1, 2]
+
+    def test_fifo_deduplicates_first_wins(self, mapping):
+        policy = MigrationPolicy(fifo=True)
+        outcome = policy.select([mr(1, gain=0.1), mr(1, gain=9.0)], mapping)
+        assert outcome.committed_count == 1
+        assert outcome.committed[0].gain == 0.1
+
+
+class TestApply:
+    def test_apply_updates_mapping(self, mapping):
+        policy = MigrationPolicy(capacity=1)
+        outcome = policy.apply([mr(1, gain=2.0), mr(2, gain=1.0)], mapping)
+        assert outcome.committed_count == 1
+        assert mapping.shard_of(1) == 1
+        assert mapping.shard_of(2) == 0  # rejected, unchanged
+
+    def test_apply_without_requests(self, mapping):
+        policy = MigrationPolicy()
+        outcome = policy.apply([], mapping)
+        assert outcome.committed_count == 0

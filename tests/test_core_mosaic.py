@@ -1,0 +1,194 @@
+"""Unit tests for the MosaicAllocator framework integration."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.base import UpdateContext
+from repro.allocation.hash_based import HashAllocator
+from repro.allocation.txallo import TxAlloAllocator
+from repro.chain.mapping import ShardMapping
+from repro.chain.transaction import TransactionBatch
+from repro.core.mosaic import MosaicAllocator
+
+
+def context_for(params, committed, mempool, capacity=100.0, epoch=0):
+    return UpdateContext(
+        epoch=epoch,
+        params=params,
+        committed=committed,
+        mempool=mempool,
+        capacity=capacity,
+    )
+
+
+def pair_batch(pairs):
+    return TransactionBatch(
+        np.array([p[0] for p in pairs], dtype=np.int64),
+        np.array([p[1] for p in pairs], dtype=np.int64),
+    )
+
+
+class TestInitialize:
+    def test_fallback_initialization(self, tiny_trace, params):
+        allocator = MosaicAllocator()
+        mapping = allocator.initialize(tiny_trace, params)
+        assert mapping.n_accounts == tiny_trace.n_accounts
+        assert mapping.k == params.k
+
+    def test_initializer_delegation(self, tiny_trace, params):
+        initializer = HashAllocator()
+        allocator = MosaicAllocator(initializer=initializer)
+        mapping = allocator.initialize(tiny_trace, params)
+        expected = initializer.initialize(tiny_trace, params)
+        assert mapping == expected
+
+    def test_txallo_initializer(self, tiny_trace, params):
+        allocator = MosaicAllocator(initializer=TxAlloAllocator())
+        mapping = allocator.initialize(tiny_trace, params)
+        assert mapping.n_accounts == tiny_trace.n_accounts
+
+
+class TestUpdate:
+    def test_clients_migrate_toward_peers(self, params):
+        # Accounts 0..3 interact tightly; 0 starts alone on shard 1.
+        mapping = ShardMapping(np.array([1, 0, 0, 0, 2, 3]), k=params.k)
+        allocator = MosaicAllocator()
+        allocator._ensure_accounts(6)
+        committed = pair_batch([(0, 1), (0, 2), (0, 3), (0, 1)])
+        mempool = pair_batch([(0, 1), (2, 3), (4, 5)])
+        update = allocator.update(
+            mapping, context_for(params, committed, mempool)
+        )
+        assert update.proposed_migrations >= 1
+        assert update.mapping.shard_of(0) == 0
+        # Original mapping untouched (update returns a copy).
+        assert mapping.shard_of(0) == 1
+
+    def test_capacity_caps_commitments(self, params):
+        rng = np.random.default_rng(0)
+        n = 50
+        mapping = ShardMapping(rng.integers(0, params.k, size=n), k=params.k)
+        allocator = MosaicAllocator()
+        pairs = [(i, (i + 1) % n) for i in range(n) for _ in range(3)]
+        committed = pair_batch(pairs)
+        mempool = pair_batch(pairs)
+        update = allocator.update(
+            mapping, context_for(params, committed, mempool, capacity=2.0)
+        )
+        assert update.migrations <= 2
+        assert update.proposed_migrations >= update.migrations
+
+    def test_unlimited_migrations_flag(self, params):
+        rng = np.random.default_rng(0)
+        n = 50
+        mapping = ShardMapping(rng.integers(0, params.k, size=n), k=params.k)
+        pairs = [(i, (i + 1) % n) for i in range(n) for _ in range(3)]
+        allocator = MosaicAllocator(unlimited_migrations=True)
+        update = allocator.update(
+            mapping,
+            context_for(params, pair_batch(pairs), pair_batch(pairs), capacity=2.0),
+        )
+        assert update.migrations == update.proposed_migrations
+
+    def test_no_mempool_means_no_migrations(self, params):
+        """Without a workload oracle (omega = 0) every Potential ties at
+        zero, so no client sees a strict gain."""
+        mapping = ShardMapping(np.array([1, 0, 0, 0]), k=params.k)
+        allocator = MosaicAllocator()
+        committed = pair_batch([(0, 1), (0, 2)])
+        update = allocator.update(
+            mapping,
+            context_for(params, committed, TransactionBatch.empty()),
+        )
+        assert update.proposed_migrations == 0
+
+    def test_history_accumulates_across_updates(self, params):
+        mapping = ShardMapping(np.array([1, 0, 0, 0]), k=params.k)
+        allocator = MosaicAllocator()
+        committed = pair_batch([(0, 1), (0, 2)])
+        mempool = pair_batch([(1, 2)])
+        first = allocator.update(
+            mapping, context_for(params, committed, mempool)
+        )
+        second = allocator.update(
+            first.mapping,
+            context_for(params, pair_batch([(1, 2)]), mempool, epoch=1),
+        )
+        assert allocator._tx_count[0] == 2  # history retained
+
+    def test_input_bytes_are_client_scale(self, params, tiny_trace):
+        allocator = MosaicAllocator()
+        mapping = allocator.initialize(tiny_trace, params)
+        half = len(tiny_trace.batch) // 2
+        update = allocator.update(
+            mapping,
+            context_for(
+                params,
+                tiny_trace.batch[:half],
+                tiny_trace.batch[half:],
+                capacity=500.0,
+            ),
+        )
+        # Hundreds of bytes per client, not graph-scale megabytes.
+        assert update.input_bytes < 100_000
+        assert update.unit_time < 0.01
+
+    def test_last_requests_exposed(self, params):
+        mapping = ShardMapping(np.array([1, 0, 0, 0]), k=params.k)
+        allocator = MosaicAllocator()
+        committed = pair_batch([(0, 1), (0, 2), (0, 3)])
+        mempool = pair_batch([(0, 1)])
+        allocator.update(mapping, context_for(params, committed, mempool))
+        assert allocator.last_outcome is not None
+        assert len(allocator.last_requests) == allocator.last_outcome.committed_count + len(
+            allocator.last_outcome.rejected
+        )
+
+
+class TestPlaceNewAccounts:
+    def test_empty_input(self, params):
+        allocator = MosaicAllocator()
+        mapping = ShardMapping(np.zeros(4, dtype=np.int64), k=params.k)
+        placed = allocator.place_new_accounts(np.array([], dtype=np.int64), mapping)
+        assert len(placed) == 0
+
+    def test_beta_zero_picks_least_loaded(self, params):
+        """New accounts without future knowledge go to the calmest shard."""
+        mapping = ShardMapping(np.array([0, 0, 0, 1]), k=params.k)
+        allocator = MosaicAllocator()
+        # Mempool traffic concentrated on shard 0 accounts.
+        mempool = pair_batch([(0, 1), (0, 2), (1, 2)])
+        context = context_for(params, TransactionBatch.empty(), mempool)
+        placed = allocator.place_new_accounts(np.array([3]), mapping, context)
+        # Shards 1..k-1 carry no load; the account avoids busy shard 0.
+        assert placed[0] != 0
+
+    def test_beta_positive_follows_planned_peers(self, tiny_trace):
+        from repro.chain.params import ProtocolParams
+
+        params = ProtocolParams(k=4, eta=2.0, tau=50, beta=0.75)
+        mapping = ShardMapping(np.array([2, 2, 2, 0, 1, 3]), k=4)
+        allocator = MosaicAllocator()
+        # New account 5's pending transactions all point at shard 2, and
+        # background traffic keeps every shard's omega positive.
+        mempool = pair_batch(
+            [(5, 0), (5, 1), (5, 2), (5, 0), (0, 1), (3, 4), (3, 4), (2, 4)]
+        )
+        context = UpdateContext(
+            epoch=0,
+            params=params,
+            committed=TransactionBatch.empty(),
+            mempool=mempool,
+            capacity=10.0,
+        )
+        placed = allocator.place_new_accounts(np.array([5]), mapping, context)
+        assert placed[0] == 2
+
+    def test_without_context_spreads_by_population(self, params):
+        mapping = ShardMapping(
+            np.array([0, 0, 0, 0, 1, 2]), k=params.k
+        )
+        allocator = MosaicAllocator()
+        placed = allocator.place_new_accounts(np.array([6, 7]), mapping, None)
+        assert 0 not in placed  # most crowded shard avoided
+        assert len(placed) == 2

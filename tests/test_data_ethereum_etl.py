@@ -1,0 +1,160 @@
+"""Unit tests for the synthetic Ethereum trace generator and the ETL."""
+
+import numpy as np
+import pytest
+
+from repro.chain.account import AccountRegistry
+from repro.data.ethereum import EthereumTraceConfig, generate_ethereum_like_trace
+from repro.data.etl import read_transactions_csv, write_transactions_csv
+from repro.errors import DataError
+
+
+def small_config(**overrides):
+    defaults = dict(
+        n_accounts=500, n_transactions=5_000, n_blocks=500, seed=2
+    )
+    defaults.update(overrides)
+    return EthereumTraceConfig(**defaults)
+
+
+class TestGenerator:
+    def test_shape_and_universe(self):
+        trace = generate_ethereum_like_trace(small_config())
+        assert len(trace) == 5_000
+        assert trace.n_accounts == 500
+        assert trace.batch.max_account_id() < 500
+
+    def test_deterministic_per_seed(self):
+        a = generate_ethereum_like_trace(small_config(seed=7))
+        b = generate_ethereum_like_trace(small_config(seed=7))
+        assert np.array_equal(a.batch.senders, b.batch.senders)
+        assert np.array_equal(a.batch.receivers, b.batch.receivers)
+
+    def test_seed_changes_output(self):
+        a = generate_ethereum_like_trace(small_config(seed=7))
+        b = generate_ethereum_like_trace(small_config(seed=8))
+        assert not np.array_equal(a.batch.senders, b.batch.senders)
+
+    def test_blocks_sorted_within_range(self):
+        trace = generate_ethereum_like_trace(small_config())
+        assert (np.diff(trace.batch.blocks) >= 0).all()
+        assert trace.batch.blocks.max() < 500
+
+    def test_no_self_transfers(self):
+        trace = generate_ethereum_like_trace(small_config())
+        assert (trace.batch.senders != trace.batch.receivers).all()
+
+    def test_heavy_tail_present(self):
+        trace = generate_ethereum_like_trace(small_config())
+        activity = np.sort(trace.account_activity())[::-1]
+        top_share = activity[:5].sum() / activity.sum()
+        assert top_share > 0.10  # a handful of hubs dominate
+
+    def test_new_accounts_arrive_late(self):
+        config = small_config(new_account_fraction=0.2)
+        trace = generate_ethereum_like_trace(config)
+        n_established = 500 - int(round(500 * 0.2))
+        new_mask = (trace.batch.senders >= n_established) | (
+            trace.batch.receivers >= n_established
+        )
+        assert new_mask.any()
+        first_new = np.flatnonzero(new_mask)[0]
+        assert first_new > len(trace) * 0.5
+
+    def test_zero_new_accounts(self):
+        trace = generate_ethereum_like_trace(
+            small_config(new_account_fraction=0.0)
+        )
+        assert trace.batch.max_account_id() < 500
+
+    def test_repeated_counterparties(self):
+        """Pilot's signal: accounts re-interact with the same peers."""
+        trace = generate_ethereum_like_trace(small_config())
+        lo = np.minimum(trace.batch.senders, trace.batch.receivers)
+        hi = np.maximum(trace.batch.senders, trace.batch.receivers)
+        pairs = lo * 500 + hi
+        unique_ratio = len(np.unique(pairs)) / len(pairs)
+        assert unique_ratio < 0.8  # many repeated pairs
+
+    def test_rejects_invalid_config(self):
+        with pytest.raises(DataError):
+            EthereumTraceConfig(n_accounts=5)
+        with pytest.raises(DataError):
+            EthereumTraceConfig(n_transactions=0)
+        with pytest.raises(Exception):
+            EthereumTraceConfig(hub_fraction=2.0)
+
+
+class TestEtlRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        trace = generate_ethereum_like_trace(small_config(n_transactions=300))
+        path = tmp_path / "transactions.csv"
+        rows = write_transactions_csv(path, trace)
+        assert rows == 300
+        loaded, registry = read_transactions_csv(path)
+        assert len(loaded) == 300
+        assert len(registry) == len(trace.active_accounts())
+        # Block structure preserved.
+        assert np.array_equal(loaded.batch.blocks, trace.batch.blocks)
+
+    def test_read_skips_contract_creations(self, tmp_path):
+        path = tmp_path / "transactions.csv"
+        path.write_text(
+            "hash,block_number,from_address,to_address,value\n"
+            f"0x0,1,{'0x' + 'aa' * 20},,0\n"
+            f"0x1,2,{'0x' + 'aa' * 20},{'0x' + 'bb' * 20},0\n"
+        )
+        trace, registry = read_transactions_csv(path)
+        assert len(trace) == 1
+        assert len(registry) == 2
+
+    def test_read_skips_self_transfers(self, tmp_path):
+        path = tmp_path / "transactions.csv"
+        addr = "0x" + "aa" * 20
+        path.write_text(
+            "hash,block_number,from_address,to_address,value\n"
+            f"0x0,1,{addr},{addr},0\n"
+        )
+        trace, _ = read_transactions_csv(path)
+        assert len(trace) == 0
+
+    def test_read_sorts_by_block(self, tmp_path):
+        path = tmp_path / "transactions.csv"
+        a, b = "0x" + "aa" * 20, "0x" + "bb" * 20
+        path.write_text(
+            "hash,block_number,from_address,to_address,value\n"
+            f"0x0,5,{a},{b},0\n"
+            f"0x1,2,{b},{a},0\n"
+        )
+        trace, _ = read_transactions_csv(path)
+        assert list(trace.batch.blocks) == [2, 5]
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("hash,value\n0x0,1\n")
+        with pytest.raises(DataError, match="missing columns"):
+            read_transactions_csv(path)
+
+    def test_bad_block_number_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        a, b = "0x" + "aa" * 20, "0x" + "bb" * 20
+        path.write_text(
+            "hash,block_number,from_address,to_address,value\n"
+            f"0x0,not-a-number,{a},{b},0\n"
+        )
+        with pytest.raises(DataError, match="block_number"):
+            read_transactions_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            read_transactions_csv(path)
+
+    def test_write_with_registry(self, tmp_path):
+        trace = generate_ethereum_like_trace(small_config(n_transactions=50))
+        registry = AccountRegistry.synthetic(trace.n_accounts)
+        path = tmp_path / "transactions.csv"
+        write_transactions_csv(path, trace, registry)
+        loaded, _ = read_transactions_csv(path)
+        assert len(loaded) == 50

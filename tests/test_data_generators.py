@@ -1,0 +1,129 @@
+"""Unit tests for the workload-generation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    CommunityConfig,
+    community_pair_sampler,
+    sample_pairs,
+    zipf_weights,
+)
+from repro.errors import DataError
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.2)
+        assert (np.diff(weights) <= 0).all()
+
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_higher_exponent_more_skewed(self):
+        mild = zipf_weights(100, 0.5)
+        steep = zipf_weights(100, 2.0)
+        assert steep[0] > mild[0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            zipf_weights(0, 1.0)
+
+
+class TestSamplePairs:
+    def test_no_self_pairs(self):
+        rng = np.random.default_rng(0)
+        weights = zipf_weights(50, 1.0)
+        senders, receivers = sample_pairs(rng, 2000, weights)
+        assert (senders != receivers).all()
+
+    def test_shapes_and_dtypes(self):
+        rng = np.random.default_rng(0)
+        senders, receivers = sample_pairs(rng, 10, zipf_weights(5, 0.0))
+        assert senders.shape == (10,)
+        assert senders.dtype == np.int64
+
+    def test_zero_pairs(self):
+        rng = np.random.default_rng(0)
+        senders, receivers = sample_pairs(rng, 0, zipf_weights(5, 0.0))
+        assert len(senders) == 0
+
+    def test_heavy_accounts_appear_more(self):
+        rng = np.random.default_rng(1)
+        weights = zipf_weights(100, 1.5)
+        senders, _ = sample_pairs(rng, 5000, weights)
+        counts = np.bincount(senders, minlength=100)
+        assert counts[0] > counts[50]
+
+    def test_rejects_tiny_universe(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataError):
+            sample_pairs(rng, 1, np.array([1.0]))
+
+    def test_rejects_negative_count(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataError):
+            sample_pairs(rng, -1, zipf_weights(5, 0.0))
+
+
+class TestCommunityConfig:
+    def test_defaults_valid(self):
+        config = CommunityConfig()
+        assert config.n_communities >= 1
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(Exception):
+            CommunityConfig(intra_probability=1.5)
+
+    def test_rejects_zero_communities(self):
+        with pytest.raises(DataError):
+            CommunityConfig(n_communities=0)
+
+
+class TestCommunitySampler:
+    def test_locality_respected(self):
+        rng = np.random.default_rng(3)
+        config = CommunityConfig(n_communities=8, intra_probability=1.0)
+        sampler = community_pair_sampler(400, config, rng)
+        senders, receivers = sampler.sample(rng, 3000)
+        same = sampler.community_of[senders] == sampler.community_of[receivers]
+        assert same.mean() > 0.99
+
+    def test_zero_locality_mixes_globally(self):
+        rng = np.random.default_rng(3)
+        config = CommunityConfig(n_communities=8, intra_probability=0.0)
+        sampler = community_pair_sampler(400, config, rng)
+        senders, receivers = sampler.sample(rng, 3000)
+        same = sampler.community_of[senders] == sampler.community_of[receivers]
+        # Random mixing: ~1/8 of pairs land in the same community.
+        assert same.mean() < 0.35
+
+    def test_communities_are_balanced(self):
+        rng = np.random.default_rng(3)
+        sampler = community_pair_sampler(
+            100, CommunityConfig(n_communities=10), rng
+        )
+        sizes = [len(m) for m in sampler.members]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_no_self_pairs(self):
+        rng = np.random.default_rng(4)
+        sampler = community_pair_sampler(50, CommunityConfig(), rng)
+        senders, receivers = sampler.sample(rng, 1000)
+        assert (senders != receivers).all()
+
+    def test_zero_sample(self):
+        rng = np.random.default_rng(4)
+        sampler = community_pair_sampler(50, CommunityConfig(), rng)
+        senders, receivers = sampler.sample(rng, 0)
+        assert len(senders) == 0
+
+    def test_rejects_tiny_universe(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(DataError):
+            community_pair_sampler(1, CommunityConfig(), rng)

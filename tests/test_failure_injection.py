@@ -1,0 +1,174 @@
+"""Failure injection: the substrate must detect corruption, not absorb it.
+
+These tests deliberately break invariants — tampered blocks, forged
+chains, inconsistent mappings, mismatched components — and assert that
+the library refuses loudly instead of carrying on with silent state
+divergence (the failure mode sharded systems fear most).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.chain.beacon import BeaconChain
+from repro.chain.block import Block, BlockHeader, GENESIS_HASH, payload_digest
+from repro.chain.crossshard import CrossShardExecutor
+from repro.chain.ledger import Ledger
+from repro.chain.mapping import ShardMapping
+from repro.chain.migration import MigrationRequest
+from repro.chain.params import ProtocolParams
+from repro.chain.shard import ShardChain
+from repro.chain.state import StateRegistry
+from repro.chain.transaction import TransactionBatch
+from repro.errors import (
+    BlockLinkError,
+    ChainError,
+    MappingError,
+    SimulationError,
+    ValidationError,
+)
+
+
+class TestChainTampering:
+    def test_rewritten_block_breaks_verification(self):
+        chain = ShardChain(0)
+        chain.append_block(["tx-a"])
+        chain.append_block(["tx-b"])
+        # An attacker swaps out the middle block for a forged one with
+        # the same height but different content.
+        forged = Block.build("shard-0", 0, GENESIS_HASH, ["tx-evil"])
+        chain._blocks[0] = forged  # simulate storage compromise
+        with pytest.raises(BlockLinkError):
+            chain.verify()
+
+    def test_payload_swap_is_rejected_at_construction(self):
+        original = Block.build("shard-0", 0, GENESIS_HASH, ["tx-a"])
+        with pytest.raises(ValidationError):
+            Block(header=original.header, payload=("tx-evil",))
+
+    def test_header_field_tamper_changes_hash(self):
+        header = BlockHeader("shard-0", 1, GENESIS_HASH, payload_digest([]))
+        tampered = dataclasses.replace(header, epoch=99)
+        assert header.block_hash != tampered.block_hash
+
+    def test_beacon_chain_detects_reordered_blocks(self):
+        beacon = BeaconChain()
+        beacon.submit(MigrationRequest(account=1, from_shard=0, to_shard=1))
+        beacon.commit_epoch(epoch=0)
+        beacon.submit(MigrationRequest(account=2, from_shard=0, to_shard=1))
+        beacon.commit_epoch(epoch=1)
+        beacon._blocks.reverse()  # simulate a reordering attack
+        with pytest.raises(BlockLinkError):
+            beacon.verify()
+
+
+class TestMappingCorruption:
+    def test_out_of_range_assignment_rejected_everywhere(self):
+        mapping = ShardMapping(np.zeros(4, dtype=np.int64), k=2)
+        with pytest.raises(MappingError):
+            mapping.assign(0, 5)
+        with pytest.raises(MappingError):
+            mapping.assign_many(np.array([0]), np.array([5]))
+        with pytest.raises(MappingError):
+            mapping.grow(6, np.array([0, 9]))
+
+    def test_ledger_rejects_foreign_accounts(self, params):
+        mapping = ShardMapping(np.zeros(4, dtype=np.int64), k=params.k)
+        ledger = Ledger(params, mapping)
+        alien = TransactionBatch(np.array([99]), np.array([0]))
+        with pytest.raises(SimulationError):
+            ledger.process_epoch(alien)
+
+    def test_stale_migration_cannot_corrupt_mapping(self):
+        """A request referencing the account's *old* shard is dropped,
+        so replayed/raced requests cannot flip state back."""
+        beacon = BeaconChain()
+        mapping = ShardMapping(np.array([0, 0]), k=2)
+        beacon.submit(MigrationRequest(account=0, from_shard=0, to_shard=1))
+        beacon.commit_epoch(epoch=0, mapping=mapping)
+        beacon.apply_to_mapping(mapping)
+        assert mapping.shard_of(0) == 1
+        # Replay the identical (now stale) request.
+        beacon.submit(MigrationRequest(account=0, from_shard=0, to_shard=1))
+        report = beacon.commit_epoch(epoch=1, mapping=mapping)
+        assert report.committed_count == 0
+        assert mapping.shard_of(0) == 1
+
+
+class TestComponentMismatch:
+    def test_executor_rejects_k_mismatch(self):
+        mapping = ShardMapping(np.zeros(2, dtype=np.int64), k=2)
+        with pytest.raises(ValidationError):
+            CrossShardExecutor(StateRegistry(k=3), mapping)
+
+    def test_ledger_rejects_k_mismatch(self, params):
+        mapping = ShardMapping(np.zeros(2, dtype=np.int64), k=params.k + 1)
+        with pytest.raises(SimulationError):
+            Ledger(params, mapping)
+
+    def test_engine_rejects_allocator_changing_k(self, tiny_trace, params):
+        from repro.allocation.base import AllocationUpdate, Allocator, UpdateContext
+        from repro.data.trace import Trace
+        from repro.sim.engine import Simulation, SimulationConfig
+
+        class RogueAllocator(Allocator):
+            name = "rogue"
+
+            def initialize(self, history, params_):
+                return ShardMapping(
+                    np.zeros(history.n_accounts, dtype=np.int64), k=params_.k
+                )
+
+            def update(self, mapping, context):
+                wrong = ShardMapping(
+                    np.zeros(mapping.n_accounts, dtype=np.int64),
+                    k=mapping.k + 1,
+                )
+                return AllocationUpdate(mapping=wrong)
+
+        config = SimulationConfig(params=params, history_fraction=0.5)
+        with pytest.raises(SimulationError, match="changed k"):
+            Simulation(tiny_trace, RogueAllocator(), config).run()
+
+    def test_engine_rejects_undersized_initial_mapping(self, tiny_trace, params):
+        from repro.allocation.base import AllocationUpdate, Allocator
+        from repro.sim.engine import Simulation, SimulationConfig
+
+        class ShortAllocator(Allocator):
+            name = "short"
+
+            def initialize(self, history, params_):
+                return ShardMapping(np.zeros(1, dtype=np.int64), k=params_.k)
+
+            def update(self, mapping, context):
+                return AllocationUpdate(mapping=mapping)
+
+        config = SimulationConfig(params=params)
+        with pytest.raises(SimulationError, match="universe"):
+            Simulation(tiny_trace, ShortAllocator(), config).run()
+
+
+class TestEconomicAbuse:
+    def test_overdraft_spree_cannot_mint_value(self):
+        """A sender spamming transfers it cannot afford leaves every
+        balance intact — failures must be side-effect free."""
+        mapping = ShardMapping(np.array([0, 1]), k=2)
+        executor = CrossShardExecutor(StateRegistry(k=2), mapping)
+        executor.fund(0, 1.0)
+        before = executor.total_value()
+        from repro.chain.transaction import Transaction
+
+        for block in range(5):
+            report = executor.execute_block(
+                block, [Transaction(0, 1, value=100.0)]
+            )
+            assert report.failed == 1
+        assert executor.total_value() == before
+
+    def test_double_remove_is_detected(self):
+        registry = StateRegistry(k=2)
+        registry.store_of(0).credit(1, 5.0)
+        registry.store_of(0).remove(1)
+        with pytest.raises(ChainError):
+            registry.store_of(0).remove(1)

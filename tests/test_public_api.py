@@ -1,0 +1,98 @@
+"""Public API surface tests: every exported name resolves and works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    @pytest.mark.parametrize("name", sorted(repro.__all__))
+    def test_top_level_names_resolve(self, name):
+        assert hasattr(repro, name), name
+        assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.chain",
+            "repro.core",
+            "repro.allocation",
+            "repro.data",
+            "repro.sim",
+            "repro.analysis",
+            "repro.workload",
+            "repro.util",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_version_present(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestMinimalWorkflows:
+    """Smoke-level end-to-end flows through the public API only."""
+
+    def test_readme_quickstart_flow(self):
+        from repro import (
+            EthereumTraceConfig,
+            MosaicAllocator,
+            ProtocolParams,
+            Simulation,
+            SimulationConfig,
+            generate_ethereum_like_trace,
+        )
+
+        trace = generate_ethereum_like_trace(
+            EthereumTraceConfig(
+                n_accounts=300, n_transactions=2_000, n_blocks=300, seed=7
+            )
+        )
+        params = ProtocolParams(k=4, eta=2.0, tau=40)
+        result = Simulation(
+            trace, MosaicAllocator(), SimulationConfig(params=params)
+        ).run()
+        assert 0 <= result.mean_cross_shard_ratio <= 1
+
+    def test_client_level_flow(self):
+        import numpy as np
+
+        from repro import Client, ShardMapping, Transaction, WorkloadOracle
+        from repro.chain.transaction import TransactionBatch
+
+        mapping = ShardMapping(np.array([0, 1, 1]), k=2)
+        client = Client(account=0, eta=2.0)
+        client.observe_committed(Transaction(0, 1))
+        client.observe_committed(Transaction(0, 2))
+        oracle = WorkloadOracle(eta=2.0)
+        snapshot = oracle.publish(
+            0,
+            TransactionBatch(np.array([1]), np.array([2])),
+            mapping,
+        )
+        request = client.propose_migration(snapshot, mapping)
+        assert request is not None
+        assert request.to_shard == 1
+
+    def test_scenario_flow(self):
+        from repro import get_scenario, run_comparison
+        from repro.data.ethereum import EthereumTraceConfig
+        from repro.sim.scenario import Scenario
+
+        base = get_scenario("small-shards")
+        tiny = Scenario(
+            name="tiny-api",
+            description="api smoke",
+            trace_config=EthereumTraceConfig(
+                n_accounts=300, n_transactions=2_000, n_blocks=300, seed=8
+            ),
+            params=base.params.with_updates(tau=60),
+            history_fraction=0.8,
+        )
+        summaries = run_comparison(tiny, methods=["hash-random"])
+        assert "hash-random" in summaries

@@ -1,0 +1,100 @@
+"""Unit tests for the simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.hash_based import HashAllocator
+from repro.chain.params import ProtocolParams
+from repro.core.mosaic import MosaicAllocator
+from repro.errors import SimulationError
+from repro.sim.engine import (
+    ORACLE_LOOKAHEAD,
+    ORACLE_TRAILING,
+    Simulation,
+    SimulationConfig,
+)
+
+
+@pytest.fixture
+def config(params):
+    return SimulationConfig(params=params, history_fraction=0.8)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_oracle_mode(self, params):
+        with pytest.raises(SimulationError):
+            SimulationConfig(params=params, oracle_mode="psychic")
+
+    def test_rejects_bad_fraction(self, params):
+        with pytest.raises(Exception):
+            SimulationConfig(params=params, history_fraction=1.5)
+
+    def test_rejects_bad_max_epochs(self, params):
+        with pytest.raises(SimulationError):
+            SimulationConfig(params=params, max_epochs=0)
+
+    def test_accepts_both_oracle_modes(self, params):
+        for mode in (ORACLE_LOOKAHEAD, ORACLE_TRAILING):
+            SimulationConfig(params=params, oracle_mode=mode)
+
+
+class TestRun:
+    def test_produces_records(self, tiny_trace, config):
+        result = Simulation(tiny_trace, HashAllocator(), config).run()
+        assert result.epochs > 0
+        assert result.allocator_name == "hash-random"
+        assert result.total_transactions > 0
+        for record in result.records:
+            assert 0 <= record.cross_shard_ratio <= 1
+            assert record.workload_deviation >= 0
+            assert 0 <= record.normalized_throughput <= config.params.k
+
+    def test_max_epochs_respected(self, tiny_trace, params):
+        config = SimulationConfig(
+            params=params, history_fraction=0.5, max_epochs=2
+        )
+        result = Simulation(tiny_trace, HashAllocator(), config).run()
+        assert result.epochs <= 2
+
+    def test_new_accounts_are_placed(self, medium_trace, params):
+        config = SimulationConfig(params=params)
+        result = Simulation(medium_trace, MosaicAllocator(), config).run()
+        assert sum(r.new_accounts for r in result.records) > 0
+
+    def test_deterministic_for_deterministic_allocators(self, tiny_trace, config):
+        a = Simulation(tiny_trace, HashAllocator(), config).run()
+        b = Simulation(tiny_trace, HashAllocator(), config).run()
+        assert [r.cross_shard_ratio for r in a.records] == [
+            r.cross_shard_ratio for r in b.records
+        ]
+
+    def test_trailing_oracle_mode_runs(self, tiny_trace, params):
+        config = SimulationConfig(
+            params=params, oracle_mode=ORACLE_TRAILING, history_fraction=0.8
+        )
+        result = Simulation(tiny_trace, MosaicAllocator(), config).run()
+        assert result.epochs > 0
+
+    def test_mosaic_migrations_capped_by_capacity(self, medium_trace, params):
+        config = SimulationConfig(params=params)
+        result = Simulation(medium_trace, MosaicAllocator(), config).run()
+        for record in result.records:
+            capacity = params.derive_capacity(record.transactions)
+            assert record.migrations <= capacity
+
+
+class TestResultAggregation:
+    def test_means_over_records(self, tiny_trace, config):
+        result = Simulation(tiny_trace, HashAllocator(), config).run()
+        ratios = [r.cross_shard_ratio for r in result.records]
+        weights = [r.transactions for r in result.records]
+        expected = np.average(ratios, weights=weights)
+        assert result.mean_cross_shard_ratio == pytest.approx(expected)
+
+    def test_empty_result_defaults(self, params):
+        from repro.sim.engine import SimulationResult
+
+        result = SimulationResult(allocator_name="x", params=params)
+        assert result.mean_cross_shard_ratio == 0.0
+        assert result.total_migrations == 0
+        assert result.epochs == 0

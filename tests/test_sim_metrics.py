@@ -1,0 +1,138 @@
+"""Unit and property tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.mapping import ShardMapping
+from repro.chain.transaction import TransactionBatch
+from repro.errors import ValidationError
+from repro.sim.metrics import (
+    cross_shard_ratio,
+    epoch_metrics,
+    normalized_throughput,
+    throughput,
+    workload_deviation,
+)
+
+
+class TestCrossShardRatio:
+    def test_known_value(self, small_batch, small_mapping):
+        assert cross_shard_ratio(small_batch, small_mapping) == pytest.approx(0.5)
+
+    def test_empty_batch(self, small_mapping):
+        assert cross_shard_ratio(TransactionBatch.empty(), small_mapping) == 0.0
+
+    def test_single_shard_never_cross(self, small_batch):
+        mapping = ShardMapping.constant(5, 1)
+        assert cross_shard_ratio(small_batch, mapping) == 0.0
+
+
+class TestWorkloadDeviation:
+    def test_uniform_is_zero(self):
+        assert workload_deviation(np.array([4.0, 4.0, 4.0])) == 0.0
+
+    def test_paper_formula_value(self):
+        # omega = [2, 6]: mean 4, sum sq dev = 8, k*mean = 8 -> sqrt(1).
+        assert workload_deviation(np.array([2.0, 6.0])) == pytest.approx(1.0)
+
+    def test_all_zero(self):
+        assert workload_deviation(np.zeros(4)) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            workload_deviation(np.array([-1.0, 1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            workload_deviation(np.zeros(0))
+
+    def test_more_imbalance_higher_deviation(self):
+        mild = workload_deviation(np.array([4.0, 5.0, 4.5, 4.5]))
+        harsh = workload_deviation(np.array([1.0, 8.0, 4.5, 4.5]))
+        assert harsh > mild
+
+
+class TestThroughput:
+    def test_uncongested_processes_everything(self, small_batch, small_mapping):
+        completed = throughput(small_batch, small_mapping, eta=2.0, capacity=1e6)
+        assert completed == pytest.approx(len(small_batch))
+
+    def test_congestion_throttles(self, small_batch, small_mapping):
+        completed = throughput(small_batch, small_mapping, eta=2.0, capacity=2.0)
+        assert completed < len(small_batch)
+        assert completed > 0
+
+    def test_rejects_bad_capacity(self, small_batch, small_mapping):
+        with pytest.raises(ValidationError):
+            throughput(small_batch, small_mapping, eta=2.0, capacity=0)
+
+    def test_empty_batch(self, small_mapping):
+        assert throughput(TransactionBatch.empty(), small_mapping, 2.0, 1.0) == 0.0
+
+    def test_non_sharded_baseline_is_one(self):
+        """k=1 with lambda=|T|/1: normalized throughput is exactly 1."""
+        n = 40
+        batch = TransactionBatch(
+            np.arange(n) % 10, (np.arange(n) + 1) % 10
+        )
+        mapping = ShardMapping.constant(10, 1)
+        assert normalized_throughput(batch, mapping, 2.0, float(n)) == pytest.approx(1.0)
+
+    def test_perfect_sharding_reaches_k(self):
+        """All-intra, perfectly balanced load across k=4 -> Lambda/lambda = 4."""
+        k, per_shard = 4, 10
+        senders, receivers, shards = [], [], []
+        for shard in range(k):
+            base = shard * 2
+            for _ in range(per_shard):
+                senders.append(base)
+                receivers.append(base + 1)
+        batch = TransactionBatch(np.array(senders), np.array(receivers))
+        mapping = ShardMapping(np.arange(2 * k) // 2, k)
+        capacity = len(batch) / k
+        assert normalized_throughput(batch, mapping, 2.0, capacity) == pytest.approx(k)
+
+    def test_cross_shard_needs_both_shards(self):
+        """One overloaded shard throttles cross transactions into it."""
+        # 20 intra txs on shard 0 (accounts 0,1) + 5 cross (2 -> 0).
+        senders = np.array([0] * 20 + [2] * 5)
+        receivers = np.array([1] * 20 + [0] * 5)
+        batch = TransactionBatch(senders, receivers)
+        mapping = ShardMapping(np.array([0, 0, 1]), k=2)
+        completed = throughput(batch, mapping, eta=2.0, capacity=10.0)
+        # Shard 0 workload = 20 + 2*5 = 30 -> fraction 1/3; shard 1 = 10
+        # -> fraction 1. Intra complete at 1/3 (20/3), cross at min(1/3,1).
+        assert completed == pytest.approx(20 / 3 + 5 / 3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_tx=st.integers(1, 80),
+    k=st.integers(1, 8),
+    eta=st.sampled_from([1.0, 2.0, 5.0]),
+    seed=st.integers(0, 300),
+)
+def test_throughput_bounds(n_tx, k, eta, seed):
+    """Property: 0 <= Lambda <= |T| and Lambda/lambda <= k."""
+    rng = np.random.default_rng(seed)
+    n_accounts = 20
+    senders = rng.integers(0, n_accounts, size=n_tx)
+    receivers = (senders + 1 + rng.integers(0, n_accounts - 1, size=n_tx)) % n_accounts
+    batch = TransactionBatch(senders, receivers)
+    mapping = ShardMapping(rng.integers(0, k, size=n_accounts), k)
+    capacity = max(1.0, n_tx / k)
+    completed = throughput(batch, mapping, eta, capacity)
+    assert 0.0 <= completed <= n_tx + 1e-9
+    assert normalized_throughput(batch, mapping, eta, capacity) <= k + 1e-9
+
+
+def test_epoch_metrics_bundle(small_batch, small_mapping):
+    ratio, deviation, norm_thr, omega = epoch_metrics(
+        small_batch, small_mapping, eta=2.0, capacity=10.0
+    )
+    assert ratio == pytest.approx(0.5)
+    assert deviation >= 0
+    assert norm_thr > 0
+    assert omega.shape == (2,)
