@@ -14,14 +14,16 @@ from typing import Callable, Dict
 import pytest
 
 from repro.allocation.base import Allocator
-from repro.allocation.hash_based import HashAllocator
-from repro.allocation.metis_like import MetisLikeAllocator
-from repro.allocation.txallo import TxAlloAllocator
-from repro.chain.params import ProtocolParams
-from repro.core.mosaic import MosaicAllocator
 from repro.data.ethereum import EthereumTraceConfig, generate_ethereum_like_trace
 from repro.data.trace import Trace
-from repro.sim.engine import Simulation, SimulationConfig, SimulationResult
+from repro.experiments import (
+    ALLOCATOR_BUILDERS,
+    MatrixCell,
+    TraceSpec,
+    run_cell,
+    seed_trace_cache,
+)
+from repro.sim.engine import Simulation, SimulationResult
 
 #: Benchmark-scale trace: large enough for stable shapes, small enough
 #: that the full suite finishes in minutes. tau=40 over the evaluation
@@ -53,20 +55,21 @@ METIS = "metis"
 RANDOM = "hash-random"
 
 
+#: The shared trace as an experiments TraceSpec (cells key on it).
+BENCH_TRACE_SPEC = TraceSpec(name="bench", config=BENCH_TRACE_CONFIG)
+
+
 def make_allocator(name: str) -> Allocator:
-    """Fresh allocator instance for one simulation run."""
-    if name == PILOT:
-        # The paper initialises Pilot's phi_0 with TxAllo's result.
-        return MosaicAllocator(initializer=TxAlloAllocator())
-    if name == TXALLO:
-        return TxAlloAllocator(mode="full")
-    if name == TXALLO_ADAPTIVE:
-        return TxAlloAllocator(mode="adaptive")
-    if name == METIS:
-        return MetisLikeAllocator(seed=BENCH_SEED)
-    if name == RANDOM:
-        return HashAllocator()
-    raise ValueError(f"unknown allocator {name!r}")
+    """Fresh allocator instance for one simulation run.
+
+    Delegates to the experiments registry (the paper initialises Pilot's
+    phi_0 with TxAllo's result; Metis is seeded for determinism).
+    """
+    try:
+        builder = ALLOCATOR_BUILDERS[name]
+    except KeyError:
+        raise ValueError(f"unknown allocator {name!r}") from None
+    return builder(BENCH_SEED)
 
 
 @pytest.fixture(scope="session")
@@ -76,10 +79,18 @@ def bench_trace() -> Trace:
 
 
 class SimulationCache:
-    """Session cache: (allocator, k, eta, beta, oracle, extra) -> result."""
+    """Session cache: (allocator, k, eta, beta, oracle, extra) -> result.
+
+    Standard-method runs execute through the experiments runner's
+    ``run_cell`` — the same code path as ``repro matrix`` — against the
+    pre-seeded shared trace. Custom allocator factories (ablation
+    variants) fall back to a direct Simulation under the same derived
+    cell seed, so variant rows stay comparable to the standard tables.
+    """
 
     def __init__(self, trace: Trace) -> None:
         self.trace = trace
+        seed_trace_cache(BENCH_TRACE_SPEC, trace)
         self._results: Dict[tuple, SimulationResult] = {}
 
     def run(
@@ -94,16 +105,24 @@ class SimulationCache:
     ) -> SimulationResult:
         key = (allocator_name, k, eta, beta, oracle_mode, cache_tag)
         if key not in self._results:
-            params = ProtocolParams(
-                k=k, eta=eta, tau=BENCH_TAU, beta=beta, seed=BENCH_SEED
+            cell = MatrixCell(
+                method=allocator_name,
+                trace=BENCH_TRACE_SPEC,
+                k=k,
+                eta=eta,
+                beta=beta,
+                tau=BENCH_TAU,
+                matrix_seed=BENCH_SEED,
+                oracle_mode=oracle_mode,
             )
-            config = SimulationConfig(params=params, oracle_mode=oracle_mode)
-            allocator = (
-                allocator_factory()
-                if allocator_factory is not None
-                else make_allocator(allocator_name)
-            )
-            result = Simulation(self.trace, allocator, config).run()
+            if allocator_factory is None:
+                result = run_cell(cell)
+            else:
+                # Same derived seed as the cell path, so ablation
+                # variants stay numerically comparable to the standard
+                # runs in the other tables.
+                config = cell.simulation_config()
+                result = Simulation(self.trace, allocator_factory(), config).run()
             # Label the result with the display name so tables align even
             # when a factory builds a variant of a standard allocator.
             result.allocator_name = allocator_name

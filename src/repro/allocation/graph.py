@@ -142,6 +142,32 @@ class TransactionGraph:
         """Serialised size — the miner-side allocator input (Table IV)."""
         return self.n_edges * EDGE_RECORD_BYTES
 
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Directed columnar edge view ``(u, v, w)`` sorted by ``(u, v)``.
+
+        Every undirected edge appears twice (once per direction), so the
+        result is a CSR-ready adjacency stream: consumers slice row
+        ``u``'s neighbours with ``searchsorted``. Sorting makes the view
+        deterministic regardless of dict insertion order.
+        """
+        n_directed = sum(len(nbrs) for nbrs in self._adjacency.values())
+        us = np.empty(n_directed, dtype=np.int64)
+        vs = np.empty(n_directed, dtype=np.int64)
+        ws = np.empty(n_directed, dtype=np.float64)
+        position = 0
+        for u, nbrs in self._adjacency.items():
+            m = len(nbrs)
+            us[position : position + m] = u
+            vs[position : position + m] = np.fromiter(nbrs.keys(), np.int64, m)
+            ws[position : position + m] = np.fromiter(nbrs.values(), np.float64, m)
+            position += m
+        order = np.lexsort((vs, us))
+        return us[order], vs[order], ws[order]
+
+    def csr_indptr(self, edge_u: np.ndarray) -> np.ndarray:
+        """Row pointer for the :meth:`to_arrays` stream, length n+1."""
+        return np.searchsorted(edge_u, np.arange(self.n_accounts + 1))
+
     def subgraph_touching(self, vertices: np.ndarray) -> "TransactionGraph":
         """Edges with at least one endpoint in ``vertices``."""
         wanted = set(int(v) for v in vertices)

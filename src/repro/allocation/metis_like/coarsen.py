@@ -1,4 +1,9 @@
-"""Coarsening phase: heavy-edge matching and graph contraction."""
+"""Coarsening phase: heavy-edge matching and graph contraction.
+
+The multilevel driver runs on the CSR representation
+(:func:`coarsen_level_csr`); the dict-based public functions keep their
+original signatures and delegate through the CSR implementations.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +11,17 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.allocation.metis_like.csr import (
+    CsrAdjacency,
+    adjacency_from_csr,
+    csr_from_adjacency,
+)
+
 Adjacency = List[Dict[int, float]]
 
 
-def heavy_edge_matching(
-    adjacency: Adjacency,
+def heavy_edge_matching_csr(
+    csr: CsrAdjacency,
     vertex_weights: np.ndarray,
     rng: np.random.Generator,
     max_vertex_weight: float,
@@ -19,28 +30,35 @@ def heavy_edge_matching(
 
     Vertices are visited in random order (METIS does the same to avoid
     pathological orderings). Each unmatched vertex is matched with its
-    unmatched neighbour of maximum edge weight, provided the merged
-    vertex would not exceed ``max_vertex_weight`` — this keeps coarse
-    vertices small enough for the balance constraint to remain
-    satisfiable. Unmatched vertices are matched with themselves.
-
-    Returns an array ``match`` with ``match[u] = v`` and ``match[v] = u``
-    (or ``match[u] = u``).
+    unmatched neighbour of maximum edge weight (ties to the highest
+    neighbour id, which makes the choice independent of adjacency
+    order), provided the merged vertex would not exceed
+    ``max_vertex_weight``. Unmatched vertices are matched with
+    themselves. Returns ``match`` with ``match[u] = v`` and
+    ``match[v] = u`` (or ``match[u] = u``).
     """
-    n = len(adjacency)
-    match = np.full(n, -1, dtype=np.int64)
-    order = rng.permutation(n)
-    for u in order:
-        u = int(u)
+    n = csr.n
+    # Plain-list mirrors: the matching is inherently sequential (each
+    # decision consumes earlier ones), and list indexing beats ndarray
+    # scalar access in the interpreter loop.
+    indptr = csr.indptr.tolist()
+    indices = csr.indices.tolist()
+    weights = csr.weights.tolist()
+    vw = vertex_weights.tolist()
+    match: List[int] = [-1] * n
+    for u in rng.permutation(n).tolist():
         if match[u] != -1:
             continue
         best_v = -1
         best_w = 0.0
-        for v, w in adjacency[u].items():
+        wu = vw[u]
+        for j in range(indptr[u], indptr[u + 1]):
+            v = indices[j]
             if match[v] != -1 or v == u:
                 continue
-            if vertex_weights[u] + vertex_weights[v] > max_vertex_weight:
+            if wu + vw[v] > max_vertex_weight:
                 continue
+            w = weights[j]
             if w > best_w or (w == best_w and v > best_v):
                 best_w = w
                 best_v = v
@@ -49,7 +67,59 @@ def heavy_edge_matching(
         else:
             match[u] = best_v
             match[best_v] = u
-    return match
+    return np.array(match, dtype=np.int64)
+
+
+def heavy_edge_matching(
+    adjacency: Adjacency,
+    vertex_weights: np.ndarray,
+    rng: np.random.Generator,
+    max_vertex_weight: float,
+) -> np.ndarray:
+    """Dict-adjacency wrapper around :func:`heavy_edge_matching_csr`."""
+    return heavy_edge_matching_csr(
+        csr_from_adjacency(adjacency), vertex_weights, rng, max_vertex_weight
+    )
+
+
+def contract_csr(
+    csr: CsrAdjacency,
+    vertex_weights: np.ndarray,
+    match: np.ndarray,
+) -> Tuple[CsrAdjacency, np.ndarray, np.ndarray]:
+    """Contract matched pairs into coarse vertices, fully vectorised.
+
+    Returns ``(coarse_csr, coarse_vertex_weights, fine_to_coarse)``.
+    Edges inside a matched pair disappear; parallel edges between coarse
+    vertices are summed. Coarse ids are assigned in ascending order of
+    each pair's smaller endpoint, matching the scalar reference.
+    """
+    n = csr.n
+    representative = np.minimum(np.arange(n), match)
+    unique_reps = np.unique(representative)
+    fine_to_coarse = np.searchsorted(unique_reps, representative)
+    n_coarse = len(unique_reps)
+    coarse_weights = np.bincount(
+        fine_to_coarse, weights=vertex_weights, minlength=n_coarse
+    )
+
+    # Each undirected fine edge appears once per direction; relabelling
+    # both directions keeps the coarse stream symmetric, and summing
+    # duplicates merges parallel edges.
+    coarse_u = fine_to_coarse[csr.row_index()]
+    coarse_v = fine_to_coarse[csr.indices]
+    external = coarse_u != coarse_v
+    keys = coarse_u[external] * np.int64(n_coarse) + coarse_v[external]
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    merged_w = np.bincount(inverse, weights=csr.weights[external])
+    rows = (unique_keys // n_coarse).astype(np.int64)
+    cols = (unique_keys % n_coarse).astype(np.int64)
+    indptr = np.searchsorted(rows, np.arange(n_coarse + 1))
+    return (
+        CsrAdjacency(indptr, cols, merged_w),
+        coarse_weights,
+        fine_to_coarse,
+    )
 
 
 def contract(
@@ -57,43 +127,22 @@ def contract(
     vertex_weights: np.ndarray,
     match: np.ndarray,
 ) -> Tuple[Adjacency, np.ndarray, np.ndarray]:
-    """Contract matched pairs into coarse vertices.
+    """Dict-adjacency wrapper around :func:`contract_csr`."""
+    coarse_csr, coarse_weights, fine_to_coarse = contract_csr(
+        csr_from_adjacency(adjacency), vertex_weights, match
+    )
+    return adjacency_from_csr(coarse_csr), coarse_weights, fine_to_coarse
 
-    Returns ``(coarse_adjacency, coarse_vertex_weights, fine_to_coarse)``.
-    Edges inside a matched pair disappear; parallel edges between coarse
-    vertices are summed.
-    """
-    n = len(adjacency)
-    fine_to_coarse = np.full(n, -1, dtype=np.int64)
-    next_id = 0
-    for u in range(n):
-        if fine_to_coarse[u] != -1:
-            continue
-        v = int(match[u])
-        fine_to_coarse[u] = next_id
-        if v != u:
-            fine_to_coarse[v] = next_id
-        next_id += 1
 
-    coarse_weights = np.zeros(next_id, dtype=np.float64)
-    for u in range(n):
-        coarse_weights[fine_to_coarse[u]] += vertex_weights[u]
-
-    # Each undirected fine edge (u, v) appears once in u's row and once
-    # in v's row; those two appearances land in the two *different*
-    # coarse rows (cu and cv), so summing directly yields the correct
-    # symmetric coarse weights — no halving.
-    coarse_adjacency: Adjacency = [dict() for _ in range(next_id)]
-    for u in range(n):
-        cu = int(fine_to_coarse[u])
-        row = coarse_adjacency[cu]
-        for v, w in adjacency[u].items():
-            cv = int(fine_to_coarse[v])
-            if cv == cu:
-                continue
-            row[cv] = row.get(cv, 0.0) + w
-
-    return coarse_adjacency, coarse_weights, fine_to_coarse
+def coarsen_level_csr(
+    csr: CsrAdjacency,
+    vertex_weights: np.ndarray,
+    rng: np.random.Generator,
+    max_vertex_weight: float,
+) -> Tuple[CsrAdjacency, np.ndarray, np.ndarray]:
+    """One full coarsening step on the CSR view: match then contract."""
+    match = heavy_edge_matching_csr(csr, vertex_weights, rng, max_vertex_weight)
+    return contract_csr(csr, vertex_weights, match)
 
 
 def coarsen_level(
@@ -102,6 +151,6 @@ def coarsen_level(
     rng: np.random.Generator,
     max_vertex_weight: float,
 ) -> Tuple[Adjacency, np.ndarray, np.ndarray]:
-    """One full coarsening step: match then contract."""
+    """One full coarsening step: match then contract (dict view)."""
     match = heavy_edge_matching(adjacency, vertex_weights, rng, max_vertex_weight)
     return contract(adjacency, vertex_weights, match)

@@ -17,13 +17,14 @@ import numpy as np
 
 from repro.allocation.base import AllocationUpdate, Allocator, UpdateContext
 from repro.allocation.graph import TransactionGraph
-from repro.allocation.metis_like.coarsen import coarsen_level
-from repro.allocation.metis_like.initial import greedy_initial_partition
-from repro.allocation.metis_like.refine import (
-    cut_weight,
-    rebalance,
-    refine_partition,
+from repro.allocation.metis_like.coarsen import coarsen_level_csr
+from repro.allocation.metis_like.csr import (
+    CsrAdjacency,
+    adjacency_from_csr,
+    cut_weight_csr,
 )
+from repro.allocation.metis_like.initial import greedy_initial_partition
+from repro.allocation.metis_like.refine import rebalance, refine_partition
 from repro.chain.mapping import ShardMapping
 from repro.chain.params import ProtocolParams
 from repro.data.trace import Trace
@@ -84,19 +85,18 @@ def partition_graph(
             levels=0,
         )
 
-    local_of = {int(v): i for i, v in enumerate(vertex_ids)}
-    adjacency: List[Dict[int, float]] = [dict() for _ in range(n)]
-    for u, v, w in graph.edges():
-        lu, lv = local_of[u], local_of[v]
-        adjacency[lu][lv] = w
-        adjacency[lv][lu] = w
-    vertex_weights = np.array(
-        [graph.degree(int(v)) for v in vertex_ids], dtype=np.float64
-    )
+    # Columnar relabelling: the graph's directed edge stream maps onto
+    # local vertex indices with two searchsorted passes, yielding the
+    # root-level CSR view without materialising any dicts.
+    edge_u, edge_v, edge_w = graph.to_arrays()
+    local_u = np.searchsorted(vertex_ids, edge_u)
+    local_v = np.searchsorted(vertex_ids, edge_v)
+    indptr = np.searchsorted(local_u, np.arange(n + 1))
+    root = CsrAdjacency(indptr, local_v, edge_w)
     # Isolated-from-edges vertices can still carry weight 0; give every
     # vertex at least a unit weight so balance means "account count" for
     # degenerate graphs.
-    vertex_weights = np.maximum(vertex_weights, 1.0)
+    vertex_weights = np.maximum(graph.vertex_weights()[vertex_ids], 1.0)
 
     total_weight = float(vertex_weights.sum())
     max_part_weight = balance_factor * total_weight / k
@@ -105,15 +105,13 @@ def partition_graph(
     rngs = RngFactory(seed)
     target = coarsen_target if coarsen_target is not None else max(16 * k, 64)
 
-    levels: List[Tuple[List[Dict[int, float]], np.ndarray]] = [
-        (adjacency, vertex_weights)
-    ]
+    levels: List[Tuple[CsrAdjacency, np.ndarray]] = [(root, vertex_weights)]
     projections: List[np.ndarray] = []
     level_index = 0
     while len(levels[-1][1]) > target:
         fine_adj, fine_weights = levels[-1]
         rng = rngs.generator(f"coarsen-{level_index}")
-        coarse_adj, coarse_weights, fine_to_coarse = coarsen_level(
+        coarse_adj, coarse_weights, fine_to_coarse = coarsen_level_csr(
             fine_adj, fine_weights, rng, max_vertex_weight
         )
         if len(coarse_weights) >= 0.95 * len(fine_weights):
@@ -144,7 +142,7 @@ def partition_graph(
 
     coarse_adj, coarse_weights = levels[-1]
     assignment = greedy_initial_partition(
-        coarse_adj, coarse_weights, k, max_part_weight
+        adjacency_from_csr(coarse_adj), coarse_weights, k, max_part_weight
     )
     assignment = polish(
         coarse_adj, coarse_weights, assignment, rngs.generator("refine-coarsest")
@@ -161,7 +159,7 @@ def partition_graph(
     return PartitionResult(
         vertex_ids=vertex_ids,
         assignment=assignment,
-        cut=cut_weight(levels[0][0], assignment),
+        cut=cut_weight_csr(levels[0][0], assignment),
         levels=len(levels),
     )
 

@@ -1,18 +1,30 @@
 """Refinement phase: boundary Fiduccia-Mattheyses-style moves.
 
-After projecting a partition to a finer level, cut quality is improved by
-greedy single-vertex moves. A vertex may move to the neighbouring part
-with the largest positive gain, provided the balance constraint stays
-satisfied. Several passes run until no pass improves the cut.
+After projecting a partition to a finer level, cut quality is improved
+by greedy single-vertex moves. A vertex may move to the neighbouring
+part with the largest positive gain, provided the balance constraint
+stays satisfied. Several passes run until no pass improves the cut.
+
+The pass structure is vectorised: one CSR scatter scores every vertex
+against every part simultaneously (the synchronous candidate scan),
+then candidates are committed in descending-gain order with an exact
+per-vertex re-check against the live assignment — so every applied move
+is a true improvement at application time and the cut never worsens,
+exactly as in the scalar implementation. Functions accept either the
+list-of-dicts adjacency or a pre-built :class:`CsrAdjacency`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 import numpy as np
 
-Adjacency = List[Dict[int, float]]
+from repro.allocation.metis_like.csr import (
+    AdjacencyLike,
+    connection_matrix,
+    connection_row,
+    csr_from_adjacency,
+    cut_weight_csr,
+)
 
 
 def part_loads(vertex_weights: np.ndarray, assignment: np.ndarray, k: int) -> np.ndarray:
@@ -20,19 +32,13 @@ def part_loads(vertex_weights: np.ndarray, assignment: np.ndarray, k: int) -> np
     return np.bincount(assignment, weights=vertex_weights, minlength=k)
 
 
-def cut_weight(adjacency: Adjacency, assignment: np.ndarray) -> float:
+def cut_weight(adjacency: AdjacencyLike, assignment: np.ndarray) -> float:
     """Total weight of edges whose endpoints lie in different parts."""
-    cut = 0.0
-    for u, row in enumerate(adjacency):
-        pu = assignment[u]
-        for v, w in row.items():
-            if u < v and pu != assignment[v]:
-                cut += w
-    return cut
+    return cut_weight_csr(csr_from_adjacency(adjacency), np.asarray(assignment))
 
 
 def refine_partition(
-    adjacency: Adjacency,
+    adjacency: AdjacencyLike,
     vertex_weights: np.ndarray,
     assignment: np.ndarray,
     k: int,
@@ -42,64 +48,70 @@ def refine_partition(
 ) -> np.ndarray:
     """Improve ``assignment`` in place with boundary moves; return it.
 
-    Each pass visits boundary vertices in random order and applies the
-    best strictly-positive-gain move that keeps every part within
-    ``max_part_weight``. Moves that would empty a part are skipped so the
-    partition always covers all ``k`` parts when it started that way.
+    Each pass scores all boundary vertices at once, then applies
+    strictly-positive-gain moves (largest stale gain first, ties by
+    vertex id) that keep every part within ``max_part_weight``; each
+    move is re-validated against the live assignment before it commits.
+    Moves that would empty a part are skipped so the partition always
+    covers all ``k`` parts when it started that way. ``rng`` is accepted
+    for interface stability; the pass order is fully deterministic.
     """
-    n = len(adjacency)
+    csr = csr_from_adjacency(adjacency)
+    n = csr.n
     if n == 0:
         return assignment
+    _ = rng
     loads = part_loads(vertex_weights, assignment, k)
     part_counts = np.bincount(assignment, minlength=k)
+    rows = np.arange(n)
 
-    for _ in range(max_passes):
+    for _pass in range(max_passes):
+        connection = connection_matrix(csr, assignment, k)
+        internal = connection[rows, assignment]
+        gains = connection - internal[:, np.newaxis]
+        # A destination must be adjacent (connection > 0) and must fit.
+        feasible = (connection > 0) & (
+            loads[np.newaxis, :] + vertex_weights[:, np.newaxis]
+            <= max_part_weight
+        )
+        masked = np.where(feasible, gains, -np.inf)
+        masked[rows, assignment] = 0.0
+        best = np.argmax(masked, axis=1)
+        best_gain = masked[rows, best]
+        movers = np.flatnonzero(
+            (best != assignment) & (best_gain > 0) & (part_counts[assignment] > 1)
+        )
+        if len(movers) == 0:
+            break
+        movers = movers[np.lexsort((movers, -best_gain[movers]))]
         improved = False
-        order = rng.permutation(n)
-        for u in order:
+        for u in movers:
             u = int(u)
             current = int(assignment[u])
-            row = adjacency[u]
-            if not row:
+            if part_counts[current] <= 1:
                 continue
-            # Connection weight to each adjacent part.
-            connection: Dict[int, float] = {}
-            internal = 0.0
-            for v, w in row.items():
-                part = int(assignment[v])
-                if part == current:
-                    internal += w
-                else:
-                    connection[part] = connection.get(part, 0.0) + w
-            if not connection:
-                continue  # not a boundary vertex
             weight = float(vertex_weights[u])
-            best_part = current
-            best_gain = 0.0
-            for part, conn in connection.items():
-                gain = conn - internal
-                if gain <= best_gain:
-                    continue
-                if loads[part] + weight > max_part_weight:
-                    continue
-                if part_counts[current] <= 1:
-                    continue
-                best_gain = gain
-                best_part = part
-            if best_part != current:
-                assignment[u] = best_part
-                loads[current] -= weight
-                loads[best_part] += weight
-                part_counts[current] -= 1
-                part_counts[best_part] += 1
-                improved = True
+            conn = connection_row(csr, u, assignment, k)
+            live_gains = conn - conn[current]
+            live_ok = (conn > 0) & (loads + weight <= max_part_weight)
+            live_ok[current] = False
+            live_masked = np.where(live_ok, live_gains, -np.inf)
+            target = int(np.argmax(live_masked))
+            if not live_masked[target] > 0:
+                continue
+            assignment[u] = target
+            loads[current] -= weight
+            loads[target] += weight
+            part_counts[current] -= 1
+            part_counts[target] += 1
+            improved = True
         if not improved:
             break
     return assignment
 
 
 def rebalance(
-    adjacency: Adjacency,
+    adjacency: AdjacencyLike,
     vertex_weights: np.ndarray,
     assignment: np.ndarray,
     k: int,
@@ -112,11 +124,15 @@ def rebalance(
     Used after projection, where coarse-level balance can be violated at
     the finer level. Vertices are moved out of overweight parts into the
     lightest feasible part, preferring vertices whose move loses the
-    least cut quality.
+    least cut quality (internal connection minus the heaviest external
+    edge, evaluated in one vectorised pass per overweight part).
     """
-    n = len(adjacency)
+    csr = csr_from_adjacency(adjacency)
+    n = csr.n
+    _ = rng
     loads = part_loads(vertex_weights, assignment, k)
-    for _ in range(max_passes):
+    edge_rows = csr.row_index()
+    for _pass in range(max_passes):
         overweight = [p for p in range(k) if loads[p] > max_part_weight]
         if not overweight:
             break
@@ -125,29 +141,34 @@ def rebalance(
             members = np.flatnonzero(assignment == part)
             if len(members) <= 1:
                 continue
-            # Cheapest-to-move first: lowest (internal - best external).
-            def move_cost(u: int) -> float:
-                internal = 0.0
-                best_external = 0.0
-                for v, w in adjacency[u].items():
-                    if assignment[v] == part:
-                        internal += w
-                    else:
-                        best_external = max(best_external, w)
-                return internal - best_external
-
-            candidates = sorted(members.tolist(), key=move_cost)
+            # Cheapest-to-move first: lowest (internal - best external),
+            # computed for all members with one masked scatter pass.
+            member_edge = assignment[edge_rows] == part
+            same_part = assignment[csr.indices] == part
+            internal = np.zeros(n)
+            np.add.at(
+                internal,
+                edge_rows[member_edge & same_part],
+                csr.weights[member_edge & same_part],
+            )
+            best_external = np.zeros(n)
+            np.maximum.at(
+                best_external,
+                edge_rows[member_edge & ~same_part],
+                csr.weights[member_edge & ~same_part],
+            )
+            costs = internal[members] - best_external[members]
+            candidates = members[np.argsort(costs, kind="stable")]
             for u in candidates:
+                u = int(u)
                 if loads[part] <= max_part_weight:
                     break
                 weight = float(vertex_weights[u])
                 target = int(np.argmin(loads))
                 if target == part:
                     break
-                if loads[target] + weight > max_part_weight:
-                    # Even the lightest part cannot take it whole; move
-                    # anyway to the lightest part to make progress.
-                    pass
+                # Even when the lightest part cannot take the vertex
+                # whole, move anyway to make progress toward balance.
                 assignment[u] = target
                 loads[part] -= weight
                 loads[target] += weight

@@ -20,7 +20,7 @@ deterministic given their inputs, as miner-driven allocation requires
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -49,20 +49,54 @@ def _move_gain(
     ``2 * eta - 1`` workload units system-wide). The second term
     penalises joining already-overloaded shards proportionally to the
     workload the account brings, which is TxAllo's balance pressure.
+    Works element-wise on a ``(k,)`` vector and row-wise on an ``(n, k)``
+    connection matrix alike (``degree`` then being an ``(n, 1)`` column).
     """
     colocation = (2.0 * eta - 1.0) * connection
     balance_penalty = degree * (loads / max(average_load, 1e-12))
     return colocation - balance_penalty
 
 
-def _shard_connections(
-    graph: TransactionGraph, account: int, assignment: np.ndarray, k: int
-) -> np.ndarray:
-    """Connection weight from ``account`` to each shard under ``assignment``."""
-    connection = np.zeros(k, dtype=np.float64)
-    for neighbour, weight in graph.neighbors(account).items():
-        connection[assignment[neighbour]] += weight
-    return connection
+def _commit_move(
+    u: int,
+    assignment: np.ndarray,
+    loads: np.ndarray,
+    degrees: np.ndarray,
+    edge_v: np.ndarray,
+    edge_w: np.ndarray,
+    indptr: np.ndarray,
+    k: int,
+    eta: float,
+    average_load: float,
+    load_cap: float,
+) -> bool:
+    """Re-evaluate account ``u`` under the *current* state and move it.
+
+    The synchronous candidate scan uses round-start loads; this commit
+    step recomputes ``u``'s connection row and the balance penalty
+    against the live assignment/loads, so every applied move is a true
+    improvement at application time (no oscillation from stale scores).
+    Returns True when ``u`` moved.
+    """
+    start, stop = indptr[u], indptr[u + 1]
+    connection = np.bincount(
+        assignment[edge_v[start:stop]],
+        weights=edge_w[start:stop],
+        minlength=k,
+    )
+    degree = float(degrees[u])
+    scores = _move_gain(connection, loads, degree, eta, average_load)
+    current = int(assignment[u])
+    feasible = loads + degree <= load_cap
+    feasible[current] = True
+    masked = np.where(feasible, scores, -np.inf)
+    best = int(np.argmax(masked))
+    if best == current or not masked[best] > scores[current] + 1e-12:
+        return False
+    assignment[u] = best
+    loads[current] -= degree
+    loads[best] += degree
+    return True
 
 
 def g_txallo(
@@ -93,47 +127,54 @@ def g_txallo(
     else:
         assignment = np.arange(n, dtype=np.int64) % k
 
-    vertices = graph.vertices()
-    if not vertices:
+    vertices = np.asarray(graph.vertices(), dtype=np.int64)
+    if len(vertices) == 0:
         return assignment
-    degrees = {v: graph.degree(v) for v in vertices}
-    order = sorted(vertices, key=lambda v: (-degrees[v], v))
+    edge_u, edge_v, edge_w = graph.to_arrays()
+    indptr = graph.csr_indptr(edge_u)
+    degrees = graph.vertex_weights()
 
     loads = np.bincount(
-        assignment[vertices],
-        weights=np.array([degrees[v] for v in vertices]),
-        minlength=k,
+        assignment[vertices], weights=degrees[vertices], minlength=k
     ).astype(np.float64)
-    total_load = float(loads.sum())
-    average_load = total_load / k
+    average_load = float(loads.sum()) / k
     load_cap = balance_factor * average_load
 
+    # Deterministic visit order: heaviest accounts first, ties by id.
+    order = vertices[np.lexsort((vertices, -degrees[vertices]))]
+    rows = np.arange(n)
+
     for _ in range(max_rounds):
+        # Synchronous candidate scan: one scatter builds every account's
+        # connection-to-shard row, one matrix op scores all k
+        # destinations (vectorising the former per-account
+        # ``_shard_connections`` dict walk).
+        connection = np.bincount(
+            edge_u * k + assignment[edge_v], weights=edge_w, minlength=n * k
+        ).reshape(n, k)
+        scores = _move_gain(
+            connection, loads, degrees[:, np.newaxis], eta, average_load
+        )
+        current_scores = scores[rows, assignment]
+        feasible = loads[np.newaxis, :] + degrees[:, np.newaxis] <= load_cap
+        masked = np.where(feasible, scores, -np.inf)
+        masked[rows, assignment] = current_scores
+        best = np.argmax(masked, axis=1)
+        wants_move = (
+            (best != assignment)
+            & (masked[rows, best] > current_scores + 1e-12)
+            & (degrees > 0)
+        )
+        movers = order[wants_move[order]]
         moved = 0
-        for account in order:
-            degree = degrees[account]
-            if degree == 0.0:
-                continue
-            current = int(assignment[account])
-            connection = _shard_connections(graph, account, assignment, k)
-            scores = _move_gain(connection, loads, degree, eta, average_load)
-            # Deterministic choice: best score, ties to lowest shard id.
-            # A destination must respect the workload cap unless it is
-            # the current shard.
-            best = current
-            best_score = scores[current]
-            for shard in range(k):
-                if shard == current:
-                    continue
-                if loads[shard] + degree > load_cap:
-                    continue
-                if scores[shard] > best_score + 1e-12:
-                    best_score = scores[shard]
-                    best = shard
-            if best != current:
-                assignment[account] = best
-                loads[current] -= degree
-                loads[best] += degree
+        for account in movers:
+            # Exact re-check under the live assignment/loads keeps the
+            # greedy deterministic and monotone despite the synchronous
+            # candidate scan.
+            if _commit_move(
+                int(account), assignment, loads, degrees, edge_v, edge_w,
+                indptr, k, eta, average_load, load_cap,
+            ):
                 moved += 1
         if moved == 0:
             break
@@ -162,34 +203,22 @@ def a_txallo(
     if not active:
         return assignment, 0
 
-    vertices = graph.vertices()
-    degrees_arr = np.array([graph.degree(v) for v in vertices])
+    edge_u, edge_v, edge_w = graph.to_arrays()
+    indptr = graph.csr_indptr(edge_u)
+    degrees = graph.vertex_weights()
+    vertices = np.asarray(graph.vertices(), dtype=np.int64)
     loads = np.bincount(
-        assignment[vertices], weights=degrees_arr, minlength=k
+        assignment[vertices], weights=degrees[vertices], minlength=k
     ).astype(np.float64)
     average_load = float(loads.sum()) / k
     load_cap = balance_factor * max(average_load, 1e-12)
 
     moved = 0
     for account in active:
-        degree = graph.degree(account)
-        current = int(assignment[account])
-        connection = _shard_connections(graph, account, assignment, k)
-        scores = _move_gain(connection, loads, degree, eta, average_load)
-        best = current
-        best_score = scores[current]
-        for shard in range(k):
-            if shard == current:
-                continue
-            if loads[shard] + degree > load_cap:
-                continue
-            if scores[shard] > best_score + 1e-12:
-                best_score = scores[shard]
-                best = shard
-        if best != current:
-            assignment[account] = best
-            loads[current] -= degree
-            loads[best] += degree
+        if _commit_move(
+            account, assignment, loads, degrees, edge_v, edge_w, indptr,
+            k, eta, average_load, load_cap,
+        ):
             moved += 1
     return assignment, moved
 

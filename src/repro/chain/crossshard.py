@@ -26,12 +26,15 @@ is the key invariant, property-tested in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
+import numpy as np
+
+from repro.chain.kernels import classify_kernel
 from repro.chain.mapping import ShardMapping
 from repro.chain.state import StateRegistry
 from repro.chain.transaction import Transaction, TransactionBatch
-from repro.errors import ChainError, ValidationError
+from repro.errors import ChainError, UnknownAccountError, ValidationError
 
 
 @dataclass(frozen=True)
@@ -129,9 +132,32 @@ class CrossShardExecutor:
         the amount fail without side effects.
         """
         report = ExecutionReport(block=block)
+        self._settle_due(block, report)
+        senders = np.array([tx.sender for tx in transactions], dtype=np.int64)
+        receivers = np.array([tx.receiver for tx in transactions], dtype=np.int64)
+        amounts = np.array([tx.value for tx in transactions], dtype=np.float64)
+        self._check_universe(senders, receivers)
+        sender_shards, receiver_shards, _ = classify_kernel(
+            senders, receivers, self.mapping.as_array()
+        )
+        self._apply_transfers(
+            block, senders, receivers, amounts, sender_shards, receiver_shards,
+            report,
+        )
+        return report
 
-        # Phase 2 first: settle receipts that have aged past the relay
-        # delay (the relayed deposit rides a later target-shard block).
+    def _check_universe(self, senders: np.ndarray, receivers: np.ndarray) -> None:
+        if len(senders) == 0:
+            return
+        top = max(int(senders.max()), int(receivers.max()))
+        if top >= self.mapping.n_accounts:
+            raise UnknownAccountError(top)
+
+    def _settle_due(self, block: int, report: ExecutionReport) -> None:
+        """Settle receipts that have aged past the relay delay.
+
+        The relayed deposit rides a later target-shard block.
+        """
         still_pending: List[Receipt] = []
         for receipt in self._pending:
             if block - receipt.issued_block >= self.relay_delay_blocks:
@@ -144,26 +170,43 @@ class CrossShardExecutor:
                 still_pending.append(receipt)
         self._pending = still_pending
 
-        # Phase 1 / intra execution for this block's transactions.
-        for tx in transactions:
-            amount = tx.value
-            sender_shard = self.mapping.shard_of(tx.sender)
-            receiver_shard = self.mapping.shard_of(tx.receiver)
-            source = self.registry.store_of(sender_shard)
+    def _apply_transfers(
+        self,
+        block: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        amounts: np.ndarray,
+        sender_shards: np.ndarray,
+        receiver_shards: np.ndarray,
+        report: ExecutionReport,
+    ) -> None:
+        """Withdraw-phase / intra execution over pre-classified arrays.
+
+        Balance mutation is inherently sequential (a sender may fund a
+        later transfer with an earlier deposit in the same block), so the
+        commit loop stays per-transfer; the shard classification is done
+        once, vectorised, by the shared kernel.
+        """
+        stores = [self.registry.store_of(i) for i in range(self.registry.k)]
+        for i in range(len(senders)):
+            sender_shard = int(sender_shards[i])
+            amount = float(amounts[i])
+            source = stores[sender_shard]
             try:
-                source.debit(tx.sender, amount)
+                source.debit(int(senders[i]), amount)
             except ChainError:
                 report.failed += 1
                 continue
+            receiver_shard = int(receiver_shards[i])
             if sender_shard == receiver_shard:
-                source.credit(tx.receiver, amount)
+                source.credit(int(receivers[i]), amount)
                 report.intra_executed += 1
             else:
                 self._pending.append(
                     Receipt(
                         tx_id=self._next_tx_id,
-                        sender=tx.sender,
-                        receiver=tx.receiver,
+                        sender=int(senders[i]),
+                        receiver=int(receivers[i]),
                         amount=amount,
                         source_shard=sender_shard,
                         target_shard=receiver_shard,
@@ -172,12 +215,17 @@ class CrossShardExecutor:
                 )
                 report.withdraws += 1
             self._next_tx_id += 1
-        return report
 
     def execute_batch(
         self, batch: TransactionBatch, amount_per_tx: float = 1.0
     ) -> List[ExecutionReport]:
-        """Execute a batch block by block (amounts default to 1 unit)."""
+        """Execute a batch block by block (amounts default to 1 unit).
+
+        Shard classification runs once over the whole batch through the
+        shared :func:`classify_kernel`; blocks are delimited by change
+        points in the (already block-ordered) ``blocks`` column, exactly
+        as the scalar bucketing loop did.
+        """
         if amount_per_tx < 0:
             raise ValidationError(
                 f"amount_per_tx must be >= 0, got {amount_per_tx}"
@@ -185,24 +233,28 @@ class CrossShardExecutor:
         reports: List[ExecutionReport] = []
         if len(batch) == 0:
             return reports
-        current_block: Optional[int] = None
-        bucket: List[Transaction] = []
-        for tx in batch:
-            tx = Transaction(
-                sender=tx.sender,
-                receiver=tx.receiver,
-                block=tx.block,
-                value=amount_per_tx,
+        self._check_universe(batch.senders, batch.receivers)
+        sender_shards, receiver_shards, _ = classify_kernel(
+            batch.senders, batch.receivers, self.mapping.as_array()
+        )
+        amounts = np.full(len(batch), amount_per_tx, dtype=np.float64)
+        boundaries = np.flatnonzero(np.diff(batch.blocks) != 0) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [len(batch)]))
+        for start, stop in zip(starts, stops):
+            block = int(batch.blocks[start])
+            report = ExecutionReport(block=block)
+            self._settle_due(block, report)
+            self._apply_transfers(
+                block,
+                batch.senders[start:stop],
+                batch.receivers[start:stop],
+                amounts[start:stop],
+                sender_shards[start:stop],
+                receiver_shards[start:stop],
+                report,
             )
-            if current_block is None:
-                current_block = tx.block
-            if tx.block != current_block:
-                reports.append(self.execute_block(current_block, bucket))
-                bucket = []
-                current_block = tx.block
-            bucket.append(tx)
-        if bucket:
-            reports.append(self.execute_block(current_block, bucket))
+            reports.append(report)
         return reports
 
     def settle_all(self, from_block: int) -> ExecutionReport:

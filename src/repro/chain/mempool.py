@@ -19,9 +19,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.chain.kernels import classify_kernel, workload_kernel
 from repro.chain.mapping import ShardMapping
 from repro.chain.transaction import Transaction, TransactionBatch
-from repro.errors import ValidationError
+from repro.errors import UnknownAccountError
 
 
 def classify_transactions(
@@ -33,10 +34,10 @@ def classify_transactions(
     ``is_cross[i]`` is True when the transaction touches two shards.
     Self-transfers (sender == receiver) are intra-shard by definition.
     """
-    sender_shards = mapping.shards_of(batch.senders)
-    receiver_shards = mapping.shards_of(batch.receivers)
-    is_cross = sender_shards != receiver_shards
-    return sender_shards, receiver_shards, is_cross
+    shard_of = mapping.as_array()
+    if len(batch) and batch.max_account_id() >= len(shard_of):
+        raise UnknownAccountError(batch.max_account_id())
+    return classify_kernel(batch.senders, batch.receivers, shard_of)
 
 
 def shard_workloads(
@@ -49,18 +50,8 @@ def shard_workloads(
     touches and an intra-shard transaction contributes 1 unit to its one
     shard.
     """
-    if eta < 1:
-        raise ValidationError(f"eta must be >= 1, got {eta}")
-    k = mapping.k
     sender_shards, receiver_shards, is_cross = classify_transactions(batch, mapping)
-    workloads = np.zeros(k, dtype=np.float64)
-    # Intra-shard: one unit on the (single) shard.
-    intra = ~is_cross
-    workloads += np.bincount(sender_shards[intra], minlength=k)
-    # Cross-shard: eta units on each involved shard.
-    workloads += eta * np.bincount(sender_shards[is_cross], minlength=k)
-    workloads += eta * np.bincount(receiver_shards[is_cross], minlength=k)
-    return workloads
+    return workload_kernel(sender_shards, receiver_shards, is_cross, mapping.k, eta)
 
 
 class Mempool:

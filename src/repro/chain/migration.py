@@ -5,11 +5,19 @@ stating "move account ``nu`` from shard ``a`` to shard ``b``". Requests
 carry the potential gain the client computed so that, when more requests
 are proposed than the beacon chain can commit in one epoch, the ones with
 the largest improvement are prioritised (Section V-A, Parameters).
+
+:class:`MigrationRequest` is the friendly per-object view;
+:class:`MigrationRequestBatch` is the columnar view the vectorised
+migration-accounting kernel operates on (struct-of-arrays, mirroring
+``TransactionBatch``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import MigrationError
 
@@ -49,3 +57,90 @@ class MigrationRequest:
             raise MigrationError(f"epoch must be >= 0, got {self.epoch}")
         if self.fee < 0:
             raise MigrationError(f"fee must be >= 0, got {self.fee}")
+
+
+class MigrationRequestBatch:
+    """Columnar batch of migration requests (struct-of-arrays).
+
+    One epoch of client proposals as parallel arrays; the vectorised
+    commitment policy (``core/migration.py``) filters and prioritises
+    directly on the arrays, materialising :class:`MigrationRequest`
+    objects only for the committed/rejected views callers inspect.
+    """
+
+    __slots__ = ("accounts", "from_shards", "to_shards", "gains", "epoch")
+
+    def __init__(
+        self,
+        accounts: np.ndarray,
+        from_shards: np.ndarray,
+        to_shards: np.ndarray,
+        gains: Optional[np.ndarray] = None,
+        epoch: int = 0,
+    ) -> None:
+        accounts = np.asarray(accounts, dtype=np.int64)
+        from_shards = np.asarray(from_shards, dtype=np.int64)
+        to_shards = np.asarray(to_shards, dtype=np.int64)
+        if gains is None:
+            gains = np.zeros(len(accounts), dtype=np.float64)
+        else:
+            gains = np.asarray(gains, dtype=np.float64)
+        for name, array in (
+            ("from_shards", from_shards),
+            ("to_shards", to_shards),
+            ("gains", gains),
+        ):
+            if array.shape != accounts.shape:
+                raise MigrationError(
+                    f"{name} must match accounts in shape, got {array.shape}"
+                )
+        if len(accounts):
+            if accounts.min() < 0:
+                raise MigrationError("account ids must be >= 0")
+            if from_shards.min() < 0 or to_shards.min() < 0:
+                raise MigrationError("shard ids must be >= 0")
+            if (from_shards == to_shards).any():
+                raise MigrationError("migration must change shards")
+        if epoch < 0:
+            raise MigrationError(f"epoch must be >= 0, got {epoch}")
+        self.accounts = accounts
+        self.from_shards = from_shards
+        self.to_shards = to_shards
+        self.gains = gains
+        self.epoch = int(epoch)
+
+    def __len__(self) -> int:
+        return len(self.accounts)
+
+    @classmethod
+    def empty(cls, epoch: int = 0) -> "MigrationRequestBatch":
+        zero = np.zeros(0, dtype=np.int64)
+        return cls(zero, zero.copy(), zero.copy(), epoch=epoch)
+
+    @classmethod
+    def from_requests(
+        cls, requests: Sequence[MigrationRequest]
+    ) -> "MigrationRequestBatch":
+        """Build a batch from request objects (epoch taken from the first)."""
+        if not requests:
+            return cls.empty()
+        return cls(
+            np.array([r.account for r in requests], dtype=np.int64),
+            np.array([r.from_shard for r in requests], dtype=np.int64),
+            np.array([r.to_shard for r in requests], dtype=np.int64),
+            np.array([r.gain for r in requests], dtype=np.float64),
+            epoch=requests[0].epoch,
+        )
+
+    def take(self, indices: np.ndarray) -> List[MigrationRequest]:
+        """Materialise the requests at ``indices`` as objects, in order."""
+        return [
+            MigrationRequest(
+                account=int(self.accounts[i]),
+                from_shard=int(self.from_shards[i]),
+                to_shard=int(self.to_shards[i]),
+                gain=float(self.gains[i]),
+                epoch=self.epoch,
+            )
+            for i in np.asarray(indices, dtype=np.int64)
+        ]

@@ -8,7 +8,9 @@ Commands:
   print its metrics;
 * ``compare``  — run a named scenario across several methods and print
   a comparison table (optionally a Markdown report);
-* ``scenarios`` — list the built-in scenarios.
+* ``scenarios`` — list the built-in scenarios;
+* ``matrix`` — run a declarative allocator x trace x parameter grid
+  through the (optionally parallel) scenario-matrix runner.
 """
 
 from __future__ import annotations
@@ -145,6 +147,94 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_matrix(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ScenarioMatrix,
+        baseline_snapshot,
+        default_trace,
+        matrix_table,
+        run_matrix,
+        smoke_matrix,
+        write_result_json,
+    )
+
+    valid_metrics = (
+        "mean_normalized_throughput",
+        "mean_cross_shard_ratio",
+        "mean_workload_deviation",
+        "mean_unit_time",
+        "mean_input_bytes",
+    )
+    if args.metric not in valid_metrics:
+        print(
+            f"error: unknown metric {args.metric!r}; "
+            f"available: {', '.join(valid_metrics)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.smoke:
+        matrix = smoke_matrix(seed=args.seed)
+    else:
+        try:
+            ks = tuple(int(k) for k in args.shards.split(","))
+            etas = tuple(float(e) for e in args.eta.split(","))
+            betas = tuple(float(b) for b in args.beta.split(","))
+        except ValueError as error:
+            print(
+                f"error: bad numeric list in --shards/--eta/--beta: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        matrix = ScenarioMatrix(
+            name=args.name,
+            methods=tuple(args.methods.split(",")),
+            traces=(
+                default_trace(
+                    "cli-trace",
+                    n_accounts=args.accounts,
+                    n_transactions=args.transactions,
+                    n_blocks=args.blocks,
+                    seed=args.seed,
+                ),
+            ),
+            ks=ks,
+            etas=etas,
+            betas=betas,
+            tau=args.tau,
+            seed=args.seed,
+        )
+    print(
+        f"matrix {matrix.name!r}: {len(matrix)} cells, "
+        f"{args.workers} worker(s)"
+    )
+    result = run_matrix(matrix, workers=args.workers)
+    print()
+    print(
+        matrix_table(
+            matrix,
+            result,
+            metric=args.metric,
+            value_format=(
+                "{:.2%}" if args.metric == "mean_cross_shard_ratio" else "{:.2f}"
+            ),
+            lower_is_better=args.metric != "mean_normalized_throughput",
+        )
+    )
+    print(
+        f"\n{len(result.summaries)}/{len(matrix)} cells in "
+        f"{result.seconds:.1f}s — digest {result.deterministic_digest()[:16]}"
+    )
+    for failure in result.failures:
+        print(f"error: {failure.error}", file=sys.stderr)
+    if args.output:
+        path = write_result_json(result, args.output)
+        print(f"results written to {path}")
+    if args.baseline:
+        path = baseline_snapshot(result, args.baseline)
+        print(f"baseline snapshot written to {path}")
+    return 1 if result.failures else 0
+
+
 def _command_scenarios(_args: argparse.Namespace) -> int:
     rows = [
         [scenario.name, scenario.description] for scenario in SCENARIOS.values()
@@ -201,6 +291,42 @@ def build_parser() -> argparse.ArgumentParser:
         "scenarios", help="list built-in scenarios"
     )
     scenarios.set_defaults(handler=_command_scenarios)
+
+    matrix = subparsers.add_parser(
+        "matrix", help="run an allocator x trace x parameter grid"
+    )
+    matrix.add_argument("--name", default="cli-matrix", help="matrix name")
+    matrix.add_argument(
+        "--methods",
+        default="mosaic-pilot,txallo,hash-random",
+        help="comma-separated allocator names",
+    )
+    matrix.add_argument(
+        "--shards", "-k", default="16", help="comma-separated k values"
+    )
+    matrix.add_argument("--eta", default="2.0", help="comma-separated eta values")
+    matrix.add_argument("--beta", default="0.0", help="comma-separated beta values")
+    matrix.add_argument("--tau", type=int, default=30)
+    matrix.add_argument("--accounts", type=int, default=3_000)
+    matrix.add_argument("--transactions", type=int, default=40_000)
+    matrix.add_argument("--blocks", type=int, default=2_400)
+    matrix.add_argument("--seed", type=int, default=0)
+    matrix.add_argument(
+        "--workers", type=int, default=1, help="process count (1 = sequential)"
+    )
+    matrix.add_argument(
+        "--metric",
+        default="mean_normalized_throughput",
+        help="summary metric to tabulate",
+    )
+    matrix.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the built-in 2x2 CI smoke grid",
+    )
+    matrix.add_argument("--output", help="write full results JSON here")
+    matrix.add_argument("--baseline", help="write a BENCH_baseline.json here")
+    matrix.set_defaults(handler=_command_matrix)
 
     return parser
 

@@ -40,6 +40,8 @@ def interaction_distribution(
     if account < 0:
         raise ValidationError(f"account must be >= 0, got {account}")
     own = transactions.involving(account)
+    # Self-transfers have A_Tx - {nu} empty, so they contribute nothing.
+    own = own.select(own.senders != own.receivers)
     psi = np.zeros(mapping.k, dtype=np.float64)
     if len(own) == 0:
         return psi
@@ -67,6 +69,11 @@ def interaction_matrix(
     k = mapping.k
     matrix = np.zeros((len(accounts), k), dtype=np.float64)
     if len(batch) == 0 or len(accounts) == 0:
+        return matrix
+    # Self-transfers have A_Tx - {nu} empty and contribute nothing
+    # (matching the scalar interaction_distribution exactly).
+    batch = batch.select(batch.senders != batch.receivers)
+    if len(batch) == 0:
         return matrix
 
     sender_shards = mapping.shards_of(batch.senders)

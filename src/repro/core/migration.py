@@ -13,9 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.chain.beacon import prioritize_requests
+from repro.chain.kernels import select_migrations_kernel
 from repro.chain.mapping import ShardMapping
-from repro.chain.migration import MigrationRequest
+from repro.chain.migration import MigrationRequest, MigrationRequestBatch
 from repro.errors import MigrationError
 
 
@@ -29,6 +32,30 @@ class PolicyOutcome:
     @property
     def committed_count(self) -> int:
         return len(self.committed)
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Columnar policy outcome: index arrays into the request batch.
+
+    ``committed_idx`` is in commitment order. The object views are
+    materialised lazily via :meth:`to_policy_outcome` for callers that
+    want :class:`PolicyOutcome` ergonomics.
+    """
+
+    batch: MigrationRequestBatch
+    committed_idx: np.ndarray
+    rejected_idx: np.ndarray
+
+    @property
+    def committed_count(self) -> int:
+        return len(self.committed_idx)
+
+    def to_policy_outcome(self) -> PolicyOutcome:
+        return PolicyOutcome(
+            committed=tuple(self.batch.take(self.committed_idx)),
+            rejected=tuple(self.batch.take(self.rejected_idx)),
+        )
 
 
 class MigrationPolicy:
@@ -100,4 +127,49 @@ class MigrationPolicy:
         outcome = self.select(requests, mapping)
         for request in outcome.committed:
             mapping.assign(request.account, request.to_shard)
+        return outcome
+
+    # -- vectorised path ---------------------------------------------------
+
+    def select_batch(
+        self,
+        batch: MigrationRequestBatch,
+        mapping: Optional[ShardMapping] = None,
+    ) -> BatchOutcome:
+        """Vectorised :meth:`select` over a columnar request batch.
+
+        Element-for-element equivalent to the scalar path (committed set
+        and commitment order match exactly; the rejected *set* matches
+        but carries no order guarantee).
+        """
+        committed_idx, rejected_idx = select_migrations_kernel(
+            batch.accounts,
+            batch.from_shards,
+            batch.to_shards,
+            batch.gains,
+            mapping.as_array() if mapping is not None else None,
+            mapping.k if mapping is not None else None,
+            self.capacity,
+            fifo=self.fifo,
+        )
+        return BatchOutcome(
+            batch=batch, committed_idx=committed_idx, rejected_idx=rejected_idx
+        )
+
+    def apply_batch(
+        self,
+        batch: MigrationRequestBatch,
+        mapping: ShardMapping,
+    ) -> BatchOutcome:
+        """Select and bulk-apply the committed requests to ``mapping``.
+
+        The committed set is deduplicated per account, so the bulk
+        ``assign_many`` is equivalent to sequential per-request
+        assignment.
+        """
+        outcome = self.select_batch(batch, mapping)
+        mapping.assign_many(
+            batch.accounts[outcome.committed_idx],
+            batch.to_shards[outcome.committed_idx],
+        )
         return outcome

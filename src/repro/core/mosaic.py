@@ -23,20 +23,19 @@ tens of thousands of clients stay fast. The per-client cost accounting
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from repro.allocation.base import AllocationUpdate, Allocator, UpdateContext
 from repro.chain.mapping import ShardMapping
-from repro.chain.migration import MigrationRequest
+from repro.chain.migration import MigrationRequest, MigrationRequestBatch
 from repro.chain.params import ProtocolParams
 from repro.chain.transaction import TransactionBatch
 from repro.core.interaction import interaction_matrix
 from repro.core.migration import MigrationPolicy, PolicyOutcome
 from repro.core.pilot import batch_pilot_decisions
 from repro.data.trace import Trace
-from repro.errors import ValidationError
 from repro.workload.observer import OMEGA_ENTRY_BYTES, WorkloadOracle
 
 #: Compact the accumulated edge list when it exceeds this many rows.
@@ -229,26 +228,24 @@ class MosaicAllocator(Allocator):
             wants = np.zeros(0, dtype=bool)
         elapsed = time.perf_counter() - start
 
-        requests = [
-            MigrationRequest(
-                account=int(account),
-                from_shard=int(src),
-                to_shard=int(dst),
-                gain=float(gain),
-                epoch=context.epoch,
-            )
-            for account, src, dst, gain in zip(
-                active[wants], current[wants], best[wants], gains[wants]
-            )
-        ]
-        self.last_requests = requests
+        request_batch = MigrationRequestBatch(
+            active[wants],
+            current[wants],
+            best[wants],
+            gains[wants],
+            epoch=context.epoch,
+        )
 
         # 4. The beacon chain commits at most lambda requests, by gain.
+        # Selection and application run on the columnar batch (the
+        # vectorised migration-accounting kernel); the object views are
+        # materialised afterwards for observability.
         capacity = None if self.unlimited_migrations else int(context.capacity)
         policy = MigrationPolicy(capacity=capacity, fifo=self.fifo_commitment)
         new_mapping = mapping.copy()
-        outcome = policy.apply(requests, new_mapping)
-        self.last_outcome = outcome
+        batch_outcome = policy.apply_batch(request_batch, new_mapping)
+        self.last_requests = request_batch.take(np.arange(len(request_batch)))
+        self.last_outcome = batch_outcome.to_policy_outcome()
 
         n_active = max(1, len(active))
         input_bytes = self._mean_pilot_input_bytes(
@@ -259,8 +256,8 @@ class MosaicAllocator(Allocator):
             execution_time=elapsed,
             unit_time=elapsed / n_active,
             input_bytes=input_bytes,
-            migrations=outcome.committed_count,
-            proposed_migrations=len(requests),
+            migrations=batch_outcome.committed_count,
+            proposed_migrations=len(request_batch),
         )
 
     def place_new_accounts(
@@ -298,15 +295,22 @@ class MosaicAllocator(Allocator):
             best, _ = batch_pilot_decisions(
                 ordered, psi_h, psi_e, omega, current, eta, beta
             )
-            lookup = dict(zip(ordered.tolist(), best.tolist()))
-            return np.array(
-                [lookup[int(a)] for a in new_account_ids], dtype=np.int64
-            )
+            rows = np.searchsorted(ordered, new_account_ids)
+            return best[rows]
         # Without an oracle: spread across the least-populated shards.
-        sizes = mapping.shard_sizes().astype(np.float64)
-        placements = np.empty(len(new_account_ids), dtype=np.int64)
-        for i in range(len(new_account_ids)):
-            shard = int(np.argmin(sizes))
-            placements[i] = shard
-            sizes[shard] += 1.0
-        return placements
+        # Greedy argmin placement (ties to the lowest shard id) is
+        # exactly water-filling: at height h every shard with size <= h
+        # takes one slot, in shard-id order — so enumerate the slot grid
+        # lexicographically by (height, shard) and take the first m.
+        sizes = mapping.shard_sizes().astype(np.int64)
+        m = len(new_account_ids)
+        # The waterline can rise at most m levels above the emptiest
+        # shard (that shard alone offers one slot per level), so the
+        # slot grid is O(m * k) even for arbitrarily skewed mappings.
+        top = int(sizes.min()) + m + 1
+        heights = np.arange(int(sizes.min()), top)
+        hh, ss = np.meshgrid(
+            heights, np.arange(mapping.k, dtype=np.int64), indexing="ij"
+        )
+        open_slots = hh >= sizes[ss]
+        return ss[open_slots][:m]

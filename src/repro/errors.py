@@ -62,3 +62,7 @@ class DataError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine was driven into an invalid state."""
+
+
+class ExperimentError(ReproError):
+    """A scenario-matrix experiment run failed."""

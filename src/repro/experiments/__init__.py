@@ -1,0 +1,59 @@
+"""Scenario-matrix experiments: declarative grids, one fast runner.
+
+Public surface:
+
+* :class:`~repro.experiments.matrix.ScenarioMatrix`,
+  :class:`~repro.experiments.matrix.TraceSpec`,
+  :class:`~repro.experiments.matrix.MatrixCell` — the declarative grid;
+* :func:`~repro.experiments.runner.run_matrix`,
+  :func:`~repro.experiments.runner.execute_cell` — execution
+  (sequential or multiprocess, bit-identical);
+* aggregation helpers rendering results in the ``analysis/tables``
+  format and writing the ``BENCH_baseline.json`` snapshot.
+"""
+
+from repro.experiments.aggregate import (
+    baseline_snapshot,
+    grid_row_settings,
+    matrix_table,
+    write_result_json,
+)
+from repro.experiments.matrix import (
+    ALLOCATOR_BUILDERS,
+    MatrixCell,
+    ScenarioMatrix,
+    TraceSpec,
+    default_trace,
+    paper_tables_matrix,
+    smoke_matrix,
+    with_methods,
+)
+from repro.experiments.runner import (
+    CellOutcome,
+    MatrixResult,
+    execute_cell,
+    run_cell,
+    run_matrix,
+    seed_trace_cache,
+)
+
+__all__ = [
+    "ALLOCATOR_BUILDERS",
+    "CellOutcome",
+    "MatrixCell",
+    "MatrixResult",
+    "ScenarioMatrix",
+    "TraceSpec",
+    "baseline_snapshot",
+    "default_trace",
+    "execute_cell",
+    "grid_row_settings",
+    "matrix_table",
+    "paper_tables_matrix",
+    "run_cell",
+    "run_matrix",
+    "seed_trace_cache",
+    "smoke_matrix",
+    "with_methods",
+    "write_result_json",
+]

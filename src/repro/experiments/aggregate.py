@@ -1,0 +1,123 @@
+"""Aggregation: matrix results into the paper-table and JSON formats.
+
+The runner's summaries are already shaped like
+``repro.sim.recorder.summarize_results`` output, so they feed straight
+into ``repro.analysis.tables``; this module adds the glue (row settings
+derived from the grid axes, JSON persistence, and the
+``BENCH_baseline.json`` performance snapshot).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.tables import comparison_table
+from repro.experiments.matrix import ScenarioMatrix
+from repro.experiments.runner import MatrixResult
+
+
+def grid_row_settings(matrix: ScenarioMatrix) -> List[Dict[str, object]]:
+    """One table row per (k, eta, beta) combination of the grid.
+
+    Axes with a single value are folded out of the label, mirroring the
+    paper's "k = 4", "eta = 5" row style.
+    """
+    rows: List[Dict[str, object]] = []
+    for k in matrix.ks:
+        for eta in matrix.etas:
+            for beta in matrix.betas:
+                label_parts = [f"k = {k}"]
+                if len(matrix.etas) > 1:
+                    label_parts.append(f"eta = {eta:g}")
+                if len(matrix.betas) > 1:
+                    label_parts.append(f"beta = {beta:g}")
+                rows.append(
+                    {
+                        "k": k,
+                        "eta": eta,
+                        "beta": beta,
+                        "label": ", ".join(label_parts),
+                    }
+                )
+    return rows
+
+
+def matrix_table(
+    matrix: ScenarioMatrix,
+    result: MatrixResult,
+    metric: str = "mean_normalized_throughput",
+    value_format: str = "{:.2f}",
+    lower_is_better: bool = False,
+) -> str:
+    """Render a Tables I-III style comparison straight from a run."""
+    return comparison_table(
+        result.summaries,
+        metric=metric,
+        allocators=list(matrix.methods),
+        row_settings=grid_row_settings(matrix),
+        value_format=value_format,
+        lower_is_better=lower_is_better,
+    )
+
+
+def write_result_json(
+    result: MatrixResult, path: Union[str, Path]
+) -> Path:
+    """Persist a full matrix result (summaries, failures, digest)."""
+    path = Path(path)
+    payload = {
+        "matrix": result.matrix_name,
+        "workers": result.workers,
+        "seconds": result.seconds,
+        "digest": result.deterministic_digest(),
+        "summaries": result.summaries,
+        "failures": [
+            {"cell": o.label, "error": o.error} for o in result.failures
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def baseline_snapshot(
+    result: MatrixResult,
+    path: Union[str, Path],
+    reference: Optional[Dict[str, object]] = None,
+    notes: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write the ``BENCH_baseline.json`` performance snapshot.
+
+    Records the wall-clock of this run (total and per cell), the
+    deterministic digest, and — when a ``reference`` timing dict with a
+    ``total_seconds`` entry is provided — the speedup against it.
+    """
+    path = Path(path)
+    per_cell = {
+        o.label: round(o.seconds, 3) for o in result.outcomes if o.ok
+    }
+    payload: Dict[str, object] = {
+        "matrix": result.matrix_name,
+        "workers": result.workers,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime()),
+        "total_seconds": round(result.seconds, 3),
+        "cell_seconds": per_cell,
+        "digest": result.deterministic_digest(),
+        "failures": len(result.failures),
+    }
+    if reference is not None:
+        payload["reference"] = reference
+        ref_total = reference.get("total_seconds")
+        if isinstance(ref_total, (int, float)) and result.seconds > 0:
+            payload["speedup_vs_reference"] = round(
+                float(ref_total) / result.seconds, 2
+            )
+    if notes:
+        payload["notes"] = list(notes)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,233 @@
+"""Declarative scenario matrices: allocator x trace x parameter grids.
+
+A :class:`ScenarioMatrix` names every simulation the experiment harness
+should run — which allocators, over which traces, under which protocol
+parameters — without saying *how* to run them (that is
+``experiments/runner.py``). The grid expands into a deterministic,
+ordered list of :class:`MatrixCell` objects; each cell derives its own
+RNG seed from the matrix seed and the cell's label through
+:func:`repro.util.rng.derive_seed`, so results are independent of
+execution order, worker count and co-scheduled cells.
+
+Adding a new grid cell means widening one of the axes (methods, traces,
+``ks``/``etas``/``betas``) or registering a new allocator builder in
+:data:`ALLOCATOR_BUILDERS`; see README.md for a worked example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Tuple
+
+from repro.allocation.base import Allocator
+from repro.allocation.hash_based import HashAllocator
+from repro.allocation.metis_like import MetisLikeAllocator
+from repro.allocation.orbit import OrbitAllocator
+from repro.allocation.txallo import TxAlloAllocator
+from repro.chain.params import ProtocolParams
+from repro.core.mosaic import MosaicAllocator
+from repro.data.ethereum import EthereumTraceConfig
+from repro.errors import ConfigurationError
+from repro.sim.engine import ORACLE_LOOKAHEAD, SimulationConfig
+from repro.util.rng import derive_seed
+
+#: Allocator builders, keyed by the display name used in result tables.
+#: Each builder takes the cell seed so stochastic allocators stay
+#: deterministic per cell and independent across cells.
+ALLOCATOR_BUILDERS: Dict[str, Callable[[int], Allocator]] = {
+    "mosaic-pilot": lambda seed: MosaicAllocator(initializer=TxAlloAllocator()),
+    "txallo": lambda seed: TxAlloAllocator(mode="full"),
+    "txallo-a": lambda seed: TxAlloAllocator(mode="adaptive"),
+    "metis": lambda seed: MetisLikeAllocator(seed=seed),
+    "hash-random": lambda seed: HashAllocator(),
+    "orbit": lambda seed: OrbitAllocator(),
+}
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A named, reproducible synthetic trace."""
+
+    name: str
+    config: EthereumTraceConfig
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One fully-specified simulation of the grid."""
+
+    method: str
+    trace: TraceSpec
+    k: int
+    eta: float
+    beta: float
+    tau: int
+    matrix_seed: int
+    oracle_mode: str = ORACLE_LOOKAHEAD
+    history_fraction: float = 0.9
+
+    @property
+    def label(self) -> str:
+        """Stable identifier: also the RNG-stream label of this cell."""
+        return (
+            f"{self.method}/{self.trace.name}"
+            f"/k{self.k}/eta{self.eta:g}/beta{self.beta:g}/tau{self.tau}"
+        )
+
+    @property
+    def cell_seed(self) -> int:
+        """Deterministic per-cell seed, independent across cells."""
+        return derive_seed(self.matrix_seed, self.label)
+
+    def protocol_params(self) -> ProtocolParams:
+        return ProtocolParams(
+            k=self.k,
+            eta=self.eta,
+            tau=self.tau,
+            beta=self.beta,
+            seed=self.cell_seed,
+        )
+
+    def simulation_config(self) -> SimulationConfig:
+        return SimulationConfig(
+            params=self.protocol_params(),
+            history_fraction=self.history_fraction,
+            oracle_mode=self.oracle_mode,
+        )
+
+    def build_allocator(self) -> Allocator:
+        return ALLOCATOR_BUILDERS[self.method](self.cell_seed)
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """A declarative grid of simulations.
+
+    The cell list is the Cartesian product
+    ``traces x methods x ks x etas x betas`` in that (deterministic)
+    nesting order, all sharing ``tau``/oracle settings. Unknown method
+    names fail at construction time, not mid-run.
+    """
+
+    name: str
+    methods: Tuple[str, ...]
+    traces: Tuple[TraceSpec, ...]
+    ks: Tuple[int, ...] = (16,)
+    etas: Tuple[float, ...] = (2.0,)
+    betas: Tuple[float, ...] = (0.0,)
+    tau: int = 30
+    seed: int = 0
+    oracle_mode: str = ORACLE_LOOKAHEAD
+    history_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        unknown = [m for m in self.methods if m not in ALLOCATOR_BUILDERS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown methods {unknown}; "
+                f"available: {sorted(ALLOCATOR_BUILDERS)}"
+            )
+        if not self.methods or not self.traces:
+            raise ConfigurationError("matrix needs >= 1 method and >= 1 trace")
+        if not self.ks or not self.etas or not self.betas:
+            raise ConfigurationError("every parameter axis needs >= 1 value")
+
+    def cells(self) -> List[MatrixCell]:
+        """Expand the grid in deterministic order."""
+        return [
+            MatrixCell(
+                method=method,
+                trace=trace,
+                k=k,
+                eta=eta,
+                beta=beta,
+                tau=self.tau,
+                matrix_seed=self.seed,
+                oracle_mode=self.oracle_mode,
+                history_fraction=self.history_fraction,
+            )
+            for trace in self.traces
+            for method in self.methods
+            for k in self.ks
+            for eta in self.etas
+            for beta in self.betas
+        ]
+
+    def __len__(self) -> int:
+        return (
+            len(self.traces)
+            * len(self.methods)
+            * len(self.ks)
+            * len(self.etas)
+            * len(self.betas)
+        )
+
+
+def default_trace(
+    name: str = "community",
+    n_accounts: int = 3_000,
+    n_transactions: int = 40_000,
+    n_blocks: int = 2_400,
+    seed: int = 0,
+) -> TraceSpec:
+    """The standard community-structured synthetic trace, sized to taste."""
+    return TraceSpec(
+        name=name,
+        config=EthereumTraceConfig(
+            n_accounts=n_accounts,
+            n_transactions=n_transactions,
+            n_blocks=n_blocks,
+            hub_fraction=0.01,
+            hub_transaction_share=0.12,
+            seed=seed,
+        ),
+    )
+
+
+def smoke_matrix(seed: int = 0) -> ScenarioMatrix:
+    """The 2x2 CI smoke grid: two allocators x two shard counts.
+
+    Small enough to finish in seconds; wide enough to cross the whole
+    pipeline (trace generation, both allocator families, aggregation).
+    """
+    return ScenarioMatrix(
+        name="smoke",
+        methods=("mosaic-pilot", "hash-random"),
+        traces=(
+            default_trace(
+                "smoke-trace",
+                n_accounts=600,
+                n_transactions=6_000,
+                n_blocks=400,
+                seed=7,
+            ),
+        ),
+        ks=(4, 8),
+        tau=40,
+        seed=seed,
+    )
+
+
+def paper_tables_matrix(
+    trace: TraceSpec, tau: int = 40, seed: int = 42
+) -> ScenarioMatrix:
+    """The Tables I-III effectiveness grid over one trace.
+
+    k in {4, 16, 32} at eta = 2 plus eta in {5, 10} at k = 16 is not a
+    full Cartesian product, so the grid is the product superset; table
+    renderers pick the rows they need.
+    """
+    return ScenarioMatrix(
+        name="paper-tables",
+        methods=("mosaic-pilot", "txallo", "metis", "hash-random"),
+        traces=(trace,),
+        ks=(4, 16, 32),
+        etas=(2.0, 5.0, 10.0),
+        tau=tau,
+        seed=seed,
+    )
+
+
+def with_methods(matrix: ScenarioMatrix, methods: Tuple[str, ...]) -> ScenarioMatrix:
+    """A copy of ``matrix`` restricted/extended to ``methods``."""
+    return replace(matrix, methods=tuple(methods))

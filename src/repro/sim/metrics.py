@@ -20,6 +20,11 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.chain.kernels import (
+    deviation_kernel,
+    epoch_metrics_kernel,
+    throughput_kernel,
+)
 from repro.chain.mapping import ShardMapping
 from repro.chain.mempool import classify_transactions, shard_workloads
 from repro.chain.transaction import TransactionBatch
@@ -36,16 +41,7 @@ def cross_shard_ratio(batch: TransactionBatch, mapping: ShardMapping) -> float:
 
 def workload_deviation(omega: np.ndarray) -> float:
     """The paper's workload-deviation formula over a workload vector."""
-    omega = np.asarray(omega, dtype=np.float64)
-    if omega.ndim != 1 or len(omega) == 0:
-        raise ValidationError("omega must be a non-empty 1-D vector")
-    if omega.min() < 0:
-        raise ValidationError("workloads must be >= 0")
-    mean = omega.mean()
-    if mean == 0:
-        return 0.0
-    k = len(omega)
-    return float(np.sqrt(np.square(omega - mean).sum() / (k * mean)))
+    return deviation_kernel(np.asarray(omega, dtype=np.float64))
 
 
 def throughput(
@@ -65,18 +61,13 @@ def throughput(
         raise ValidationError(f"capacity must be > 0, got {capacity}")
     if len(batch) == 0:
         return 0.0
-    omega = shard_workloads(batch, mapping, eta)
-    with np.errstate(divide="ignore"):
-        fraction = np.where(omega > 0, np.minimum(1.0, capacity / omega), 1.0)
     sender_shards, receiver_shards, is_cross = classify_transactions(
         batch, mapping
     )
-    per_tx = np.where(
-        is_cross,
-        np.minimum(fraction[sender_shards], fraction[receiver_shards]),
-        fraction[sender_shards],
+    omega = shard_workloads(batch, mapping, eta)
+    return throughput_kernel(
+        sender_shards, receiver_shards, is_cross, omega, capacity
     )
-    return float(per_tx.sum())
 
 
 def normalized_throughput(
@@ -107,11 +98,17 @@ def epoch_metrics(
     evaluation expresses workloads in units of the shard capacity
     ``lambda`` before applying it; this reproduces the magnitude range
     of Table III independently of trace size.
+
+    The whole bundle is computed by the fused
+    :func:`repro.chain.kernels.epoch_metrics_kernel`, which classifies
+    the batch once instead of once per metric.
     """
-    omega = shard_workloads(batch, mapping, eta)
-    return (
-        cross_shard_ratio(batch, mapping),
-        workload_deviation(omega / capacity),
-        normalized_throughput(batch, mapping, eta, capacity),
-        omega,
+    shard_of = mapping.as_array()
+    if len(batch) and batch.max_account_id() >= len(shard_of):
+        raise ValidationError(
+            f"batch references account {batch.max_account_id()} outside "
+            f"the mapping ({len(shard_of)} accounts)"
+        )
+    return epoch_metrics_kernel(
+        batch.senders, batch.receivers, shard_of, mapping.k, eta, capacity
     )

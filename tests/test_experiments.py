@@ -1,0 +1,184 @@
+"""Tests for the scenario-matrix subsystem and its determinism claims.
+
+Covers: grid construction and validation, deterministic per-cell
+seeding (independent RNG streams across cells), parallel-vs-sequential
+bit-identity, aggregation into the analysis/tables format, and the
+``repro matrix --smoke`` CI entry point.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import comparison_table
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ScenarioMatrix,
+    default_trace,
+    execute_cell,
+    grid_row_settings,
+    matrix_table,
+    run_matrix,
+    smoke_matrix,
+    write_result_json,
+)
+from repro.util.rng import RngFactory
+
+
+def tiny_matrix(seed=0, methods=("mosaic-pilot", "hash-random")):
+    return ScenarioMatrix(
+        name="tiny",
+        methods=methods,
+        traces=(
+            default_trace(
+                "tiny-trace",
+                n_accounts=400,
+                n_transactions=3_000,
+                n_blocks=300,
+                seed=5,
+            ),
+        ),
+        ks=(2, 4),
+        tau=30,
+        seed=seed,
+    )
+
+
+class TestScenarioMatrix:
+    def test_cells_expand_in_deterministic_order(self):
+        matrix = tiny_matrix()
+        labels = [cell.label for cell in matrix.cells()]
+        assert labels == [cell.label for cell in matrix.cells()]
+        assert len(labels) == len(matrix) == 4
+        assert labels[0].startswith("mosaic-pilot/tiny-trace/k2")
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ConfigurationError, match="unknown methods"):
+            tiny_matrix(methods=("mosaic-pilot", "nonexistent"))
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioMatrix(
+                name="bad", methods=("mosaic-pilot",), traces=(), ks=(2,)
+            )
+
+    def test_cell_seeds_are_distinct_and_stable(self):
+        matrix = tiny_matrix(seed=123)
+        seeds = [cell.cell_seed for cell in matrix.cells()]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds == [cell.cell_seed for cell in matrix.cells()]
+        # A different matrix seed moves every cell seed.
+        other = [cell.cell_seed for cell in tiny_matrix(seed=124).cells()]
+        assert all(a != b for a, b in zip(seeds, other))
+
+    def test_cell_rng_streams_are_independent(self):
+        """Spawned per-cell streams never collide across cells."""
+        matrix = tiny_matrix(seed=7)
+        draws = {}
+        for cell in matrix.cells():
+            stream = RngFactory(cell.matrix_seed).spawn(cell.label)
+            draws[cell.label] = stream.generator("engine").random(64)
+        labels = list(draws)
+        for i, a in enumerate(labels):
+            for b in labels[i + 1 :]:
+                assert not np.allclose(draws[a], draws[b]), (a, b)
+
+
+class TestRunnerDeterminism:
+    def test_parallel_matches_sequential_bit_for_bit(self):
+        matrix = tiny_matrix()
+        sequential = run_matrix(matrix, workers=1)
+        parallel = run_matrix(matrix, workers=2)
+        assert sequential.failures == [] and parallel.failures == []
+        assert (
+            sequential.deterministic_digest() == parallel.deterministic_digest()
+        )
+        # Field-level check, not just the digest: identical summaries
+        # modulo wall-clock timing.
+        for left, right in zip(sequential.outcomes, parallel.outcomes):
+            assert left.deterministic_summary() == right.deterministic_summary()
+
+    def test_rerun_is_bit_identical(self):
+        matrix = tiny_matrix()
+        assert (
+            run_matrix(matrix).deterministic_digest()
+            == run_matrix(matrix).deterministic_digest()
+        )
+
+    def test_execute_cell_labels_summary(self):
+        cell = tiny_matrix().cells()[0]
+        summary = execute_cell(cell)
+        assert summary["cell"] == cell.label
+        assert summary["allocator"] == cell.method
+        assert summary["k"] == cell.k
+        assert summary["seed"] == cell.cell_seed
+
+
+class TestAggregation:
+    def test_summaries_feed_comparison_table(self):
+        matrix = tiny_matrix()
+        result = run_matrix(matrix)
+        text = comparison_table(
+            result.summaries,
+            metric="mean_normalized_throughput",
+            allocators=list(matrix.methods),
+            row_settings=grid_row_settings(matrix),
+            value_format="{:.2f}",
+            lower_is_better=False,
+        )
+        assert "mosaic-pilot" in text and "k = 2" in text and "k = 4" in text
+        assert "-" not in text.splitlines()[2].replace("--", "")
+
+    def test_matrix_table_shortcut(self):
+        matrix = tiny_matrix()
+        assert "hash-random" in matrix_table(matrix, run_matrix(matrix))
+
+    def test_write_result_json_round_trips(self, tmp_path):
+        matrix = tiny_matrix()
+        result = run_matrix(matrix)
+        path = write_result_json(result, tmp_path / "result.json")
+        payload = json.loads(path.read_text())
+        assert payload["matrix"] == "tiny"
+        assert payload["digest"] == result.deterministic_digest()
+        assert len(payload["summaries"]) == len(matrix)
+        assert payload["failures"] == []
+
+
+class TestMatrixCli:
+    def test_smoke_grid_runs_clean(self, capsys):
+        """The CI smoke target: a 2x2 grid through the full pipeline."""
+        assert main(["matrix", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 cells" in out
+        assert "digest" in out
+
+    def test_smoke_matrix_is_two_by_two(self):
+        assert len(smoke_matrix()) == 4
+
+    def test_custom_grid_and_json_output(self, tmp_path, capsys):
+        out_file = tmp_path / "cells.json"
+        code = main(
+            [
+                "matrix",
+                "--methods",
+                "hash-random",
+                "--shards",
+                "2,4",
+                "--accounts",
+                "300",
+                "--transactions",
+                "2000",
+                "--blocks",
+                "200",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert len(json.loads(out_file.read_text())["summaries"]) == 2
+
+    def test_unknown_method_is_a_clean_error(self, capsys):
+        assert main(["matrix", "--methods", "bogus"]) == 1
+        assert "unknown methods" in capsys.readouterr().err

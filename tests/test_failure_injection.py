@@ -149,6 +149,120 @@ class TestComponentMismatch:
             Simulation(tiny_trace, ShortAllocator(), config).run()
 
 
+class TestMatrixRunnerFailures:
+    """The scenario-matrix runner must contain cell failures, not absorb
+    them: a crashing cell surfaces a clear error naming the cell, and
+    every other cell's aggregated result is unaffected."""
+
+    @staticmethod
+    def _matrix(methods, seed=0):
+        from repro.experiments import ScenarioMatrix, default_trace
+
+        return ScenarioMatrix(
+            name="failure-injection",
+            methods=methods,
+            traces=(
+                default_trace(
+                    "fi-trace",
+                    n_accounts=300,
+                    n_transactions=2_000,
+                    n_blocks=200,
+                    seed=3,
+                ),
+            ),
+            ks=(2,),
+            seed=seed,
+        )
+
+    @pytest.fixture()
+    def crashing_builder(self, monkeypatch):
+        from repro.experiments import matrix as matrix_module
+
+        def explode(seed):
+            raise RuntimeError("allocator exploded mid-cell")
+
+        monkeypatch.setitem(
+            matrix_module.ALLOCATOR_BUILDERS, "crasher", explode
+        )
+
+    def test_crashed_cell_surfaces_clear_error(self, crashing_builder):
+        from repro.experiments import run_matrix
+
+        result = run_matrix(
+            self._matrix(("hash-random", "crasher", "mosaic-pilot"))
+        )
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert "crasher" in failure.label
+        assert "crasher" in failure.error and "exploded" in failure.error
+        assert failure.summary is None
+
+    def test_other_cells_unaffected_by_crash(self, crashing_builder):
+        from repro.experiments import run_matrix
+
+        with_crash = run_matrix(
+            self._matrix(("hash-random", "crasher", "mosaic-pilot"))
+        )
+        without_crash = run_matrix(
+            self._matrix(("hash-random", "mosaic-pilot"))
+        )
+        healthy = {
+            o.label: o.deterministic_summary()
+            for o in with_crash.outcomes
+            if o.ok
+        }
+        reference = {
+            o.label: o.deterministic_summary() for o in without_crash.outcomes
+        }
+        assert healthy == reference  # aggregated results not corrupted
+
+    def test_strict_mode_raises_experiment_error(self, crashing_builder):
+        from repro.errors import ExperimentError
+        from repro.experiments import run_matrix
+
+        with pytest.raises(ExperimentError, match="crasher"):
+            run_matrix(self._matrix(("crasher", "hash-random")), strict=True)
+
+    def test_parallel_worker_crash_is_contained(self, crashing_builder):
+        """A failing cell on the process pool is reported per cell; the
+        healthy cells' results still aggregate bit-identically."""
+        from repro.experiments import run_matrix
+
+        result = run_matrix(
+            self._matrix(("hash-random", "crasher", "mosaic-pilot")),
+            workers=2,
+        )
+        assert len(result.failures) == 1
+        assert "crasher" in result.failures[0].error
+        sequential = run_matrix(
+            self._matrix(("hash-random", "crasher", "mosaic-pilot"))
+        )
+        assert (
+            result.deterministic_digest() == sequential.deterministic_digest()
+        )
+
+    def test_hard_worker_death_does_not_hang_the_sweep(self, monkeypatch):
+        """A worker process dying outright (os._exit) must not corrupt or
+        deadlock the run: every cell resolves to success or a clear
+        worker-crash error."""
+        from repro.experiments import matrix as matrix_module
+        from repro.experiments import run_matrix
+
+        def die(seed):
+            import os
+
+            os._exit(13)
+
+        monkeypatch.setitem(matrix_module.ALLOCATOR_BUILDERS, "diehard", die)
+        result = run_matrix(
+            self._matrix(("hash-random", "diehard")), workers=2
+        )
+        assert len(result.outcomes) == 2
+        died = [o for o in result.outcomes if "diehard" in o.label]
+        assert len(died) == 1 and not died[0].ok
+        assert "crashed" in died[0].error or "failed" in died[0].error
+
+
 class TestEconomicAbuse:
     def test_overdraft_spree_cannot_mint_value(self):
         """A sender spamming transfers it cannot afford leaves every
