@@ -6,6 +6,13 @@ the transactions between two accounts. Vertex weight is the account's
 transaction count, which is the processing workload it brings to a
 shard.
 
+The graph is stored columnar (structure-of-arrays): new edges are staged
+as raw ``(lo, hi, weight)`` array triples and aggregated lazily into one
+canonical sorted edge stream on first query, so the batch -> graph ->
+partitioner hot path never materialises per-edge Python objects or
+dicts. Dict-shaped views (:meth:`neighbors`) are derived on demand for
+tests and examples.
+
 The graph supports incremental merging (A-TxAllo consumes per-epoch
 deltas) and reports its serialised size, which is the "input data size"
 the efficiency comparison in Table IV charges to miner-driven methods.
@@ -23,6 +30,9 @@ from repro.errors import ValidationError
 #: Bytes per serialised edge record: two 20-byte addresses + 8-byte weight.
 EDGE_RECORD_BYTES = 48
 
+_EMPTY_IDS = np.zeros(0, dtype=np.int64)
+_EMPTY_W = np.zeros(0, dtype=np.float64)
+
 
 class TransactionGraph:
     """Undirected weighted multigraph aggregated into simple weighted edges."""
@@ -31,9 +41,29 @@ class TransactionGraph:
         if n_accounts < 0:
             raise ValidationError(f"n_accounts must be >= 0, got {n_accounts}")
         self.n_accounts = n_accounts
-        self._adjacency: Dict[int, Dict[int, float]] = {}
-        self._vertex_weight: Dict[int, float] = {}
+        # Canonical aggregated stream: unique (lo, hi) pairs with lo < hi,
+        # sorted lexicographically; ``_edge_w`` is parallel.
+        self._edge_lo = _EMPTY_IDS
+        self._edge_hi = _EMPTY_IDS
+        self._edge_w = _EMPTY_W
+        # Staged raw contributions awaiting aggregation.
+        self._staged_lo: List[np.ndarray] = []
+        self._staged_hi: List[np.ndarray] = []
+        self._staged_w: List[np.ndarray] = []
         self._total_edge_weight = 0.0
+        # True while every staged weight is integer-valued; integral
+        # weights make float accumulation exact, enabling the in-place
+        # sorted-merge fast path in :meth:`_compiled`.
+        self._integral = True
+        # Derived caches. The directed stream is stored as sorted
+        # (u, v) arrays plus ``_dup``, the map from directed position to
+        # canonical edge position: weights are gathered through it at
+        # query time, so in-place weight updates need no rebuild, and
+        # the integral compile path splices new pairs in incrementally.
+        self._directed_u: Optional[np.ndarray] = None
+        self._directed_v: Optional[np.ndarray] = None
+        self._dup: Optional[np.ndarray] = None
+        self._vertex_weight: Optional[np.ndarray] = None
 
     # -- construction -------------------------------------------------------
 
@@ -55,29 +85,15 @@ class TransactionGraph:
         max_id = batch.max_account_id()
         if max_id >= self.n_accounts:
             self.n_accounts = max_id + 1
-        # Canonicalise each pair to (min, max) and aggregate duplicates
-        # with one numpy pass before touching the dict.
+        # Canonicalise each pair to (min, max); self-transfers carry no
+        # edge. Each transaction contributes one unit of weight.
         lo = np.minimum(batch.senders, batch.receivers)
         hi = np.maximum(batch.senders, batch.receivers)
         not_self = lo != hi
         lo, hi = lo[not_self], hi[not_self]
         if len(lo) == 0:
             return
-        keys = lo.astype(np.int64) * np.int64(self.n_accounts) + hi
-        unique_keys, counts = np.unique(keys, return_counts=True)
-        us = (unique_keys // self.n_accounts).astype(np.int64)
-        vs = (unique_keys % self.n_accounts).astype(np.int64)
-        for u, v, count in zip(us.tolist(), vs.tolist(), counts.tolist()):
-            self._add_edge(u, v, float(count))
-
-    def _add_edge(self, u: int, v: int, weight: float) -> None:
-        self._adjacency.setdefault(u, {})
-        self._adjacency.setdefault(v, {})
-        self._adjacency[u][v] = self._adjacency[u].get(v, 0.0) + weight
-        self._adjacency[v][u] = self._adjacency[v].get(u, 0.0) + weight
-        self._vertex_weight[u] = self._vertex_weight.get(u, 0.0) + weight
-        self._vertex_weight[v] = self._vertex_weight.get(v, 0.0) + weight
-        self._total_edge_weight += weight
+        self._stage(lo, hi, np.ones(len(lo), dtype=np.float64))
 
     def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
         """Add (or reinforce) a single undirected edge."""
@@ -88,20 +104,109 @@ class TransactionGraph:
         if weight <= 0:
             raise ValidationError(f"weight must be > 0, got {weight}")
         self.n_accounts = max(self.n_accounts, u + 1, v + 1)
-        self._add_edge(u, v, weight)
+        self._stage(
+            np.array([min(u, v)], dtype=np.int64),
+            np.array([max(u, v)], dtype=np.int64),
+            np.array([weight], dtype=np.float64),
+            integral=float(weight).is_integer(),
+        )
 
     def merge(self, other: "TransactionGraph") -> None:
         """Merge another graph into this one in place."""
         self.n_accounts = max(self.n_accounts, other.n_accounts)
-        for u, v, w in other.edges():
-            self._add_edge(u, v, w)
+        lo, hi, w = other._compiled()
+        if len(lo):
+            self._stage(lo.copy(), hi.copy(), w.copy(), integral=other._integral)
+
+    def _stage(
+        self, lo: np.ndarray, hi: np.ndarray, w: np.ndarray, integral: bool = True
+    ) -> None:
+        self._staged_lo.append(lo)
+        self._staged_hi.append(hi)
+        self._staged_w.append(w)
+        self._integral = self._integral and integral
+        self._total_edge_weight += float(w.sum())
+        self._vertex_weight = None
+
+    def _compiled(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Aggregate staged contributions into the canonical edge stream.
+
+        Staged contributions are aggregated with one segment sum (in
+        arrival order — bit-identical to sequential accumulation) and
+        then sorted-merged into the existing stream in place. The merge
+        adds each edge's staged total onto its existing weight, which is
+        exact for integer-valued weights; fractional graphs take the
+        full re-aggregation path, whose accumulation order matches the
+        sequential reference exactly.
+        """
+        if not self._staged_lo:
+            return self._edge_lo, self._edge_hi, self._edge_w
+        # Composite (lo, hi) key over the account universe; ids stay
+        # well below 2**31 so the product cannot overflow int64.
+        span = np.int64(self.n_accounts)
+        if self._integral and len(self._edge_lo):
+            lo = np.concatenate(self._staged_lo)
+            hi = np.concatenate(self._staged_hi)
+            w = np.concatenate(self._staged_w)
+            self._staged_lo, self._staged_hi, self._staged_w = [], [], []
+            keys = lo * span + hi
+            unique_keys, inverse = np.unique(keys, return_inverse=True)
+            merged = np.bincount(inverse, weights=w, minlength=len(unique_keys))
+            existing_keys = self._edge_lo * span + self._edge_hi
+            pos = np.searchsorted(existing_keys, unique_keys)
+            in_bounds = pos < len(existing_keys)
+            matched = np.zeros(len(unique_keys), dtype=bool)
+            matched[in_bounds] = (
+                existing_keys[pos[in_bounds]] == unique_keys[in_bounds]
+            )
+            self._edge_w[pos[matched]] += merged[matched]
+            fresh = ~matched
+            if fresh.any():
+                insert_at = pos[fresh]
+                fresh_lo = unique_keys[fresh] // span
+                fresh_hi = unique_keys[fresh] % span
+                self._edge_lo = np.insert(self._edge_lo, insert_at, fresh_lo)
+                self._edge_hi = np.insert(self._edge_hi, insert_at, fresh_hi)
+                self._edge_w = np.insert(self._edge_w, insert_at, merged[fresh])
+                if self._dup is not None:
+                    # Splice the new pairs into the cached directed
+                    # stream: shift the dup map past the canonical
+                    # insertions, then insert both directions at their
+                    # sorted positions — identical to a full rebuild.
+                    self._dup += np.searchsorted(
+                        insert_at, self._dup, side="right"
+                    )
+                    new_pos = insert_at + np.arange(len(insert_at))
+                    nu = np.concatenate([fresh_lo, fresh_hi])
+                    nv = np.concatenate([fresh_hi, fresh_lo])
+                    nsrc = np.concatenate([new_pos, new_pos])
+                    new_order = np.lexsort((nv, nu))
+                    nu, nv, nsrc = nu[new_order], nv[new_order], nsrc[new_order]
+                    directed_keys = self._directed_u * span + self._directed_v
+                    ipos = np.searchsorted(directed_keys, nu * span + nv)
+                    self._directed_u = np.insert(self._directed_u, ipos, nu)
+                    self._directed_v = np.insert(self._directed_v, ipos, nv)
+                    self._dup = np.insert(self._dup, ipos, nsrc)
+        else:
+            lo = np.concatenate([self._edge_lo] + self._staged_lo)
+            hi = np.concatenate([self._edge_hi] + self._staged_hi)
+            w = np.concatenate([self._edge_w] + self._staged_w)
+            self._staged_lo, self._staged_hi, self._staged_w = [], [], []
+            keys = lo * span + hi
+            unique_keys, inverse = np.unique(keys, return_inverse=True)
+            merged = np.bincount(inverse, weights=w, minlength=len(unique_keys))
+            self._edge_lo = (unique_keys // span).astype(np.int64)
+            self._edge_hi = (unique_keys % span).astype(np.int64)
+            self._edge_w = merged
+            self._directed_u = self._directed_v = self._dup = None
+        return self._edge_lo, self._edge_hi, self._edge_w
 
     # -- queries ---------------------------------------------------------------
 
     @property
     def n_edges(self) -> int:
         """Number of distinct weighted edges."""
-        return sum(len(nbrs) for nbrs in self._adjacency.values()) // 2
+        return len(self._compiled()[0])
 
     @property
     def total_edge_weight(self) -> float:
@@ -109,34 +214,58 @@ class TransactionGraph:
         return self._total_edge_weight
 
     def vertices(self) -> List[int]:
-        """All vertices with at least one incident edge, sorted."""
-        return sorted(self._adjacency.keys())
+        """All vertices with at least one incident edge, sorted.
+
+        Edge weights are validated positive, so the vertices with an
+        incident edge are exactly those with positive weighted degree —
+        read off the cached degree array instead of sorting endpoints.
+        """
+        return np.flatnonzero(self._vertex_weights_cached() > 0).tolist()
 
     def edges(self) -> Iterator[Tuple[int, int, float]]:
-        """Iterate over (u, v, weight) with u < v."""
-        for u, neighbours in self._adjacency.items():
-            for v, weight in neighbours.items():
-                if u < v:
-                    yield u, v, weight
+        """Iterate over (u, v, weight) with u < v, sorted by (u, v)."""
+        lo, hi, w = self._compiled()
+        return zip(lo.tolist(), hi.tolist(), w.tolist())
 
     def neighbors(self, u: int) -> Dict[int, float]:
         """Neighbour -> edge-weight map for ``u`` (empty if isolated)."""
-        return dict(self._adjacency.get(u, {}))
+        edge_u, edge_v, edge_w = self.to_arrays()
+        start, stop = np.searchsorted(edge_u, [u, u + 1])
+        return dict(
+            zip(edge_v[start:stop].tolist(), edge_w[start:stop].tolist())
+        )
 
     def degree(self, u: int) -> float:
         """Weighted degree of ``u``: total transactions it appears in."""
-        return self._vertex_weight.get(u, 0.0)
+        weights = self._vertex_weights_cached()
+        if not 0 <= u < len(weights):
+            return 0.0
+        return float(weights[u])
+
+    def _vertex_weights_cached(self) -> np.ndarray:
+        if self._vertex_weight is None or len(self._vertex_weight) < self.n_accounts:
+            lo, hi, w = self._compiled()
+            vw = np.bincount(lo, weights=w, minlength=self.n_accounts)
+            vw += np.bincount(hi, weights=w, minlength=self.n_accounts)
+            self._vertex_weight = vw
+        return self._vertex_weight
 
     def vertex_weights(self) -> np.ndarray:
         """Dense per-account weighted degree array of length n_accounts."""
-        weights = np.zeros(self.n_accounts, dtype=np.float64)
-        for u, w in self._vertex_weight.items():
-            weights[u] = w
-        return weights
+        return self._vertex_weights_cached().copy()
 
     def edge_weight(self, u: int, v: int) -> float:
         """Weight of edge (u, v), or 0 when absent."""
-        return self._adjacency.get(u, {}).get(v, 0.0)
+        if u == v:
+            return 0.0
+        lo, hi = (u, v) if u < v else (v, u)
+        edge_lo, edge_hi, edge_w = self._compiled()
+        start, stop = np.searchsorted(edge_lo, [lo, lo + 1])
+        offset = np.searchsorted(edge_hi[start:stop], hi)
+        index = start + int(offset)
+        if index < stop and edge_hi[index] == hi:
+            return float(edge_w[index])
+        return 0.0
 
     def size_bytes(self) -> int:
         """Serialised size — the miner-side allocator input (Table IV)."""
@@ -147,22 +276,21 @@ class TransactionGraph:
 
         Every undirected edge appears twice (once per direction), so the
         result is a CSR-ready adjacency stream: consumers slice row
-        ``u``'s neighbours with ``searchsorted``. Sorting makes the view
-        deterministic regardless of dict insertion order.
+        ``u``'s neighbours with ``searchsorted``. The (u, v) ordering is
+        cached and updated in place by the incremental compile; weights
+        are gathered through the dup map so they are always current.
         """
-        n_directed = sum(len(nbrs) for nbrs in self._adjacency.values())
-        us = np.empty(n_directed, dtype=np.int64)
-        vs = np.empty(n_directed, dtype=np.int64)
-        ws = np.empty(n_directed, dtype=np.float64)
-        position = 0
-        for u, nbrs in self._adjacency.items():
-            m = len(nbrs)
-            us[position : position + m] = u
-            vs[position : position + m] = np.fromiter(nbrs.keys(), np.int64, m)
-            ws[position : position + m] = np.fromiter(nbrs.values(), np.float64, m)
-            position += m
-        order = np.lexsort((vs, us))
-        return us[order], vs[order], ws[order]
+        lo, hi, w = self._compiled()
+        if self._directed_u is None:
+            m = len(lo)
+            us = np.concatenate([lo, hi])
+            vs = np.concatenate([hi, lo])
+            src = np.concatenate([np.arange(m), np.arange(m)])
+            order = np.lexsort((vs, us))
+            self._directed_u = us[order]
+            self._directed_v = vs[order]
+            self._dup = src[order]
+        return self._directed_u, self._directed_v, w[self._dup]
 
     def csr_indptr(self, edge_u: np.ndarray) -> np.ndarray:
         """Row pointer for the :meth:`to_arrays` stream, length n+1."""
@@ -170,21 +298,26 @@ class TransactionGraph:
 
     def subgraph_touching(self, vertices: np.ndarray) -> "TransactionGraph":
         """Edges with at least one endpoint in ``vertices``."""
-        wanted = set(int(v) for v in vertices)
+        lo, hi, w = self._compiled()
+        wanted = np.asarray(vertices, dtype=np.int64)
+        mask = np.isin(lo, wanted) | np.isin(hi, wanted)
         sub = TransactionGraph(self.n_accounts)
-        for u, v, w in self.edges():
-            if u in wanted or v in wanted:
-                sub._add_edge(u, v, w)
+        if mask.any():
+            sub._stage(
+                lo[mask].copy(),
+                hi[mask].copy(),
+                w[mask].copy(),
+                integral=self._integral,
+            )
         return sub
 
     def cut_weight(self, assignment: np.ndarray) -> float:
         """Total weight of edges crossing parts under ``assignment``."""
         assignment = np.asarray(assignment)
-        cut = 0.0
-        for u, v, w in self.edges():
-            if assignment[u] != assignment[v]:
-                cut += w
-        return cut
+        lo, hi, w = self._compiled()
+        if len(lo) == 0:
+            return 0.0
+        return float(w[assignment[lo] != assignment[hi]].sum())
 
     def __repr__(self) -> str:
         return (

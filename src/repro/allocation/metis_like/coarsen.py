@@ -19,6 +19,47 @@ from repro.allocation.metis_like.csr import (
 
 Adjacency = List[Dict[int, float]]
 
+#: Below this many directed edges the scalar matching loop beats the
+#: vectorised candidate pass (fixed numpy overhead per level).
+_CANDIDATE_PASS_MIN_EDGES = 8192
+
+
+def _heavy_edge_matching_scalar(
+    csr: CsrAdjacency,
+    vertex_weights: np.ndarray,
+    rng: np.random.Generator,
+    max_vertex_weight: float,
+) -> np.ndarray:
+    """Reference sequential matching over plain-list mirrors."""
+    n = csr.n
+    indptr = csr.indptr.tolist()
+    indices = csr.indices.tolist()
+    weights = csr.weights.tolist()
+    vw = vertex_weights.tolist()
+    match: List[int] = [-1] * n
+    for u in rng.permutation(n).tolist():
+        if match[u] != -1:
+            continue
+        best_v = -1
+        best_w = 0.0
+        wu = vw[u]
+        for j in range(indptr[u], indptr[u + 1]):
+            v = indices[j]
+            if match[v] != -1 or v == u:
+                continue
+            if wu + vw[v] > max_vertex_weight:
+                continue
+            w = weights[j]
+            if w > best_w or (w == best_w and v > best_v):
+                best_w = w
+                best_v = v
+        if best_v == -1:
+            match[u] = u
+        else:
+            match[u] = best_v
+            match[best_v] = u
+    return np.array(match, dtype=np.int64)
+
 
 def heavy_edge_matching_csr(
     csr: CsrAdjacency,
@@ -38,27 +79,79 @@ def heavy_edge_matching_csr(
     ``match[v] = u`` (or ``match[u] = u``).
     """
     n = csr.n
-    # Plain-list mirrors: the matching is inherently sequential (each
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if len(csr.indices) < _CANDIDATE_PASS_MIN_EDGES:
+        # Small coarse levels: the fixed cost of the vectorised
+        # candidate pass exceeds the scalar scan it saves.
+        return _heavy_edge_matching_scalar(
+            csr, vertex_weights, rng, max_vertex_weight
+        )
+    # Vectorised candidate-selection pass: each vertex's lexicographic
+    # (weight, neighbour-id) maximum over its *valid* incident edges,
+    # computed once over the whole edge stream. Validity (self-loops,
+    # weight cap) never changes during the matching, so a candidate that
+    # is still unmatched when its vertex's turn comes is exactly the
+    # vertex the sequential scan would pick — the scan only shrinks the
+    # eligible set. Only conflicted vertices (candidate already taken)
+    # fall back to rescanning their adjacency row.
+    rows = csr.row_index()
+    valid = (csr.indices != rows) & (
+        vertex_weights[rows] + vertex_weights[csr.indices] <= max_vertex_weight
+    )
+    # Row-wise lexicographic (weight, neighbour) maximum in two O(E)
+    # segment reductions: max valid weight per row, then max neighbour
+    # id among the edges attaining it. A trailing sentinel keeps
+    # ``reduceat`` defined for empty rows, which are masked out after.
+    starts = csr.indptr[:-1]
+    empty_row = starts == csr.indptr[1:]
+    masked_w = np.where(valid, csr.weights, -np.inf)
+    row_best_w = np.maximum.reduceat(
+        np.append(masked_w, -np.inf), np.minimum(starts, len(masked_w))
+    )
+    at_best = valid & (masked_w == row_best_w[rows])
+    masked_v = np.where(at_best, csr.indices, -1)
+    row_best_v = np.maximum.reduceat(
+        np.append(masked_v, np.int64(-1)), np.minimum(starts, len(masked_v))
+    )
+    candidate_arr = np.where(
+        empty_row | np.isneginf(row_best_w), -1, row_best_v
+    ).astype(np.int64)
+
+    # Plain-list mirrors: the commit pass is inherently sequential (each
     # decision consumes earlier ones), and list indexing beats ndarray
-    # scalar access in the interpreter loop.
+    # scalar access in the interpreter loop. Conflicted vertices convert
+    # only their own adjacency row (not the whole edge stream).
+    candidate = candidate_arr.tolist()
     indptr = csr.indptr.tolist()
-    indices = csr.indices.tolist()
-    weights = csr.weights.tolist()
     vw = vertex_weights.tolist()
     match: List[int] = [-1] * n
     for u in rng.permutation(n).tolist():
         if match[u] != -1:
             continue
+        best_v = candidate[u]
+        if best_v == -1:
+            match[u] = u
+            continue
+        if match[best_v] == -1:
+            match[u] = best_v
+            match[best_v] = u
+            continue
+        # Conflict: the precomputed candidate was matched earlier.
+        # Rescan u's row for its best still-unmatched valid neighbour.
+        start, stop = indptr[u], indptr[u + 1]
+        row_v = csr.indices[start:stop].tolist()
+        row_w = csr.weights[start:stop].tolist()
         best_v = -1
         best_w = 0.0
         wu = vw[u]
-        for j in range(indptr[u], indptr[u + 1]):
-            v = indices[j]
+        for j in range(stop - start):
+            v = row_v[j]
             if match[v] != -1 or v == u:
                 continue
             if wu + vw[v] > max_vertex_weight:
                 continue
-            w = weights[j]
+            w = row_w[j]
             if w > best_w or (w == best_w and v > best_v):
                 best_w = w
                 best_v = v
@@ -96,22 +189,40 @@ def contract_csr(
     """
     n = csr.n
     representative = np.minimum(np.arange(n), match)
-    unique_reps = np.unique(representative)
-    fine_to_coarse = np.searchsorted(unique_reps, representative)
-    n_coarse = len(unique_reps)
+    is_rep = representative == np.arange(n)
+    n_coarse = int(is_rep.sum())
+    # Coarse ids ascend with the representative's fine id; the cumsum
+    # assigns them in one O(n) pass (no sort needed — representatives
+    # are their own fine ids).
+    coarse_id = np.cumsum(is_rep) - 1
+    fine_to_coarse = coarse_id[representative]
     coarse_weights = np.bincount(
         fine_to_coarse, weights=vertex_weights, minlength=n_coarse
     )
 
     # Each undirected fine edge appears once per direction; relabelling
     # both directions keeps the coarse stream symmetric, and summing
-    # duplicates merges parallel edges.
+    # duplicates merges parallel edges. Grouping runs on a stable
+    # integer radix sort plus a segmented reduction, which preserves the
+    # per-edge accumulation order of the scalar reference.
     coarse_u = fine_to_coarse[csr.row_index()]
     coarse_v = fine_to_coarse[csr.indices]
     external = coarse_u != coarse_v
     keys = coarse_u[external] * np.int64(n_coarse) + coarse_v[external]
-    unique_keys, inverse = np.unique(keys, return_inverse=True)
-    merged_w = np.bincount(inverse, weights=csr.weights[external])
+    if n_coarse * n_coarse < np.iinfo(np.int32).max:
+        keys = keys.astype(np.int32)  # halves the radix-sort passes
+    if len(keys):
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        run_start = np.concatenate(
+            ([True], sorted_keys[1:] != sorted_keys[:-1])
+        )
+        starts = np.flatnonzero(run_start)
+        unique_keys = sorted_keys[starts]
+        merged_w = np.add.reduceat(csr.weights[external][order], starts)
+    else:
+        unique_keys = keys
+        merged_w = csr.weights[external]
     rows = (unique_keys // n_coarse).astype(np.int64)
     cols = (unique_keys % n_coarse).astype(np.int64)
     indptr = np.searchsorted(rows, np.arange(n_coarse + 1))

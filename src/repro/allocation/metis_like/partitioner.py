@@ -86,11 +86,13 @@ def partition_graph(
         )
 
     # Columnar relabelling: the graph's directed edge stream maps onto
-    # local vertex indices with two searchsorted passes, yielding the
-    # root-level CSR view without materialising any dicts.
+    # local vertex indices with one inverse-lookup gather per endpoint,
+    # yielding the root-level CSR view without materialising any dicts.
     edge_u, edge_v, edge_w = graph.to_arrays()
-    local_u = np.searchsorted(vertex_ids, edge_u)
-    local_v = np.searchsorted(vertex_ids, edge_v)
+    local_of = np.zeros(int(vertex_ids[-1]) + 1, dtype=np.int64)
+    local_of[vertex_ids] = np.arange(n)
+    local_u = local_of[edge_u]
+    local_v = local_of[edge_v]
     indptr = np.searchsorted(local_u, np.arange(n + 1))
     root = CsrAdjacency(indptr, local_v, edge_w)
     # Isolated-from-edges vertices can still carry weight 0; give every

@@ -63,48 +63,111 @@ def refine_partition(
     _ = rng
     loads = part_loads(vertex_weights, assignment, k)
     part_counts = np.bincount(assignment, minlength=k)
+    # Hoisted per-call state: the edge-key base of the connection
+    # scatter, the scalar mirrors the commit loop works on, and the row
+    # index vector. Each pass then costs three O(E) array ops plus the
+    # dense (n, k) candidate scan.
+    edge_keys = csr.row_index() * k
     rows = np.arange(n)
+    max_vertex_weight = vertex_weights.max() if n else 0.0
+    loads_l = loads.tolist()
+    counts_l = part_counts.tolist()
+    weights_l = vertex_weights.tolist()
+    assignment_l = assignment.tolist()
+    # Integer-valued edge weights (transaction counts and their coarse
+    # sums — every graph this partitioner sees) make float adds exact,
+    # so the connection matrix can be maintained incrementally across
+    # commits and passes, bit-identical to a fresh scatter. Fractional
+    # weights fall back to per-pass rebuilds with dirty-row tracking.
+    integral = bool((np.rint(csr.weights) == csr.weights).all())
+    connection: np.ndarray = None
 
     for _pass in range(max_passes):
-        connection = connection_matrix(csr, assignment, k)
-        internal = connection[rows, assignment]
-        gains = connection - internal[:, np.newaxis]
-        # A destination must be adjacent (connection > 0) and must fit.
-        feasible = (connection > 0) & (
-            loads[np.newaxis, :] + vertex_weights[:, np.newaxis]
-            <= max_part_weight
-        )
-        masked = np.where(feasible, gains, -np.inf)
-        masked[rows, assignment] = 0.0
+        if connection is None:
+            connection = np.bincount(
+                edge_keys + assignment[csr.indices],
+                weights=csr.weights,
+                minlength=n * k,
+            ).reshape(n, k)
+        # Gains are connection minus a per-row constant (the internal
+        # connection), so the argmax over masked *connection* values
+        # selects the same destination as the argmax over gains — one
+        # less dense matrix to materialise. A destination must be
+        # adjacent (connection > 0) and must fit; when even the
+        # heaviest vertex fits everywhere the weight check is skipped
+        # (identical feasibility matrix, three fewer dense ops).
+        if loads.max() + max_vertex_weight <= max_part_weight:
+            feasible = connection > 0
+        else:
+            feasible = (connection > 0) & (
+                loads[np.newaxis, :] + vertex_weights[:, np.newaxis]
+                <= max_part_weight
+            )
+        masked = np.where(feasible, connection, -np.inf)
+        masked[rows, assignment] = -np.inf
         best = np.argmax(masked, axis=1)
-        best_gain = masked[rows, best]
+        internal = connection[rows, assignment]
+        best_gain = masked[rows, best] - internal
         movers = np.flatnonzero(
-            (best != assignment) & (best_gain > 0) & (part_counts[assignment] > 1)
+            (best_gain > 0) & (part_counts[assignment] > 1)
         )
         if len(movers) == 0:
             break
         movers = movers[np.lexsort((movers, -best_gain[movers]))]
         improved = False
-        for u in movers:
-            u = int(u)
-            current = int(assignment[u])
-            if part_counts[current] <= 1:
+        # Commit loop over Python scalars: the synchronous scan above
+        # already computed every mover's connection row, so the live
+        # re-check reads the cached matrix row — kept current by the
+        # incremental scatter on each commit (integral weights) or
+        # rebuilt on demand when a neighbour moved ("dirty", fractional
+        # weights). The k-way target selection runs on plain lists,
+        # where it is branch-for-branch the argmax-over-masked-gains of
+        # the scalar reference.
+        dirty = None if integral else np.zeros(n, dtype=bool)
+        for u in movers.tolist():
+            current = assignment_l[u]
+            if counts_l[current] <= 1:
                 continue
-            weight = float(vertex_weights[u])
-            conn = connection_row(csr, u, assignment, k)
-            live_gains = conn - conn[current]
-            live_ok = (conn > 0) & (loads + weight <= max_part_weight)
-            live_ok[current] = False
-            live_masked = np.where(live_ok, live_gains, -np.inf)
-            target = int(np.argmax(live_masked))
-            if not live_masked[target] > 0:
+            weight = weights_l[u]
+            if dirty is not None and dirty[u]:
+                conn = connection_row(csr, u, assignment, k).tolist()
+            else:
+                conn = connection[u].tolist()
+            base = conn[current]
+            best_gain_u = 0.0
+            target = -1
+            for p in range(k):
+                c = conn[p]
+                if p == current or c <= 0.0:
+                    continue
+                if loads_l[p] + weight > max_part_weight:
+                    continue
+                gain = c - base
+                if gain > best_gain_u:
+                    best_gain_u = gain
+                    target = p
+            if target < 0:
                 continue
+            assignment_l[u] = target
             assignment[u] = target
-            loads[current] -= weight
-            loads[target] += weight
-            part_counts[current] -= 1
-            part_counts[target] += 1
+            loads_l[current] -= weight
+            loads_l[target] += weight
+            counts_l[current] -= 1
+            counts_l[target] += 1
+            neighbours = csr.indices[csr.indptr[u] : csr.indptr[u + 1]]
+            if dirty is None:
+                # Neighbour ids are unique within a CSR row, so plain
+                # fancy-index arithmetic is a safe (and fast) scatter.
+                edge_w = csr.weights[csr.indptr[u] : csr.indptr[u + 1]]
+                connection[neighbours, current] -= edge_w
+                connection[neighbours, target] += edge_w
+            else:
+                dirty[neighbours] = True
             improved = True
+        loads = np.asarray(loads_l, dtype=np.float64)
+        part_counts = np.asarray(counts_l, dtype=np.int64)
+        if dirty is not None:
+            connection = None
         if not improved:
             break
     return assignment
@@ -142,20 +205,17 @@ def rebalance(
             if len(members) <= 1:
                 continue
             # Cheapest-to-move first: lowest (internal - best external),
-            # computed for all members with one masked scatter pass.
-            member_edge = assignment[edge_rows] == part
-            same_part = assignment[csr.indices] == part
+            # computed for all members with one masked scatter pass over
+            # the part's own edge slice.
+            sel = np.flatnonzero(assignment[edge_rows] == part)
+            sel_rows = edge_rows[sel]
+            sel_w = csr.weights[sel]
+            same_part = assignment[csr.indices[sel]] == part
             internal = np.zeros(n)
-            np.add.at(
-                internal,
-                edge_rows[member_edge & same_part],
-                csr.weights[member_edge & same_part],
-            )
+            np.add.at(internal, sel_rows[same_part], sel_w[same_part])
             best_external = np.zeros(n)
             np.maximum.at(
-                best_external,
-                edge_rows[member_edge & ~same_part],
-                csr.weights[member_edge & ~same_part],
+                best_external, sel_rows[~same_part], sel_w[~same_part]
             )
             costs = internal[members] - best_external[members]
             candidates = members[np.argsort(costs, kind="stable")]

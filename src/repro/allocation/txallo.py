@@ -143,21 +143,43 @@ def g_txallo(
     # Deterministic visit order: heaviest accounts first, ties by id.
     order = vertices[np.lexsort((vertices, -degrees[vertices]))]
     rows = np.arange(n)
+    # Hoisted per-call state for the scan (edge-key base) and the commit
+    # loop (scalar mirrors; the live re-check reuses the scan's cached
+    # connection rows unless a neighbour moved after the scan).
+    edge_keys = edge_u * k
+    coef = 2.0 * eta - 1.0
+    avg_denom = max(average_load, 1e-12)
+    max_degree = degrees.max() if len(degrees) else 0.0
+    degrees_l = degrees.tolist()
+    assignment_l = assignment.tolist()
+    neg_inf = -np.inf
+    # Integer-valued edge weights make float adds exact, so the
+    # connection matrix is maintained incrementally across commits and
+    # rounds (bit-identical to a fresh scatter); fractional weights
+    # rebuild per round with dirty-row tracking.
+    integral = bool((np.rint(edge_w) == edge_w).all())
+    connection = None
 
     for _ in range(max_rounds):
         # Synchronous candidate scan: one scatter builds every account's
         # connection-to-shard row, one matrix op scores all k
         # destinations (vectorising the former per-account
         # ``_shard_connections`` dict walk).
-        connection = np.bincount(
-            edge_u * k + assignment[edge_v], weights=edge_w, minlength=n * k
-        ).reshape(n, k)
+        if connection is None:
+            connection = np.bincount(
+                edge_keys + assignment[edge_v], weights=edge_w, minlength=n * k
+            ).reshape(n, k)
         scores = _move_gain(
             connection, loads, degrees[:, np.newaxis], eta, average_load
         )
         current_scores = scores[rows, assignment]
-        feasible = loads[np.newaxis, :] + degrees[:, np.newaxis] <= load_cap
-        masked = np.where(feasible, scores, -np.inf)
+        if loads.max() + max_degree <= load_cap:
+            # Even the heaviest account fits everywhere: the dense
+            # feasibility mask is all-True, skip materialising it.
+            masked = scores.copy()
+        else:
+            feasible = loads[np.newaxis, :] + degrees[:, np.newaxis] <= load_cap
+            masked = np.where(feasible, scores, -np.inf)
         masked[rows, assignment] = current_scores
         best = np.argmax(masked, axis=1)
         wants_move = (
@@ -167,15 +189,55 @@ def g_txallo(
         )
         movers = order[wants_move[order]]
         moved = 0
-        for account in movers:
+        dirty = None if integral else np.zeros(n, dtype=bool)
+        loads_l = loads.tolist()
+        for u in movers.tolist():
             # Exact re-check under the live assignment/loads keeps the
             # greedy deterministic and monotone despite the synchronous
-            # candidate scan.
-            if _commit_move(
-                int(account), assignment, loads, degrees, edge_v, edge_w,
-                indptr, k, eta, average_load, load_cap,
-            ):
-                moved += 1
+            # candidate scan; it is branch-for-branch the masked argmax
+            # of :func:`_commit_move` on plain scalars.
+            if dirty is not None and dirty[u]:
+                start, stop = indptr[u], indptr[u + 1]
+                conn = np.bincount(
+                    assignment[edge_v[start:stop]],
+                    weights=edge_w[start:stop],
+                    minlength=k,
+                ).tolist()
+            else:
+                conn = connection[u].tolist()
+            degree = degrees_l[u]
+            current = assignment_l[u]
+            best_p = 0
+            best_val = neg_inf
+            for p in range(k):
+                if p != current and loads_l[p] + degree > load_cap:
+                    continue
+                val = coef * conn[p] - degree * (loads_l[p] / avg_denom)
+                if val > best_val:
+                    best_val = val
+                    best_p = p
+            cur_score = coef * conn[current] - degree * (
+                loads_l[current] / avg_denom
+            )
+            if best_p == current or not best_val > cur_score + 1e-12:
+                continue
+            assignment_l[u] = best_p
+            assignment[u] = best_p
+            loads_l[current] -= degree
+            loads_l[best_p] += degree
+            neighbours = edge_v[indptr[u] : indptr[u + 1]]
+            if dirty is None:
+                # Neighbour ids are unique within a row of the directed
+                # stream, so fancy-index arithmetic is a safe scatter.
+                w_row = edge_w[indptr[u] : indptr[u + 1]]
+                connection[neighbours, current] -= w_row
+                connection[neighbours, best_p] += w_row
+            else:
+                dirty[neighbours] = True
+            moved += 1
+        loads = np.asarray(loads_l, dtype=np.float64)
+        if dirty is not None:
+            connection = None
         if moved == 0:
             break
     return assignment
