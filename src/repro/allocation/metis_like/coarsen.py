@@ -66,6 +66,7 @@ def heavy_edge_matching_csr(
     vertex_weights: np.ndarray,
     rng: np.random.Generator,
     max_vertex_weight: float,
+    rows: np.ndarray = None,
 ) -> np.ndarray:
     """Compute a matching preferring the heaviest incident edges.
 
@@ -95,28 +96,42 @@ def heavy_edge_matching_csr(
     # vertex the sequential scan would pick — the scan only shrinks the
     # eligible set. Only conflicted vertices (candidate already taken)
     # fall back to rescanning their adjacency row.
-    rows = csr.row_index()
+    if rows is None:
+        rows = csr.row_index()
     valid = (csr.indices != rows) & (
         vertex_weights[rows] + vertex_weights[csr.indices] <= max_vertex_weight
     )
-    # Row-wise lexicographic (weight, neighbour) maximum in two O(E)
-    # segment reductions: max valid weight per row, then max neighbour
-    # id among the edges attaining it. A trailing sentinel keeps
+    # Row-wise lexicographic (weight, neighbour-id) maximum. Integral
+    # weights (every graph this partitioner sees) pack exactly into an
+    # int64 composite ``w * n + v`` key, so one segment reduction finds
+    # both; fractional weights take two reductions (max weight, then
+    # max id among the edges attaining it). A trailing sentinel keeps
     # ``reduceat`` defined for empty rows, which are masked out after.
     starts = csr.indptr[:-1]
     empty_row = starts == csr.indptr[1:]
-    masked_w = np.where(valid, csr.weights, -np.inf)
-    row_best_w = np.maximum.reduceat(
-        np.append(masked_w, -np.inf), np.minimum(starts, len(masked_w))
-    )
-    at_best = valid & (masked_w == row_best_w[rows])
-    masked_v = np.where(at_best, csr.indices, -1)
-    row_best_v = np.maximum.reduceat(
-        np.append(masked_v, np.int64(-1)), np.minimum(starts, len(masked_v))
-    )
-    candidate_arr = np.where(
-        empty_row | np.isneginf(row_best_w), -1, row_best_v
-    ).astype(np.int64)
+    weights_int = csr.weights.astype(np.int64)
+    max_w = int(weights_int.max()) if len(weights_int) else 0
+    if (weights_int == csr.weights).all() and max_w < (2**62) // max(n, 1):
+        keys = np.where(valid, weights_int * np.int64(n) + csr.indices, -1)
+        row_best_key = np.maximum.reduceat(
+            np.append(keys, np.int64(-1)), np.minimum(starts, len(keys))
+        )
+        candidate_arr = np.where(
+            empty_row | (row_best_key < 0), -1, row_best_key % np.int64(n)
+        ).astype(np.int64)
+    else:
+        masked_w = np.where(valid, csr.weights, -np.inf)
+        row_best_w = np.maximum.reduceat(
+            np.append(masked_w, -np.inf), np.minimum(starts, len(masked_w))
+        )
+        at_best = valid & (masked_w == row_best_w[rows])
+        masked_v = np.where(at_best, csr.indices, -1)
+        row_best_v = np.maximum.reduceat(
+            np.append(masked_v, np.int64(-1)), np.minimum(starts, len(masked_v))
+        )
+        candidate_arr = np.where(
+            empty_row | np.isneginf(row_best_w), -1, row_best_v
+        ).astype(np.int64)
 
     # Plain-list mirrors: the commit pass is inherently sequential (each
     # decision consumes earlier ones), and list indexing beats ndarray
@@ -179,6 +194,7 @@ def contract_csr(
     csr: CsrAdjacency,
     vertex_weights: np.ndarray,
     match: np.ndarray,
+    rows: np.ndarray = None,
 ) -> Tuple[CsrAdjacency, np.ndarray, np.ndarray]:
     """Contract matched pairs into coarse vertices, fully vectorised.
 
@@ -205,7 +221,7 @@ def contract_csr(
     # duplicates merges parallel edges. Grouping runs on a stable
     # integer radix sort plus a segmented reduction, which preserves the
     # per-edge accumulation order of the scalar reference.
-    coarse_u = fine_to_coarse[csr.row_index()]
+    coarse_u = fine_to_coarse[csr.row_index() if rows is None else rows]
     coarse_v = fine_to_coarse[csr.indices]
     external = coarse_u != coarse_v
     keys = coarse_u[external] * np.int64(n_coarse) + coarse_v[external]
@@ -252,8 +268,11 @@ def coarsen_level_csr(
     max_vertex_weight: float,
 ) -> Tuple[CsrAdjacency, np.ndarray, np.ndarray]:
     """One full coarsening step on the CSR view: match then contract."""
-    match = heavy_edge_matching_csr(csr, vertex_weights, rng, max_vertex_weight)
-    return contract_csr(csr, vertex_weights, match)
+    rows = csr.row_index()
+    match = heavy_edge_matching_csr(
+        csr, vertex_weights, rng, max_vertex_weight, rows=rows
+    )
+    return contract_csr(csr, vertex_weights, match, rows=rows)
 
 
 def coarsen_level(

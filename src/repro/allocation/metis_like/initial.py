@@ -9,55 +9,82 @@ subsequent refinement passes repair its local mistakes.
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 import numpy as np
 
+from repro.allocation.metis_like.csr import AdjacencyLike, csr_from_adjacency
 from repro.errors import PartitionError
-
-Adjacency = List[Dict[int, float]]
 
 
 def greedy_initial_partition(
-    adjacency: Adjacency,
+    adjacency: AdjacencyLike,
     vertex_weights: np.ndarray,
     k: int,
     max_part_weight: float,
 ) -> np.ndarray:
     """Greedily assign every vertex to one of ``k`` parts.
 
-    Returns an assignment array of length ``len(adjacency)``.
+    Accepts either the list-of-dicts adjacency or a CSR view (the
+    multilevel driver passes CSR directly). Returns an assignment array
+    of length ``n``. The selection key per part is lexicographic
+    ``(fits, connection, -load)``, evaluated on plain scalars.
     """
-    n = len(adjacency)
     if k < 1:
         raise PartitionError(f"k must be >= 1, got {k}")
-    assignment = np.full(n, -1, dtype=np.int64)
-    loads = np.zeros(k, dtype=np.float64)
-    order = np.argsort(-vertex_weights, kind="stable")
+    csr = csr_from_adjacency(adjacency)
+    n = csr.n
+    indptr = csr.indptr.tolist()
+    neighbours = csr.indices.tolist()
+    weights = csr.weights.tolist()
+    vw = vertex_weights.tolist()
+    assignment = [-1] * n
+    loads = [0.0] * k
+    connection = [0.0] * k
 
-    for u in order:
-        u = int(u)
-        weight = float(vertex_weights[u])
-        connection = np.zeros(k, dtype=np.float64)
-        for v, w in adjacency[u].items():
-            part = assignment[v]
+    for u in np.argsort(-vertex_weights, kind="stable").tolist():
+        weight = vw[u]
+        touched = []
+        for j in range(indptr[u], indptr[u + 1]):
+            part = assignment[neighbours[j]]
             if part != -1:
-                connection[part] += w
+                if connection[part] == 0.0:
+                    touched.append(part)
+                connection[part] += weights[j]
         # Prefer the most-connected part that still fits; break ties by
         # lighter load so early heavy vertices spread out.
-        best_part = -1
-        best_key = None
-        for part in range(k):
+        best_part = 0
+        best_fits = loads[0] + weight <= max_part_weight
+        best_conn = connection[0]
+        best_load = loads[0]
+        for part in range(1, k):
             fits = loads[part] + weight <= max_part_weight
-            key = (1 if fits else 0, connection[part], -loads[part])
-            if best_key is None or key > best_key:
-                best_key = key
-                best_part = part
-        if best_key is not None and best_key[0] == 0:
+            conn = connection[part]
+            load = loads[part]
+            if fits > best_fits:
+                pass
+            elif fits < best_fits:
+                continue
+            elif conn > best_conn:
+                pass
+            elif conn < best_conn:
+                continue
+            elif load >= best_load:  # key uses -load: larger load loses
+                continue
+            best_part = part
+            best_fits = fits
+            best_conn = conn
+            best_load = load
+        if not best_fits:
             # Nothing fits: place on the lightest part (balance repaired
             # later by refinement); this keeps completeness.
-            best_part = int(np.argmin(loads))
+            best_part = 0
+            best_load = loads[0]
+            for part in range(1, k):
+                if loads[part] < best_load:
+                    best_part = part
+                    best_load = loads[part]
         assignment[u] = best_part
         loads[best_part] += weight
+        for part in touched:
+            connection[part] = 0.0
 
-    return assignment
+    return np.asarray(assignment, dtype=np.int64)

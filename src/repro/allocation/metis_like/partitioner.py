@@ -18,13 +18,9 @@ import numpy as np
 from repro.allocation.base import AllocationUpdate, Allocator, UpdateContext
 from repro.allocation.graph import TransactionGraph
 from repro.allocation.metis_like.coarsen import coarsen_level_csr
-from repro.allocation.metis_like.csr import (
-    CsrAdjacency,
-    adjacency_from_csr,
-    cut_weight_csr,
-)
+from repro.allocation.metis_like.csr import CsrAdjacency, cut_weight_csr
 from repro.allocation.metis_like.initial import greedy_initial_partition
-from repro.allocation.metis_like.refine import rebalance, refine_partition
+from repro.allocation.metis_like.refine import polish_level
 from repro.chain.mapping import ShardMapping
 from repro.chain.params import ProtocolParams
 from repro.data.trace import Trace
@@ -130,21 +126,15 @@ def partition_graph(
     relaxed_cap = max_part_weight + max_vertex_weight
 
     def polish(adjacency_l, weights_l, assignment_l, rng_l):
-        assignment_l = refine_partition(
-            adjacency_l, weights_l, assignment_l, k, relaxed_cap, rng_l,
-            max_passes=refine_passes,
-        )
-        assignment_l = rebalance(
-            adjacency_l, weights_l, assignment_l, k, max_part_weight, rng_l
-        )
-        return refine_partition(
-            adjacency_l, weights_l, assignment_l, k, max_part_weight, rng_l,
+        return polish_level(
+            adjacency_l, weights_l, assignment_l, k,
+            relaxed_cap, max_part_weight, rng_l,
             max_passes=refine_passes,
         )
 
     coarse_adj, coarse_weights = levels[-1]
     assignment = greedy_initial_partition(
-        adjacency_from_csr(coarse_adj), coarse_weights, k, max_part_weight
+        coarse_adj, coarse_weights, k, max_part_weight
     )
     assignment = polish(
         coarse_adj, coarse_weights, assignment, rngs.generator("refine-coarsest")

@@ -12,19 +12,34 @@ per-vertex re-check against the live assignment — so every applied move
 is a true improvement at application time and the cut never worsens,
 exactly as in the scalar implementation. Functions accept either the
 list-of-dicts adjacency or a pre-built :class:`CsrAdjacency`.
+
+:func:`polish_level` runs the multilevel driver's per-level pipeline
+(relaxed-cap refine, rebalance, strict-cap refine) over one shared
+level state, so the connection matrix — maintained incrementally and
+bit-exactly for the integer-valued edge weights every partitioner
+graph carries — is scattered once per level instead of once per phase.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
 from repro.allocation.metis_like.csr import (
     AdjacencyLike,
-    connection_matrix,
     connection_row,
     csr_from_adjacency,
     cut_weight_csr,
 )
+
+__all__ = [
+    "part_loads",
+    "cut_weight",
+    "refine_partition",
+    "rebalance",
+    "polish_level",
+]
 
 
 def part_loads(vertex_weights: np.ndarray, assignment: np.ndarray, k: int) -> np.ndarray:
@@ -37,77 +52,95 @@ def cut_weight(adjacency: AdjacencyLike, assignment: np.ndarray) -> float:
     return cut_weight_csr(csr_from_adjacency(adjacency), np.asarray(assignment))
 
 
-def refine_partition(
-    adjacency: AdjacencyLike,
+class _LevelState:
+    """Shared per-level artefacts threaded through the polish phases.
+
+    ``connection_flat`` is the live flattened connection matrix —
+    maintained incrementally across phases when edge weights are
+    integer-valued (exact float adds), rebuilt from scratch otherwise.
+    """
+
+    __slots__ = (
+        "edge_rows",
+        "edge_keys",
+        "indices_k",
+        "indptr_l",
+        "integral",
+        "connection_flat",
+    )
+
+    def __init__(
+        self, csr, k: int, edge_rows: Optional[np.ndarray] = None
+    ) -> None:
+        self.edge_rows = csr.row_index() if edge_rows is None else edge_rows
+        self.edge_keys = self.edge_rows * k
+        self.integral = bool((np.rint(csr.weights) == csr.weights).all())
+        self.indices_k = csr.indices * k if self.integral else None
+        self.indptr_l = csr.indptr.tolist()
+        self.connection_flat: Optional[np.ndarray] = None
+
+
+def _refine_passes(
+    csr,
     vertex_weights: np.ndarray,
     assignment: np.ndarray,
     k: int,
     max_part_weight: float,
-    rng: np.random.Generator,
-    max_passes: int = 4,
+    max_passes: int,
+    state: _LevelState,
 ) -> np.ndarray:
-    """Improve ``assignment`` in place with boundary moves; return it.
-
-    Each pass scores all boundary vertices at once, then applies
-    strictly-positive-gain moves (largest stale gain first, ties by
-    vertex id) that keep every part within ``max_part_weight``; each
-    move is re-validated against the live assignment before it commits.
-    Moves that would empty a part are skipped so the partition always
-    covers all ``k`` parts when it started that way. ``rng`` is accepted
-    for interface stability; the pass order is fully deterministic.
-    """
-    csr = csr_from_adjacency(adjacency)
     n = csr.n
-    if n == 0:
-        return assignment
-    _ = rng
     loads = part_loads(vertex_weights, assignment, k)
     part_counts = np.bincount(assignment, minlength=k)
-    # Hoisted per-call state: the edge-key base of the connection
-    # scatter, the scalar mirrors the commit loop works on, and the row
-    # index vector. Each pass then costs three O(E) array ops plus the
-    # dense (n, k) candidate scan.
-    edge_keys = csr.row_index() * k
-    rows = np.arange(n)
+    rows_k = np.arange(n) * k
     max_vertex_weight = vertex_weights.max() if n else 0.0
     loads_l = loads.tolist()
     counts_l = part_counts.tolist()
     weights_l = vertex_weights.tolist()
     assignment_l = assignment.tolist()
-    # Integer-valued edge weights (transaction counts and their coarse
-    # sums — every graph this partitioner sees) make float adds exact,
-    # so the connection matrix can be maintained incrementally across
-    # commits and passes, bit-identical to a fresh scatter. Fractional
-    # weights fall back to per-pass rebuilds with dirty-row tracking.
-    integral = bool((np.rint(csr.weights) == csr.weights).all())
-    connection: np.ndarray = None
+    integral = state.integral
+    indices_k = state.indices_k
+    indptr_l = state.indptr_l
+    connection_flat = state.connection_flat
+    connection = (
+        None if connection_flat is None else connection_flat.reshape(n, k)
+    )
 
     for _pass in range(max_passes):
         if connection is None:
-            connection = np.bincount(
-                edge_keys + assignment[csr.indices],
+            connection_flat = np.bincount(
+                state.edge_keys + assignment[csr.indices],
                 weights=csr.weights,
                 minlength=n * k,
-            ).reshape(n, k)
+            )
+            connection = connection_flat.reshape(n, k)
         # Gains are connection minus a per-row constant (the internal
         # connection), so the argmax over masked *connection* values
         # selects the same destination as the argmax over gains — one
         # less dense matrix to materialise. A destination must be
-        # adjacent (connection > 0) and must fit; when even the
-        # heaviest vertex fits everywhere the weight check is skipped
-        # (identical feasibility matrix, three fewer dense ops).
+        # adjacent (connection > 0) and must fit.
+        current_idx = rows_k + assignment
         if loads.max() + max_vertex_weight <= max_part_weight:
-            feasible = connection > 0
+            # Every vertex fits everywhere: a positive gain implies a
+            # positive (hence adjacent) destination, so masking the
+            # current column in place — saved and restored bit-exact —
+            # selects the same movers without any dense temporary.
+            internal = connection_flat[current_idx].copy()
+            connection_flat[current_idx] = -np.inf
+            best = np.argmax(connection, axis=1)
+            best_gain = connection_flat[rows_k + best] - internal
+            connection_flat[current_idx] = internal
         else:
             feasible = (connection > 0) & (
                 loads[np.newaxis, :] + vertex_weights[:, np.newaxis]
                 <= max_part_weight
             )
-        masked = np.where(feasible, connection, -np.inf)
-        masked[rows, assignment] = -np.inf
-        best = np.argmax(masked, axis=1)
-        internal = connection[rows, assignment]
-        best_gain = masked[rows, best] - internal
+            masked = np.where(feasible, connection, -np.inf)
+            masked_flat = masked.ravel()
+            masked_flat[current_idx] = -np.inf
+            best = np.argmax(masked, axis=1)
+            internal = connection_flat[current_idx]
+            best_gain = masked_flat[rows_k + best] - internal
         movers = np.flatnonzero(
             (best_gain > 0) & (part_counts[assignment] > 1)
         )
@@ -136,9 +169,8 @@ def refine_partition(
             base = conn[current]
             best_gain_u = 0.0
             target = -1
-            for p in range(k):
-                c = conn[p]
-                if p == current or c <= 0.0:
+            for p, c in enumerate(conn):
+                if c <= 0.0 or p == current:
                     continue
                 if loads_l[p] + weight > max_part_weight:
                     continue
@@ -154,26 +186,31 @@ def refine_partition(
             loads_l[target] += weight
             counts_l[current] -= 1
             counts_l[target] += 1
-            neighbours = csr.indices[csr.indptr[u] : csr.indptr[u + 1]]
+            start, stop = indptr_l[u], indptr_l[u + 1]
             if dirty is None:
                 # Neighbour ids are unique within a CSR row, so plain
-                # fancy-index arithmetic is a safe (and fast) scatter.
-                edge_w = csr.weights[csr.indptr[u] : csr.indptr[u + 1]]
-                connection[neighbours, current] -= edge_w
-                connection[neighbours, target] += edge_w
+                # fancy-index arithmetic on the flat view is a safe
+                # (and fast) scatter.
+                edge_w = csr.weights[start:stop]
+                flat_idx = indices_k[start:stop] + current
+                connection_flat[flat_idx] -= edge_w
+                flat_idx += target - current
+                connection_flat[flat_idx] += edge_w
             else:
-                dirty[neighbours] = True
+                dirty[csr.indices[start:stop]] = True
             improved = True
         loads = np.asarray(loads_l, dtype=np.float64)
         part_counts = np.asarray(counts_l, dtype=np.int64)
         if dirty is not None:
             connection = None
+            connection_flat = None
         if not improved:
             break
+    state.connection_flat = connection_flat if integral else None
     return assignment
 
 
-def rebalance(
+def refine_partition(
     adjacency: AdjacencyLike,
     vertex_weights: np.ndarray,
     assignment: np.ndarray,
@@ -181,42 +218,77 @@ def rebalance(
     max_part_weight: float,
     rng: np.random.Generator,
     max_passes: int = 4,
+    edge_rows: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Push parts back under ``max_part_weight`` with minimum-loss moves.
+    """Improve ``assignment`` in place with boundary moves; return it.
 
-    Used after projection, where coarse-level balance can be violated at
-    the finer level. Vertices are moved out of overweight parts into the
-    lightest feasible part, preferring vertices whose move loses the
-    least cut quality (internal connection minus the heaviest external
-    edge, evaluated in one vectorised pass per overweight part).
+    Each pass scores all boundary vertices at once, then applies
+    strictly-positive-gain moves (largest stale gain first, ties by
+    vertex id) that keep every part within ``max_part_weight``; each
+    move is re-validated against the live assignment before it commits.
+    Moves that would empty a part are skipped so the partition always
+    covers all ``k`` parts when it started that way. ``rng`` is accepted
+    for interface stability; the pass order is fully deterministic.
     """
     csr = csr_from_adjacency(adjacency)
-    n = csr.n
+    if csr.n == 0:
+        return assignment
     _ = rng
+    state = _LevelState(csr, k, edge_rows)
+    return _refine_passes(
+        csr, vertex_weights, assignment, k, max_part_weight, max_passes, state
+    )
+
+
+def _rebalance_passes(
+    csr,
+    vertex_weights: np.ndarray,
+    assignment: np.ndarray,
+    k: int,
+    max_part_weight: float,
+    max_passes: int,
+    state: _LevelState,
+) -> np.ndarray:
+    n = csr.n
     loads = part_loads(vertex_weights, assignment, k)
-    edge_rows = csr.row_index()
+    edge_rows = state.edge_rows
+    moved_total = 0
     for _pass in range(max_passes):
         overweight = [p for p in range(k) if loads[p] > max_part_weight]
         if not overweight:
             break
         moved_any = False
+        # Within a pass, vertices only ever leave overweight parts for
+        # the lightest part — never *into* an overweight part — so the
+        # pass-start membership gathers stay exact for every part
+        # processed in this pass.
+        part_of_row = assignment[edge_rows]
+        part_of_col = assignment[csr.indices]
         for part in overweight:
             members = np.flatnonzero(assignment == part)
             if len(members) <= 1:
                 continue
             # Cheapest-to-move first: lowest (internal - best external),
-            # computed for all members with one masked scatter pass over
-            # the part's own edge slice.
-            sel = np.flatnonzero(assignment[edge_rows] == part)
+            # computed for all members over the part's own edge slice —
+            # a bincount for the internal sums and a segmented maximum
+            # (the slice is row-major) for the best external edge.
+            sel = np.flatnonzero(part_of_row == part)
             sel_rows = edge_rows[sel]
             sel_w = csr.weights[sel]
-            same_part = assignment[csr.indices[sel]] == part
-            internal = np.zeros(n)
-            np.add.at(internal, sel_rows[same_part], sel_w[same_part])
-            best_external = np.zeros(n)
-            np.maximum.at(
-                best_external, sel_rows[~same_part], sel_w[~same_part]
+            same_part = part_of_col[sel] == part
+            internal = np.bincount(
+                sel_rows[same_part], weights=sel_w[same_part], minlength=n
             )
+            best_external = np.zeros(n)
+            ext_rows = sel_rows[~same_part]
+            if len(ext_rows):
+                ext_w = sel_w[~same_part]
+                seg_starts = np.flatnonzero(
+                    np.concatenate(([True], ext_rows[1:] != ext_rows[:-1]))
+                )
+                best_external[ext_rows[seg_starts]] = np.maximum.reduceat(
+                    ext_w, seg_starts
+                )
             costs = internal[members] - best_external[members]
             candidates = members[np.argsort(costs, kind="stable")]
             for u in candidates:
@@ -233,6 +305,75 @@ def rebalance(
                 loads[part] -= weight
                 loads[target] += weight
                 moved_any = True
+                moved_total += 1
         if not moved_any:
             break
+    if moved_total:
+        # Rebalance can move thousands of vertices; rebuilding the
+        # connection matrix once afterwards is cheaper than scattering
+        # every move into it.
+        state.connection_flat = None
     return assignment
+
+
+def rebalance(
+    adjacency: AdjacencyLike,
+    vertex_weights: np.ndarray,
+    assignment: np.ndarray,
+    k: int,
+    max_part_weight: float,
+    rng: np.random.Generator,
+    max_passes: int = 4,
+    edge_rows: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Push parts back under ``max_part_weight`` with minimum-loss moves.
+
+    Used after projection, where coarse-level balance can be violated at
+    the finer level. Vertices are moved out of overweight parts into the
+    lightest feasible part, preferring vertices whose move loses the
+    least cut quality (internal connection minus the heaviest external
+    edge, evaluated in one vectorised pass per overweight part).
+    """
+    csr = csr_from_adjacency(adjacency)
+    if csr.n == 0:
+        return assignment
+    _ = rng
+    state = _LevelState(csr, k, edge_rows)
+    return _rebalance_passes(
+        csr, vertex_weights, assignment, k, max_part_weight, max_passes, state
+    )
+
+
+def polish_level(
+    adjacency: AdjacencyLike,
+    vertex_weights: np.ndarray,
+    assignment: np.ndarray,
+    k: int,
+    relaxed_cap: float,
+    strict_cap: float,
+    rng: np.random.Generator,
+    max_passes: int = 4,
+) -> np.ndarray:
+    """One level's full polish: relaxed refine, rebalance, strict refine.
+
+    Equivalent to calling :func:`refine_partition` (relaxed cap),
+    :func:`rebalance` and :func:`refine_partition` (strict cap) in
+    sequence, but the three phases share one :class:`_LevelState` — the
+    row index, edge keys and (for integral weights) the live connection
+    matrix survive across phases, with rebalance scattering its own
+    moves into it.
+    """
+    csr = csr_from_adjacency(adjacency)
+    if csr.n == 0:
+        return assignment
+    _ = rng
+    state = _LevelState(csr, k)
+    assignment = _refine_passes(
+        csr, vertex_weights, assignment, k, relaxed_cap, max_passes, state
+    )
+    assignment = _rebalance_passes(
+        csr, vertex_weights, assignment, k, strict_cap, max_passes, state
+    )
+    return _refine_passes(
+        csr, vertex_weights, assignment, k, strict_cap, max_passes, state
+    )

@@ -159,6 +159,9 @@ def g_txallo(
     # rebuild per round with dirty-row tracking.
     integral = bool((np.rint(edge_w) == edge_w).all())
     connection = None
+    connection_flat = None
+    edge_v_k = edge_v * k if integral else None
+    indptr_l = indptr.tolist()
 
     for _ in range(max_rounds):
         # Synchronous candidate scan: one scatter builds every account's
@@ -166,21 +169,24 @@ def g_txallo(
         # destinations (vectorising the former per-account
         # ``_shard_connections`` dict walk).
         if connection is None:
-            connection = np.bincount(
+            connection_flat = np.bincount(
                 edge_keys + assignment[edge_v], weights=edge_w, minlength=n * k
-            ).reshape(n, k)
+            )
+            connection = connection_flat.reshape(n, k)
         scores = _move_gain(
             connection, loads, degrees[:, np.newaxis], eta, average_load
         )
         current_scores = scores[rows, assignment]
         if loads.max() + max_degree <= load_cap:
             # Even the heaviest account fits everywhere: the dense
-            # feasibility mask is all-True, skip materialising it.
-            masked = scores.copy()
+            # feasibility mask is all-True, and re-writing the current
+            # column with its own scores is a no-op — scan the raw
+            # score matrix directly.
+            masked = scores
         else:
             feasible = loads[np.newaxis, :] + degrees[:, np.newaxis] <= load_cap
             masked = np.where(feasible, scores, -np.inf)
-        masked[rows, assignment] = current_scores
+            masked[rows, assignment] = current_scores
         best = np.argmax(masked, axis=1)
         wants_move = (
             (best != assignment)
@@ -196,8 +202,8 @@ def g_txallo(
             # greedy deterministic and monotone despite the synchronous
             # candidate scan; it is branch-for-branch the masked argmax
             # of :func:`_commit_move` on plain scalars.
+            start, stop = indptr_l[u], indptr_l[u + 1]
             if dirty is not None and dirty[u]:
-                start, stop = indptr[u], indptr[u + 1]
                 conn = np.bincount(
                     assignment[edge_v[start:stop]],
                     weights=edge_w[start:stop],
@@ -209,10 +215,10 @@ def g_txallo(
             current = assignment_l[u]
             best_p = 0
             best_val = neg_inf
-            for p in range(k):
+            for p, c in enumerate(conn):
                 if p != current and loads_l[p] + degree > load_cap:
                     continue
-                val = coef * conn[p] - degree * (loads_l[p] / avg_denom)
+                val = coef * c - degree * (loads_l[p] / avg_denom)
                 if val > best_val:
                     best_val = val
                     best_p = p
@@ -225,15 +231,17 @@ def g_txallo(
             assignment[u] = best_p
             loads_l[current] -= degree
             loads_l[best_p] += degree
-            neighbours = edge_v[indptr[u] : indptr[u + 1]]
             if dirty is None:
                 # Neighbour ids are unique within a row of the directed
-                # stream, so fancy-index arithmetic is a safe scatter.
-                w_row = edge_w[indptr[u] : indptr[u + 1]]
-                connection[neighbours, current] -= w_row
-                connection[neighbours, best_p] += w_row
+                # stream, so fancy-index arithmetic on the flat view is
+                # a safe scatter.
+                w_row = edge_w[start:stop]
+                flat_idx = edge_v_k[start:stop] + current
+                connection_flat[flat_idx] -= w_row
+                flat_idx += best_p - current
+                connection_flat[flat_idx] += w_row
             else:
-                dirty[neighbours] = True
+                dirty[edge_v[start:stop]] = True
             moved += 1
         loads = np.asarray(loads_l, dtype=np.float64)
         if dirty is not None:

@@ -20,6 +20,7 @@ from repro.chain.epoch import EpochReconfigurator, ReconfigurationReport
 from repro.chain.ledger import Ledger, EpochStats
 from repro.chain.network import OverheadModel, OverheadEstimate, TX_RECORD_BYTES
 from repro.chain.state import AccountState, ShardStateStore, StateRegistry
+from repro.chain.receipts import ReceiptBatch, ReceiptLedger
 from repro.chain.crossshard import CrossShardExecutor, Receipt, ExecutionReport
 from repro.chain.economics import (
     MigrationFeeSchedule,
@@ -58,6 +59,8 @@ __all__ = [
     "StateRegistry",
     "CrossShardExecutor",
     "Receipt",
+    "ReceiptBatch",
+    "ReceiptLedger",
     "ExecutionReport",
     "MigrationFeeSchedule",
     "flooding_attack_cost",

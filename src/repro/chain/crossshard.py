@@ -15,9 +15,27 @@ the receiver's funds arrive one (or more) relay latencies later — the
 two costs the paper's difficulty parameter ``eta`` abstracts.
 
 :class:`CrossShardExecutor` executes transaction batches against the
-per-shard state stores, tracks in-flight receipts, and reports the
-statistics (receipts issued/settled, relay latency, failed transfers)
-the substrate tests and examples assert on. Conservation of total
+per-shard state stores and tracks in-flight receipts in a columnar
+:class:`~repro.chain.receipts.ReceiptLedger`. The hot path is batched:
+
+* the withdraw/intra phase classifies a whole block at once, splits
+  senders into a *fast* set (opening balance covers their total debits
+  — every transfer succeeds regardless of in-block ordering) and a
+  *slow* remainder (potential overdrafts, or senders funded by in-block
+  credits), resolves the slow set with an exact sequential scan over
+  only the transfers that touch it, and then applies all balance
+  effects with one ordered scatter (``np.add.at`` over the per-block
+  delta stream, preserving the scalar per-account operation order);
+* settlement pops the due prefix of the receipt ledger via its
+  due-block index and credits each target shard with one columnar
+  scatter, in pinned ``(due_block, tx_id)`` order.
+
+The batched committer is element-for-element equivalent to the scalar
+reference loop (kept as ``batched=False`` for the property tests); the
+equivalence is bit-exact whenever transfer amounts are integer-valued
+(every trace, test and example in this repository — with arbitrary
+floats, fast/slow classification can differ from the sequential
+reference by one ulp on adversarial amounts). Conservation of total
 balance — no value created or destroyed, in-flight receipts included —
 is the key invariant, property-tested in
 ``tests/test_chain_crossshard.py``.
@@ -26,15 +44,20 @@ is the key invariant, property-tested in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.chain.kernels import classify_kernel
 from repro.chain.mapping import ShardMapping
+from repro.chain.receipts import ReceiptBatch, ReceiptLedger
 from repro.chain.state import StateRegistry
 from repro.chain.transaction import Transaction, TransactionBatch
 from repro.errors import ChainError, UnknownAccountError, ValidationError
+
+#: Below this many transfers the scalar committer beats the batched
+#: one (fixed numpy overhead per block); both produce identical state.
+_BATCH_MIN_BLOCK = 96
 
 
 @dataclass(frozen=True)
@@ -76,13 +99,19 @@ class ExecutionReport:
 
 
 class CrossShardExecutor:
-    """Executes transfers against per-shard state under a mapping."""
+    """Executes transfers against per-shard state under a mapping.
+
+    ``batched=False`` selects the scalar per-transfer reference
+    committer — same observable behaviour, used by the equivalence
+    property tests and available for debugging.
+    """
 
     def __init__(
         self,
         registry: StateRegistry,
         mapping: ShardMapping,
         relay_delay_blocks: int = 1,
+        batched: bool = True,
     ) -> None:
         if registry.k != mapping.k:
             raise ValidationError(
@@ -95,7 +124,8 @@ class CrossShardExecutor:
         self.registry = registry
         self.mapping = mapping
         self.relay_delay_blocks = relay_delay_blocks
-        self._pending: List[Receipt] = []
+        self.batched = batched
+        self._ledger = ReceiptLedger()
         self._next_tx_id = 0
 
     # -- funding -----------------------------------------------------------------
@@ -106,13 +136,35 @@ class CrossShardExecutor:
         self.registry.store_of(shard).credit(account, amount)
 
     @property
-    def pending_receipts(self) -> Sequence[Receipt]:
-        """Receipts issued but not yet deposited."""
-        return tuple(self._pending)
+    def ledger(self) -> ReceiptLedger:
+        """The columnar pending-receipt ledger."""
+        return self._ledger
+
+    @property
+    def pending_receipts(self) -> Tuple[Receipt, ...]:
+        """Receipts issued but not yet deposited, in settlement order.
+
+        Materialised lazily from the columnar ledger — the hot path
+        never builds these objects.
+        """
+        view = self._ledger.view()
+        return tuple(
+            Receipt(
+                tx_id=int(view.tx_ids[i]),
+                sender=int(view.senders[i]),
+                receiver=int(view.receivers[i]),
+                amount=float(view.amounts[i]),
+                source_shard=int(view.source_shards[i]),
+                target_shard=int(view.target_shards[i]),
+                issued_block=int(view.issued_blocks[i]),
+            )
+            for i in range(len(view))
+        )
 
     def in_flight_value(self) -> float:
-        """Value locked in receipts (withdrawn, not yet deposited)."""
-        return sum(receipt.amount for receipt in self._pending)
+        """Value locked in receipts — a running total, updated at issue
+        and settle time rather than recomputed per call."""
+        return self._ledger.total_amount
 
     def total_value(self) -> float:
         """Resident balances plus in-flight receipts — conserved."""
@@ -123,19 +175,33 @@ class CrossShardExecutor:
     def execute_block(
         self,
         block: int,
-        transactions: Sequence[Transaction],
+        transactions: Union[Sequence[Transaction], TransactionBatch],
     ) -> ExecutionReport:
         """Execute one block: settle due receipts, then apply transfers.
 
         Deposits for receipts issued at block ``b`` become due at block
         ``b + relay_delay_blocks``. Transfers whose sender cannot cover
-        the amount fail without side effects.
+        the amount fail without side effects. ``transactions`` may be a
+        columnar :class:`TransactionBatch` (its ``values`` column, when
+        present, supplies per-transfer amounts) or a sequence of
+        :class:`Transaction` objects.
         """
         report = ExecutionReport(block=block)
         self._settle_due(block, report)
-        senders = np.array([tx.sender for tx in transactions], dtype=np.int64)
-        receivers = np.array([tx.receiver for tx in transactions], dtype=np.int64)
-        amounts = np.array([tx.value for tx in transactions], dtype=np.float64)
+        if isinstance(transactions, TransactionBatch):
+            senders = transactions.senders
+            receivers = transactions.receivers
+            amounts = transactions.amounts()
+        else:
+            senders = np.array(
+                [tx.sender for tx in transactions], dtype=np.int64
+            )
+            receivers = np.array(
+                [tx.receiver for tx in transactions], dtype=np.int64
+            )
+            amounts = np.array(
+                [tx.value for tx in transactions], dtype=np.float64
+            )
         self._check_universe(senders, receivers)
         sender_shards, receiver_shards, _ = classify_kernel(
             senders, receivers, self.mapping.as_array()
@@ -156,19 +222,24 @@ class CrossShardExecutor:
     def _settle_due(self, block: int, report: ExecutionReport) -> None:
         """Settle receipts that have aged past the relay delay.
 
-        The relayed deposit rides a later target-shard block.
+        The relayed deposit rides a later target-shard block. Deposits
+        are credited in ``(due_block, tx_id)`` order — receipts of one
+        target shard apply as one ordered columnar scatter.
         """
-        still_pending: List[Receipt] = []
-        for receipt in self._pending:
-            if block - receipt.issued_block >= self.relay_delay_blocks:
-                self.registry.store_of(receipt.target_shard).credit(
-                    receipt.receiver, receipt.amount
-                )
-                report.deposits_settled += 1
-                report.relay_latencies.append(block - receipt.issued_block)
-            else:
-                still_pending.append(receipt)
-        self._pending = still_pending
+        due = self._ledger.pop_due(block)
+        if len(due) == 0:
+            return
+        for shard in np.unique(due.target_shards).tolist():
+            on_shard = due.target_shards == shard
+            self.registry.store_of(int(shard)).credit_many(
+                due.receivers[on_shard], due.amounts[on_shard]
+            )
+        report.deposits_settled += len(due)
+        report.relay_latencies.extend(
+            (block - due.issued_blocks).tolist()
+        )
+
+    # -- the block committer --------------------------------------------------------
 
     def _apply_transfers(
         self,
@@ -180,14 +251,165 @@ class CrossShardExecutor:
         receiver_shards: np.ndarray,
         report: ExecutionReport,
     ) -> None:
-        """Withdraw-phase / intra execution over pre-classified arrays.
+        if len(senders) == 0:
+            return
+        if self.batched and len(senders) >= _BATCH_MIN_BLOCK:
+            self._apply_transfers_batched(
+                block, senders, receivers, amounts, sender_shards,
+                receiver_shards, report,
+            )
+        else:
+            self._apply_transfers_scalar(
+                block, senders, receivers, amounts, sender_shards,
+                receiver_shards, report,
+            )
 
-        Balance mutation is inherently sequential (a sender may fund a
-        later transfer with an earlier deposit in the same block), so the
-        commit loop stays per-transfer; the shard classification is done
-        once, vectorised, by the shared kernel.
+    def _apply_transfers_batched(
+        self,
+        block: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        amounts: np.ndarray,
+        sender_shards: np.ndarray,
+        receiver_shards: np.ndarray,
+        report: ExecutionReport,
+    ) -> None:
+        """Vectorised withdraw/intra phase over one block.
+
+        Every account participating in the transfer phase lives on its
+        mapped shard (intra credits go to the sender's shard, which for
+        an intra transfer *is* the receiver's mapped shard), so the
+        block gathers each unique account's balance once, resolves
+        outcomes, applies one ordered delta stream, and scatters the
+        results back per shard.
         """
+        n = len(senders)
+        intra = sender_shards == receiver_shards
+        unique_accounts, inverse = np.unique(
+            np.concatenate([senders, receivers]), return_inverse=True
+        )
+        sender_idx = inverse[:n]
+        receiver_idx = inverse[n:]
+        n_unique = len(unique_accounts)
+        account_shard = np.empty(n_unique, dtype=np.int64)
+        account_shard[sender_idx] = sender_shards
+        account_shard[receiver_idx] = receiver_shards
+
+        shard_groups = [
+            (shard, account_shard == shard)
+            for shard in np.unique(account_shard).tolist()
+        ]
+        opening = np.empty(n_unique, dtype=np.float64)
+        for shard, group in shard_groups:
+            opening[group] = self.registry.store_of(shard).balances_of(
+                unique_accounts[group]
+            )
+
+        # Fast senders: opening balance covers their total debits, so
+        # every transfer succeeds regardless of in-block credit order.
+        # The rest — potential overdrafts — are resolved by an exact
+        # sequential scan over the transfers that touch them (their own
+        # debits plus any intra credit that could fund them).
+        totals = np.bincount(sender_idx, weights=amounts, minlength=n_unique)
+        is_sender = np.zeros(n_unique, dtype=bool)
+        is_sender[sender_idx] = True
+        slow = is_sender & (opening < totals)
+        success = np.ones(n, dtype=bool)
+        if slow.any():
+            relevant = np.flatnonzero(
+                slow[sender_idx] | (intra & slow[receiver_idx])
+            )
+            balances = dict(
+                zip(
+                    np.flatnonzero(slow).tolist(),
+                    opening[slow].tolist(),
+                )
+            )
+            slow_l = slow.tolist()
+            sender_idx_l = sender_idx.tolist()
+            receiver_idx_l = receiver_idx.tolist()
+            amounts_l = amounts.tolist()
+            intra_l = intra.tolist()
+            for i in relevant.tolist():
+                s = sender_idx_l[i]
+                amount = amounts_l[i]
+                if slow_l[s]:
+                    balance = balances[s]
+                    if amount > balance:
+                        success[i] = False
+                        continue
+                    balances[s] = balance - amount
+                if intra_l[i]:
+                    r = receiver_idx_l[i]
+                    if slow_l[r]:
+                        balances[r] += amount
+
+        # Ordered delta stream: (debit, intra-credit) per successful
+        # transfer, in transaction order — np.add.at applies elements
+        # sequentially, so each account's balance evolves through the
+        # exact float operation sequence of the scalar reference.
+        ok_senders = sender_idx[success]
+        ok_amounts = amounts[success]
+        ok_receivers = receiver_idx[success]
+        ok_intra = intra[success]
+        m = len(ok_senders)
+        stream_idx = np.empty(2 * m, dtype=np.int64)
+        stream_amt = np.empty(2 * m, dtype=np.float64)
+        stream_idx[0::2] = ok_senders
+        stream_amt[0::2] = -ok_amounts
+        stream_idx[1::2] = ok_receivers
+        stream_amt[1::2] = ok_amounts
+        keep = np.ones(2 * m, dtype=bool)
+        keep[1::2] = ok_intra  # cross-shard credits ride receipts instead
+        closing = opening.copy()
+        np.add.at(closing, stream_idx[keep], stream_amt[keep])
+
+        nonce_bumps = np.bincount(ok_senders, minlength=n_unique)
+        touched = np.zeros(n_unique, dtype=bool)
+        touched[ok_senders] = True
+        touched[ok_receivers[ok_intra]] = True
+        for shard, group in shard_groups:
+            write = group & touched
+            if write.any():
+                self.registry.store_of(shard).write_back(
+                    unique_accounts[write],
+                    closing[write],
+                    nonce_bumps[write],
+                )
+
+        # Withdraw-phase receipts, with tx ids assigned in transaction
+        # order over the successful transfers (failed ones consume no id).
+        ordinal = np.cumsum(success) - 1
+        cross_ok = success & ~intra
+        if cross_ok.any():
+            self._ledger.append_batch(
+                tx_ids=self._next_tx_id + ordinal[cross_ok],
+                senders=senders[cross_ok],
+                receivers=receivers[cross_ok],
+                amounts=amounts[cross_ok],
+                source_shards=sender_shards[cross_ok],
+                target_shards=receiver_shards[cross_ok],
+                issued_block=block,
+                due_block=block + self.relay_delay_blocks,
+            )
+        self._next_tx_id += m
+        report.intra_executed += int(ok_intra.sum())
+        report.withdraws += int(cross_ok.sum())
+        report.failed += int(n - m)
+
+    def _apply_transfers_scalar(
+        self,
+        block: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        amounts: np.ndarray,
+        sender_shards: np.ndarray,
+        receiver_shards: np.ndarray,
+        report: ExecutionReport,
+    ) -> None:
+        """Per-transfer reference committer (equivalence baseline)."""
         stores = [self.registry.store_of(i) for i in range(self.registry.k)]
+        receipt_rows: List[Tuple[int, int, int, float, int, int]] = []
         for i in range(len(senders)):
             sender_shard = int(sender_shards[i])
             amount = float(amounts[i])
@@ -202,26 +424,39 @@ class CrossShardExecutor:
                 source.credit(int(receivers[i]), amount)
                 report.intra_executed += 1
             else:
-                self._pending.append(
-                    Receipt(
-                        tx_id=self._next_tx_id,
-                        sender=int(senders[i]),
-                        receiver=int(receivers[i]),
-                        amount=amount,
-                        source_shard=sender_shard,
-                        target_shard=receiver_shard,
-                        issued_block=block,
+                receipt_rows.append(
+                    (
+                        self._next_tx_id,
+                        int(senders[i]),
+                        int(receivers[i]),
+                        amount,
+                        sender_shard,
+                        receiver_shard,
                     )
                 )
                 report.withdraws += 1
             self._next_tx_id += 1
+        if receipt_rows:
+            columns = list(zip(*receipt_rows))
+            self._ledger.append_batch(
+                tx_ids=np.asarray(columns[0], dtype=np.int64),
+                senders=np.asarray(columns[1], dtype=np.int64),
+                receivers=np.asarray(columns[2], dtype=np.int64),
+                amounts=np.asarray(columns[3], dtype=np.float64),
+                source_shards=np.asarray(columns[4], dtype=np.int64),
+                target_shards=np.asarray(columns[5], dtype=np.int64),
+                issued_block=block,
+                due_block=block + self.relay_delay_blocks,
+            )
 
     def execute_batch(
         self, batch: TransactionBatch, amount_per_tx: float = 1.0
     ) -> List[ExecutionReport]:
-        """Execute a batch block by block (amounts default to 1 unit).
+        """Execute a batch block by block.
 
-        Shard classification runs once over the whole batch through the
+        Amounts come from the batch's ``values`` column when present,
+        else every transfer moves ``amount_per_tx`` units. Shard
+        classification runs once over the whole batch through the
         shared :func:`classify_kernel`; blocks are delimited by change
         points in the (already block-ordered) ``blocks`` column, exactly
         as the scalar bucketing loop did.
@@ -237,7 +472,10 @@ class CrossShardExecutor:
         sender_shards, receiver_shards, _ = classify_kernel(
             batch.senders, batch.receivers, self.mapping.as_array()
         )
-        amounts = np.full(len(batch), amount_per_tx, dtype=np.float64)
+        if batch.values is not None:
+            amounts = batch.values
+        else:
+            amounts = np.full(len(batch), amount_per_tx, dtype=np.float64)
         boundaries = np.flatnonzero(np.diff(batch.blocks) != 0) + 1
         starts = np.concatenate(([0], boundaries))
         stops = np.concatenate((boundaries, [len(batch)]))
@@ -274,3 +512,14 @@ class CrossShardExecutor:
         if current is None or current == to_shard:
             return 0
         return self.registry.migrate(account, current, to_shard)
+
+    def apply_migrations(
+        self, accounts: np.ndarray, to_shards: np.ndarray
+    ) -> int:
+        """Apply a committed batch of migrations; returns bytes moved."""
+        if len(accounts) != len(to_shards):
+            raise ValidationError("accounts/to_shards length mismatch")
+        moved = 0
+        for account, shard in zip(accounts.tolist(), to_shards.tolist()):
+            moved += self.apply_migration(int(account), int(shard))
+        return moved

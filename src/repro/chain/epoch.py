@@ -17,7 +17,7 @@ efficiency comparison of Table VI / Fig. 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from repro.chain.mapping import ShardMapping
 from repro.chain.miner import MinerPool, ReshuffleReport
 from repro.chain.network import MR_RECORD_BYTES
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chain.crossshard import CrossShardExecutor
 
 #: Bytes we charge to transfer one account's state between shards
 #: (address, balance, nonce, storage-root digest).
@@ -43,6 +46,9 @@ class ReconfigurationReport:
     reshuffle: Optional[ReshuffleReport]
     state_sync_bytes: float
     migration_extra_bytes: float = 0.0
+    #: Actual account-state bytes moved between shard stores when the
+    #: reconfigurator drives a cross-shard executor (0 without one).
+    state_moved_bytes: float = 0.0
 
     @property
     def total_communication_bytes(self) -> float:
@@ -61,9 +67,11 @@ class EpochReconfigurator:
         self,
         beacon: BeaconChain,
         miner_pool: Optional[MinerPool] = None,
+        executor: Optional["CrossShardExecutor"] = None,
     ) -> None:
         self._beacon = beacon
         self._miner_pool = miner_pool
+        self._executor = executor
         self._synced_height = 0
 
     @property
@@ -97,6 +105,25 @@ class EpochReconfigurator:
         applied = self._beacon.apply_to_mapping(mapping, self._synced_height)
         self._synced_height = len(self._beacon)
 
+        # Account state follows the allocation: when the reconfigurator
+        # drives an executor, the same committed MRs move balances
+        # between shard stores (one columnar pass over the request
+        # arrays), riding the state-sync phase as in Section III-B-2.
+        state_moved_bytes = 0.0
+        if self._executor is not None and requests:
+            accounts = np.array(
+                [r.account for r in requests], dtype=np.int64
+            )
+            to_shards = np.array(
+                [r.to_shard for r in requests], dtype=np.int64
+            )
+            in_universe = accounts < mapping.n_accounts
+            state_moved_bytes = float(
+                self._executor.apply_migrations(
+                    accounts[in_universe], to_shards[in_universe]
+                )
+            )
+
         reshuffle_report: Optional[ReshuffleReport] = None
         state_sync_bytes = 0.0
         if self._miner_pool is not None:
@@ -124,4 +151,5 @@ class EpochReconfigurator:
             reshuffle=reshuffle_report,
             state_sync_bytes=state_sync_bytes,
             migration_extra_bytes=migration_extra_bytes,
+            state_moved_bytes=state_moved_bytes,
         )

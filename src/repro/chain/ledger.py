@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.chain.beacon import BeaconChain, CommitReport
+from repro.chain.crossshard import CrossShardExecutor, ExecutionReport
 from repro.chain.epoch import EpochReconfigurator, ReconfigurationReport
 from repro.chain.mapping import ShardMapping
 from repro.chain.mempool import Mempool, classify_transactions, shard_workloads
@@ -68,23 +69,31 @@ class Ledger:
         params: ProtocolParams,
         mapping: ShardMapping,
         miners_per_shard: int = 0,
+        executor: Optional[CrossShardExecutor] = None,
     ) -> None:
         if mapping.k != params.k:
             raise SimulationError(
                 f"mapping has k={mapping.k} but params have k={params.k}"
+            )
+        if executor is not None and executor.mapping is not mapping:
+            raise SimulationError(
+                "executor must share the ledger's mapping object"
             )
         self.params = params
         self.mapping = mapping
         self.shards: List[ShardChain] = [ShardChain(i) for i in range(params.k)]
         self.beacon = BeaconChain()
         self.mempool = Mempool()
+        self.executor = executor
         rng_factory = RngFactory(params.seed)
         self.miner_pool: Optional[MinerPool] = (
             MinerPool(params.k, miners_per_shard, rng_factory)
             if miners_per_shard > 0
             else None
         )
-        self.reconfigurator = EpochReconfigurator(self.beacon, self.miner_pool)
+        self.reconfigurator = EpochReconfigurator(
+            self.beacon, self.miner_pool, executor
+        )
         self._epoch = 0
         self._total_committed = 0
 
@@ -142,6 +151,22 @@ class Ledger:
         )
         self._total_committed += len(batch)
         return stats
+
+    def execute_epoch(
+        self, batch: TransactionBatch, amount_per_tx: float = 1.0
+    ) -> List[ExecutionReport]:
+        """Run the epoch's transfers through the cross-shard executor.
+
+        The batch flows mempool -> executor entirely columnar (the
+        batched two-phase committer); requires an ``executor`` at
+        construction. Amounts come from the batch's ``values`` column
+        when present.
+        """
+        if self.executor is None:
+            raise SimulationError(
+                "this ledger was built without a cross-shard executor"
+            )
+        return self.executor.execute_batch(batch, amount_per_tx=amount_per_tx)
 
     # -- migration & reconfiguration ----------------------------------------------
 

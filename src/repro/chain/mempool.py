@@ -10,7 +10,11 @@ The mempool plays two roles in the paper:
    analyzing transactions in the next epoch in this simulation").
 
 :class:`Mempool` therefore wraps a pending :class:`TransactionBatch` and
-can compute the per-shard workload vector under a given mapping.
+can compute the per-shard workload vector under a given mapping. The
+pool is columnar end to end: batches flow mempool -> miner -> executor
+-> epoch metrics as parallel numpy arrays, and per-transaction
+:class:`Transaction` objects exist only as lazy views (``batch.at(i)``,
+iteration) for tests and error messages.
 """
 
 from __future__ import annotations

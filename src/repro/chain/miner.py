@@ -78,31 +78,45 @@ class MinerPool:
         self.miners_per_shard = miners_per_shard
         self._rng_factory = rng_factory
         total = (k + 1) * miners_per_shard
-        self._miners: List[Miner] = []
-        for miner_id in range(total):
-            shard = miner_id // miners_per_shard
-            shard = Miner.BEACON if shard == k else shard
-            self._miners.append(Miner(miner_id=miner_id, shard=shard))
+        # Columnar assignment: shard per miner id. The slot grid maps
+        # slot -> shard with the beacon committee (k) remapped to -1;
+        # Miner objects are materialised lazily for the object API.
+        self._shards = self._slot_shards(np.arange(total))
+
+    def _slot_shards(self, slots: np.ndarray) -> np.ndarray:
+        shards = slots // self.miners_per_shard
+        return np.where(shards == self.k, Miner.BEACON, shards)
 
     def __len__(self) -> int:
-        return len(self._miners)
+        return len(self._shards)
 
     @property
     def miners(self) -> Sequence[Miner]:
-        """Read-only view of all miners."""
-        return tuple(self._miners)
+        """Read-only object view of all miners (materialised lazily)."""
+        return tuple(
+            Miner(miner_id=miner_id, shard=shard)
+            for miner_id, shard in enumerate(self._shards.tolist())
+        )
+
+    def shard_assignment(self) -> np.ndarray:
+        """Shard per miner id (columnar view; beacon = ``Miner.BEACON``)."""
+        return self._shards.copy()
 
     def committee(self, shard: int) -> List[Miner]:
         """Miners currently assigned to ``shard`` (or ``Miner.BEACON``)."""
-        return [m for m in self._miners if m.shard == shard]
+        return [
+            Miner(miner_id=int(miner_id), shard=shard)
+            for miner_id in np.flatnonzero(self._shards == shard)
+        ]
 
     def committee_sizes(self) -> Dict[int, int]:
         """Committee size per shard id (including the beacon at -1)."""
-        sizes: Dict[int, int] = {Miner.BEACON: 0}
+        sizes: Dict[int, int] = {Miner.BEACON: int((self._shards == Miner.BEACON).sum())}
+        counts = np.bincount(
+            self._shards[self._shards != Miner.BEACON], minlength=self.k
+        )
         for shard in range(self.k):
-            sizes[shard] = 0
-        for miner in self._miners:
-            sizes[miner.shard] += 1
+            sizes[shard] = int(counts[shard])
         return sizes
 
     def reshuffle(self, epoch: int) -> ReshuffleReport:
@@ -111,17 +125,21 @@ class MinerPool:
         The permutation is derived from the pool's RNG factory and the
         epoch index, so every miner computes the same assignment locally
         (the paper's protocols derive this from a shared randomness
-        beacon).
+        beacon). The reshuffle itself is columnar: one permutation, one
+        scatter, one comparison for the moved set.
         """
         rng = self._rng_factory.generator(f"miner-reshuffle-{epoch}")
-        order = rng.permutation(len(self._miners))
-        report = ReshuffleReport(epoch=epoch)
-        for slot, miner_index in enumerate(order):
-            shard = slot // self.miners_per_shard
-            shard = Miner.BEACON if shard == self.k else shard
-            miner = self._miners[int(miner_index)]
-            if miner.shard != shard:
-                report.moved_miners.append(miner.miner_id)
-            miner.shard = shard
-            report.assignment[miner.miner_id] = shard
-        return report
+        order = rng.permutation(len(self._shards))
+        slot_shards = self._slot_shards(np.arange(len(self._shards)))
+        new_shards = self._shards.copy()
+        new_shards[order] = slot_shards
+        moved_slots = self._shards[order] != slot_shards
+        moved = order[moved_slots]
+        self._shards = new_shards
+        return ReshuffleReport(
+            epoch=epoch,
+            moved_miners=[int(m) for m in moved],
+            assignment=dict(
+                zip(order.tolist(), slot_shards.tolist())
+            ),
+        )

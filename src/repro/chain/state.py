@@ -15,6 +15,8 @@ import hashlib
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ChainError, ValidationError
 
 #: Serialised size of one account state record (address, balance, nonce,
@@ -56,73 +58,135 @@ class AccountState:
 
 
 class ShardStateStore:
-    """The state of all accounts resident on one shard."""
+    """The state of all accounts resident on one shard.
+
+    Internally object-free: balances and nonces live in two parallel
+    scalar dicts so the batched executor's gather/scatter hot path never
+    constructs :class:`AccountState` objects. ``get`` materialises one
+    lazily for the object-friendly API.
+    """
 
     def __init__(self, shard_id: int) -> None:
         if shard_id < 0:
             raise ValidationError(f"shard_id must be >= 0, got {shard_id}")
         self.shard_id = shard_id
-        self._states: Dict[int, AccountState] = {}
+        self._balances: Dict[int, float] = {}
+        self._nonces: Dict[int, int] = {}
 
     def __len__(self) -> int:
-        return len(self._states)
+        return len(self._balances)
 
     def __contains__(self, account: int) -> bool:
-        return account in self._states
+        return account in self._balances
 
     def accounts(self) -> Iterator[int]:
         """Resident account ids (unspecified order)."""
-        return iter(self._states)
+        return iter(self._balances)
 
     def get(self, account: int) -> AccountState:
         """State of ``account``; a fresh zero state when never seen."""
-        return self._states.get(account, AccountState())
+        balance = self._balances.get(account)
+        if balance is None:
+            return AccountState()
+        return AccountState(balance=balance, nonce=self._nonces[account])
 
     def put(self, account: int, state: AccountState) -> None:
         """Install ``state`` for ``account``."""
         if account < 0:
             raise ValidationError(f"account must be >= 0, got {account}")
-        self._states[account] = state
+        self._balances[account] = state.balance
+        self._nonces[account] = state.nonce
 
     def credit(self, account: int, amount: float) -> AccountState:
         """Add funds (creating the account on first touch)."""
-        state = self.get(account).credited(amount)
-        self._states[account] = state
-        return state
+        if amount < 0:
+            raise ValidationError(f"credit amount must be >= 0, got {amount}")
+        balance = self._balances.get(account, 0.0) + amount
+        self._balances[account] = balance
+        nonce = self._nonces.setdefault(account, 0)
+        return AccountState(balance=balance, nonce=nonce)
 
     def debit(self, account: int, amount: float) -> AccountState:
         """Remove funds; raises :class:`ChainError` when underfunded."""
-        state = self.get(account).debited(amount)
-        self._states[account] = state
-        return state
+        if amount < 0:
+            raise ValidationError(f"debit amount must be >= 0, got {amount}")
+        balance = self._balances.get(account, 0.0)
+        if amount > balance:
+            raise ChainError(f"insufficient balance: {balance} < {amount}")
+        balance -= amount
+        nonce = self._nonces.get(account, 0) + 1
+        self._balances[account] = balance
+        self._nonces[account] = nonce
+        return AccountState(balance=balance, nonce=nonce)
 
     def remove(self, account: int) -> AccountState:
         """Remove and return an account's state (for migration)."""
         try:
-            return self._states.pop(account)
+            balance = self._balances.pop(account)
         except KeyError:
             raise ChainError(
                 f"account {account} is not resident on shard {self.shard_id}"
             ) from None
+        return AccountState(balance=balance, nonce=self._nonces.pop(account))
+
+    # -- columnar bulk access (batched executor hot path) ----------------------
+
+    def balances_of(self, accounts: np.ndarray) -> np.ndarray:
+        """Balances of ``accounts`` as an array (zero when never seen)."""
+        get = self._balances.get
+        return np.fromiter(
+            (get(a, 0.0) for a in accounts.tolist()),
+            dtype=np.float64,
+            count=len(accounts),
+        )
+
+    def write_back(
+        self,
+        accounts: np.ndarray,
+        balances: np.ndarray,
+        nonce_bumps: np.ndarray,
+    ) -> None:
+        """Scatter updated balances (and nonce increments) back.
+
+        Accounts are created on first touch, exactly like the scalar
+        credit/debit path.
+        """
+        bal = self._balances
+        non = self._nonces
+        get_nonce = non.get
+        for account, balance, bump in zip(
+            accounts.tolist(), balances.tolist(), nonce_bumps.tolist()
+        ):
+            bal[account] = balance
+            non[account] = get_nonce(account, 0) + bump
+
+    def credit_many(self, accounts: np.ndarray, amounts: np.ndarray) -> None:
+        """Apply a stream of credits in order (settlement scatter)."""
+        bal = self._balances
+        non = self._nonces
+        for account, amount in zip(accounts.tolist(), amounts.tolist()):
+            bal[account] = bal.get(account, 0.0) + amount
+            non.setdefault(account, 0)
 
     def total_balance(self) -> float:
         """Sum of all resident balances (conservation checks)."""
-        return sum(state.balance for state in self._states.values())
+        return sum(self._balances.values())
 
     def state_root(self) -> str:
         """Deterministic digest over the sorted account states."""
         hasher = hashlib.sha256()
-        for account in sorted(self._states):
-            state = self._states[account]
+        for account in sorted(self._balances):
             hasher.update(
-                f"{account}:{state.balance!r}:{state.nonce}".encode("utf-8")
+                f"{account}:{self._balances[account]!r}:{self._nonces[account]}".encode(
+                    "utf-8"
+                )
             )
             hasher.update(b"\x00")
         return "0x" + hasher.hexdigest()
 
     def serialized_bytes(self) -> int:
         """Bytes a miner transfers to sync this shard's state."""
-        return len(self._states) * STATE_RECORD_BYTES
+        return len(self._balances) * STATE_RECORD_BYTES
 
 
 class StateRegistry:

@@ -70,18 +70,22 @@ class Transaction:
 class TransactionBatch:
     """Columnar batch of transactions (struct-of-arrays).
 
-    All metric and allocation hot paths operate on batches: numpy arrays
-    ``senders``, ``receivers`` and ``blocks`` of equal length. Batches are
-    immutable; slicing returns views wherever numpy allows.
+    All metric, allocation and execution hot paths operate on batches:
+    numpy arrays ``senders``, ``receivers`` and ``blocks`` of equal
+    length, plus an optional ``values`` column carrying per-transfer
+    amounts for the cross-shard executor (``None`` when the batch only
+    feeds metrics/allocation, which keeps those paths allocation-free).
+    Batches are immutable; slicing returns views wherever numpy allows.
     """
 
-    __slots__ = ("senders", "receivers", "blocks")
+    __slots__ = ("senders", "receivers", "blocks", "values")
 
     def __init__(
         self,
         senders: np.ndarray,
         receivers: np.ndarray,
         blocks: Optional[np.ndarray] = None,
+        values: Optional[np.ndarray] = None,
     ) -> None:
         senders = np.asarray(senders, dtype=np.int64)
         receivers = np.asarray(receivers, dtype=np.int64)
@@ -97,14 +101,24 @@ class TransactionBatch:
             blocks = np.asarray(blocks, dtype=np.int64)
             if blocks.shape != senders.shape:
                 raise ValidationError("blocks must match senders in shape")
+        if values is not None:
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != senders.shape:
+                raise ValidationError("values must match senders in shape")
+            if len(values) and values.min() < 0:
+                raise ValidationError("transaction values must be >= 0")
         if len(senders) and (senders.min() < 0 or receivers.min() < 0):
             raise ValidationError("account ids must be >= 0")
         self.senders = senders
         self.receivers = receivers
         self.blocks = blocks
+        self.values = values
 
     def __len__(self) -> int:
         return len(self.senders)
+
+    def _value_at(self, index: int) -> float:
+        return float(self.values[index]) if self.values is not None else 0.0
 
     def __iter__(self) -> Iterator[Transaction]:
         for i in range(len(self)):
@@ -112,6 +126,7 @@ class TransactionBatch:
                 sender=int(self.senders[i]),
                 receiver=int(self.receivers[i]),
                 block=int(self.blocks[i]),
+                value=self._value_at(i),
                 tx_id=i,
             )
 
@@ -119,7 +134,10 @@ class TransactionBatch:
         if not isinstance(index, slice):
             raise TypeError("use .at(i) for single transactions; indexing is by slice")
         return TransactionBatch(
-            self.senders[index], self.receivers[index], self.blocks[index]
+            self.senders[index],
+            self.receivers[index],
+            self.blocks[index],
+            self.values[index] if self.values is not None else None,
         )
 
     def at(self, index: int) -> Transaction:
@@ -128,8 +146,15 @@ class TransactionBatch:
             sender=int(self.senders[index]),
             receiver=int(self.receivers[index]),
             block=int(self.blocks[index]),
+            value=self._value_at(index),
             tx_id=index,
         )
+
+    def amounts(self, default: float = 0.0) -> np.ndarray:
+        """Per-transfer amounts: the ``values`` column, or ``default``."""
+        if self.values is not None:
+            return self.values
+        return np.full(len(self), default, dtype=np.float64)
 
     @classmethod
     def empty(cls) -> "TransactionBatch":
@@ -139,13 +164,21 @@ class TransactionBatch:
 
     @classmethod
     def from_transactions(cls, transactions: Sequence[Transaction]) -> "TransactionBatch":
-        """Build a batch from transaction objects (test/example helper)."""
+        """Build a batch from transaction objects (test/example helper).
+
+        The ``values`` column is materialised only when some transaction
+        carries value, so metric-only batches stay three columns wide.
+        """
         if not transactions:
             return cls.empty()
+        values = None
+        if any(t.value for t in transactions):
+            values = np.array([t.value for t in transactions], dtype=np.float64)
         return cls(
             np.array([t.sender for t in transactions], dtype=np.int64),
             np.array([t.receiver for t in transactions], dtype=np.int64),
             np.array([t.block for t in transactions], dtype=np.int64),
+            values,
         )
 
     def select(self, mask: np.ndarray) -> "TransactionBatch":
@@ -154,15 +187,25 @@ class TransactionBatch:
         if mask.shape != self.senders.shape:
             raise ValidationError("mask shape must match batch length")
         return TransactionBatch(
-            self.senders[mask], self.receivers[mask], self.blocks[mask]
+            self.senders[mask],
+            self.receivers[mask],
+            self.blocks[mask],
+            self.values[mask] if self.values is not None else None,
         )
 
     def concat(self, other: "TransactionBatch") -> "TransactionBatch":
         """Concatenate two batches (order preserved: self then other)."""
+        if self.values is None and other.values is None:
+            values = None
+        else:
+            values = np.concatenate(
+                [self.amounts(), other.amounts()]
+            )
         return TransactionBatch(
             np.concatenate([self.senders, other.senders]),
             np.concatenate([self.receivers, other.receivers]),
             np.concatenate([self.blocks, other.blocks]),
+            values,
         )
 
     def involving(self, account_id: int) -> "TransactionBatch":

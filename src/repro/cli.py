@@ -10,7 +10,9 @@ Commands:
   a comparison table (optionally a Markdown report);
 * ``scenarios`` — list the built-in scenarios;
 * ``matrix`` — run a declarative allocator x trace x parameter grid
-  through the (optionally parallel) scenario-matrix runner.
+  through the (optionally parallel) scenario-matrix runner;
+* ``bench`` — regenerate the ``BENCH_baseline.json`` performance
+  snapshot (Table II workload + executor microbenchmark + smoke grid).
 """
 
 from __future__ import annotations
@@ -235,6 +237,26 @@ def _command_matrix(args: argparse.Namespace) -> int:
     return 1 if result.failures else 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.experiments import run_bench
+
+    print(
+        "running the Table II benchmark workload "
+        f"({args.workers} worker(s)) + executor microbench + smoke grid"
+    )
+    payload = run_bench(path=args.output, workers=args.workers)
+    print(f"\nsnapshot written to {args.output}")
+    print(f"total_seconds   : {payload['total_seconds']}")
+    print(f"kernel_seconds  : {payload['kernel_seconds']}")
+    print(f"smoke_seconds   : {payload['smoke_seconds']}")
+    if "speedup_vs_reference" in payload:
+        print(f"speedup vs prev : {payload['speedup_vs_reference']}x")
+    failures = int(payload.get("failures", 0))
+    if failures:
+        print(f"error: {failures} cell(s) failed", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _command_scenarios(_args: argparse.Namespace) -> int:
     rows = [
         [scenario.name, scenario.description] for scenario in SCENARIOS.values()
@@ -291,6 +313,20 @@ def build_parser() -> argparse.ArgumentParser:
         "scenarios", help="list built-in scenarios"
     )
     scenarios.set_defaults(handler=_command_scenarios)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="regenerate the BENCH_baseline.json performance snapshot",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_baseline.json",
+        help="snapshot path (default: BENCH_baseline.json)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=1, help="process count (1 = sequential)"
+    )
+    bench.set_defaults(handler=_command_bench)
 
     matrix = subparsers.add_parser(
         "matrix", help="run an allocator x trace x parameter grid"

@@ -75,7 +75,7 @@ class MosaicAllocator(Allocator):
         self._edge_v = np.zeros(0, dtype=np.int64)
         self._edge_w = np.zeros(0, dtype=np.float64)
         self._tx_count = np.zeros(0, dtype=np.int64)
-        self.last_requests: List[MigrationRequest] = []
+        self._last_request_batch: Optional[MigrationRequestBatch] = None
         self.last_outcome: Optional[PolicyOutcome] = None
 
     # -- history bookkeeping ---------------------------------------------------
@@ -147,16 +147,24 @@ class MosaicAllocator(Allocator):
         if len(self._edge_u) == 0 or len(accounts) == 0:
             return psi
         shard_of = mapping.as_array()
+        # Active-account membership via one boolean gather per endpoint
+        # column (cheaper than binary-searching the whole edge list);
+        # the searchsorted row lookup then runs on the small slice.
+        is_active = np.zeros(
+            max(int(self._tx_count.shape[0]), int(accounts.max()) + 1),
+            dtype=bool,
+        )
+        is_active[accounts] = True
         for ids, others in ((self._edge_u, self._edge_v), (self._edge_v, self._edge_u)):
-            rows = np.searchsorted(accounts, ids)
-            rows = np.clip(rows, 0, len(accounts) - 1)
-            present = accounts[rows] == ids
+            present = is_active[ids]
             # Edges may reference accounts beyond the mapping (not yet
             # placed); those cannot contribute counterparty shards.
             present &= others < mapping.n_accounts
             if not present.any():
                 continue
-            keys = rows[present] * k + shard_of[others[present]]
+            sel_others = others[present]
+            rows = np.searchsorted(accounts, ids[present])
+            keys = rows * k + shard_of[sel_others]
             psi += np.bincount(
                 keys, weights=self._edge_w[present], minlength=len(accounts) * k
             ).reshape(len(accounts), k)
@@ -179,6 +187,20 @@ class MosaicAllocator(Allocator):
         return k * OMEGA_ENTRY_BYTES + nonzero * sparse_entry_bytes + scalar_overhead
 
     # -- Allocator interface ---------------------------------------------------------
+
+    @property
+    def last_requests(self) -> List[MigrationRequest]:
+        """Last epoch's migration requests, materialised lazily.
+
+        The update loop keeps only the columnar request batch; request
+        objects are built on access (observability/tests), never on the
+        per-epoch hot path.
+        """
+        if self._last_request_batch is None:
+            return []
+        return self._last_request_batch.take(
+            np.arange(len(self._last_request_batch))
+        )
 
     def initialize(self, history: Trace, params: ProtocolParams) -> ShardMapping:
         self._ensure_accounts(history.n_accounts)
@@ -244,7 +266,7 @@ class MosaicAllocator(Allocator):
         policy = MigrationPolicy(capacity=capacity, fifo=self.fifo_commitment)
         new_mapping = mapping.copy()
         batch_outcome = policy.apply_batch(request_batch, new_mapping)
-        self.last_requests = request_batch.take(np.arange(len(request_batch)))
+        self._last_request_batch = request_batch
         self.last_outcome = batch_outcome.to_policy_outcome()
 
         n_active = max(1, len(active))

@@ -18,6 +18,14 @@ from repro.experiments.aggregate import (
     matrix_table,
     write_result_json,
 )
+from repro.experiments.bench import (
+    check_against_baseline,
+    executor_microbench,
+    load_baseline,
+    run_bench,
+    smoke_seconds,
+    table2_matrix,
+)
 from repro.experiments.matrix import (
     ALLOCATOR_BUILDERS,
     MatrixCell,
@@ -45,15 +53,21 @@ __all__ = [
     "ScenarioMatrix",
     "TraceSpec",
     "baseline_snapshot",
+    "check_against_baseline",
     "default_trace",
     "execute_cell",
+    "executor_microbench",
     "grid_row_settings",
+    "load_baseline",
     "matrix_table",
     "paper_tables_matrix",
+    "run_bench",
     "run_cell",
     "run_matrix",
     "seed_trace_cache",
     "smoke_matrix",
+    "smoke_seconds",
+    "table2_matrix",
     "with_methods",
     "write_result_json",
 ]

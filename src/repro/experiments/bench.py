@@ -1,0 +1,192 @@
+"""The performance benchmark: Table II workload, microbench, and gate.
+
+This module owns everything around ``BENCH_baseline.json``:
+
+* :func:`table2_matrix` — the canonical Table II-equivalent grid
+  (4 methods x k = 16 x eta in {2, 5, 10} over the shared benchmark
+  trace) whose wall time the snapshot records;
+* :func:`executor_microbench` — a columnar cross-shard-executor kernel
+  benchmark (batched two-phase commit + settlement over a fixed
+  synthetic workload), recorded alongside the matrix timings;
+* :func:`run_bench` — regenerate the snapshot (the ``repro bench``
+  subcommand), preserving the previous snapshot as the reference so
+  the speedup series stays comparable across PRs;
+* :func:`check_against_baseline` — the CI perf smoke gate: fail when a
+  measured wall time regresses more than ``threshold``x against the
+  committed snapshot (3x by default — far above machine jitter, tight
+  enough to catch accidental de-vectorisation).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.ethereum import EthereumTraceConfig, generate_ethereum_like_trace
+from repro.errors import ExperimentError
+from repro.experiments.aggregate import baseline_snapshot
+from repro.experiments.matrix import ScenarioMatrix, TraceSpec
+from repro.experiments.runner import run_matrix, seed_trace_cache
+
+#: The benchmark trace shared with ``benchmarks/conftest.py``.
+BENCH_TRACE_CONFIG = EthereumTraceConfig(
+    n_accounts=6_000,
+    n_transactions=80_000,
+    n_blocks=4_000,
+    hub_fraction=0.01,
+    hub_transaction_share=0.12,
+    seed=42,
+)
+BENCH_TRACE_SPEC = TraceSpec(name="bench", config=BENCH_TRACE_CONFIG)
+
+
+def table2_matrix() -> ScenarioMatrix:
+    """The Table II-equivalent workload tracked in ``BENCH_baseline.json``."""
+    return ScenarioMatrix(
+        name="table2-throughput",
+        methods=("hash-random", "metis", "mosaic-pilot", "txallo"),
+        traces=(BENCH_TRACE_SPEC,),
+        ks=(16,),
+        etas=(2.0, 5.0, 10.0),
+        betas=(0.0,),
+        tau=40,
+        seed=42,
+    )
+
+
+def executor_microbench(
+    n_accounts: int = 50_000,
+    k: int = 16,
+    n_transfers: int = 200_000,
+    n_blocks: int = 100,
+    seed: int = 0,
+) -> float:
+    """Wall seconds for the batched executor kernel workload.
+
+    Funds a universe, executes a block-ordered transfer batch through
+    the columnar two-phase committer and settles every receipt. The
+    result feeds the snapshot's ``kernel_seconds`` and the CI gate.
+    """
+    from repro.chain.crossshard import CrossShardExecutor
+    from repro.chain.mapping import ShardMapping
+    from repro.chain.state import StateRegistry
+    from repro.chain.transaction import TransactionBatch
+
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, k, size=n_accounts)
+    batch = TransactionBatch(
+        rng.integers(0, n_accounts, size=n_transfers),
+        rng.integers(0, n_accounts, size=n_transfers),
+        np.sort(rng.integers(0, n_blocks, size=n_transfers)),
+        rng.integers(1, 5, size=n_transfers).astype(np.float64),
+    )
+    executor = CrossShardExecutor(
+        StateRegistry(k=k), ShardMapping(assignment, k=k)
+    )
+    for account in range(n_accounts):
+        executor.fund(account, 1_000.0)
+    started = time.perf_counter()
+    executor.execute_batch(batch)
+    executor.settle_all(n_blocks)
+    return time.perf_counter() - started
+
+
+def smoke_seconds(workers: int = 1) -> float:
+    """Wall seconds of the CI smoke grid (``repro matrix --smoke``)."""
+    from repro.experiments.matrix import smoke_matrix
+
+    matrix = smoke_matrix()
+    result = run_matrix(matrix, workers=workers, strict=True)
+    return result.seconds
+
+
+def run_bench(
+    path: Union[str, Path] = "BENCH_baseline.json",
+    workers: int = 1,
+    notes: Optional[List[str]] = None,
+) -> Dict[str, object]:
+    """Regenerate the performance snapshot (``repro bench``).
+
+    The trace is generated (untimed) and seeded into the runner's cache
+    first, so cell timings measure simulation work, not trace synthesis
+    — the same methodology as the benchmark suite. The previous
+    snapshot's totals become the new snapshot's ``reference``, keeping
+    a chained speedup series across PRs.
+    """
+    path = Path(path)
+    reference: Optional[Dict[str, object]] = None
+    if path.exists():
+        previous = json.loads(path.read_text())
+        reference = {
+            "cells": previous.get("cell_seconds", {}),
+            "total_seconds": previous.get("total_seconds"),
+            "revision": previous.get(
+                "revision",
+                f"snapshot of {previous.get('recorded_at', 'unknown')}",
+            ),
+        }
+
+    seed_trace_cache(
+        BENCH_TRACE_SPEC, generate_ethereum_like_trace(BENCH_TRACE_CONFIG)
+    )
+    matrix = table2_matrix()
+    result = run_matrix(matrix, workers=workers)
+    kernel_seconds = executor_microbench()
+    smoke = smoke_seconds()
+
+    all_notes = [
+        "Table II-equivalent workload: 4 methods x k=16 x eta in {2,5,10}",
+        "sequential timings unless workers > 1; digest is worker-invariant",
+        "kernel_seconds: columnar cross-shard executor microbenchmark",
+        "smoke_seconds: the 2x2 CI smoke grid",
+    ]
+    if notes:
+        all_notes.extend(notes)
+    baseline_snapshot(result, path, reference=reference, notes=all_notes)
+    payload = json.loads(path.read_text())
+    payload["kernel_seconds"] = round(kernel_seconds, 3)
+    payload["smoke_seconds"] = round(smoke, 3)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return payload
+
+
+def load_baseline(
+    path: Union[str, Path] = "BENCH_baseline.json"
+) -> Dict[str, object]:
+    """Read the committed snapshot; raise when missing."""
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no benchmark snapshot at {path}")
+    return json.loads(path.read_text())
+
+
+def check_against_baseline(
+    measured: Dict[str, float],
+    baseline: Dict[str, object],
+    threshold: float = 3.0,
+) -> List[str]:
+    """Compare measured wall times against snapshot entries.
+
+    ``measured`` maps snapshot keys (``smoke_seconds``,
+    ``kernel_seconds``, ...) to freshly measured seconds. Returns a
+    list of human-readable violations (empty = gate passes); keys the
+    snapshot does not carry are skipped, so the gate degrades
+    gracefully against older snapshots.
+    """
+    if threshold <= 1.0:
+        raise ExperimentError(f"threshold must be > 1, got {threshold}")
+    violations: List[str] = []
+    for key, seconds in measured.items():
+        reference = baseline.get(key)
+        if not isinstance(reference, (int, float)) or reference <= 0:
+            continue
+        if seconds > threshold * float(reference):
+            violations.append(
+                f"{key}: measured {seconds:.3f}s vs snapshot "
+                f"{float(reference):.3f}s (> {threshold:g}x)"
+            )
+    return violations

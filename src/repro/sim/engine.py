@@ -15,6 +15,11 @@ Protocol per evaluation epoch ``t``:
    mempool of pending transactions — the next epoch's batch in
    ``lookahead`` mode (the paper's setup) or the current epoch's batch
    in ``trailing`` mode (ablation).
+
+The loop is columnar end to end: every epoch is a
+:class:`TransactionBatch` view over the trace's arrays, metrics run
+through the fused numpy kernels, and no per-transaction Python object
+is ever materialised on this path.
 """
 
 from __future__ import annotations

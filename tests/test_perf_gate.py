@@ -1,0 +1,86 @@
+"""CI perf smoke gate: catch order-of-magnitude performance regressions.
+
+The gate runs the ``repro matrix --smoke`` grid plus the columnar
+executor microbenchmark (scaled down for CI) and fails when wall time
+regresses more than 3x against the committed ``BENCH_baseline.json``
+snapshot. 3x is far above normal machine jitter but well below the
+slowdowns that accidental de-vectorisation (object churn, per-transfer
+Python loops) causes, which are the regressions this gate exists to
+catch. Regenerate the snapshot with ``python -m repro bench`` after an
+intentional performance change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import check_against_baseline, executor_microbench
+from repro.experiments.bench import load_baseline, smoke_seconds
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_baseline.json"
+
+#: CI-sized microbench: same kernel path as the snapshot's
+#: ``kernel_seconds`` workload at 1/10 of the transfer count.
+MICROBENCH_SCALE = 0.1
+
+
+class TestGateLogic:
+    def test_passes_within_threshold(self):
+        baseline = {"smoke_seconds": 1.0, "kernel_seconds": 2.0}
+        measured = {"smoke_seconds": 2.5, "kernel_seconds": 1.0}
+        assert check_against_baseline(measured, baseline) == []
+
+    def test_flags_regression(self):
+        baseline = {"smoke_seconds": 1.0}
+        violations = check_against_baseline(
+            {"smoke_seconds": 3.5}, baseline, threshold=3.0
+        )
+        assert len(violations) == 1
+        assert "smoke_seconds" in violations[0]
+
+    def test_missing_keys_are_skipped(self):
+        assert check_against_baseline({"kernel_seconds": 99.0}, {}) == []
+
+    def test_threshold_must_leave_headroom(self):
+        with pytest.raises(ExperimentError):
+            check_against_baseline({}, {}, threshold=1.0)
+
+
+class TestCommittedSnapshot:
+    def test_snapshot_exists_and_carries_gate_keys(self):
+        baseline = load_baseline(BASELINE_PATH)
+        assert baseline.get("matrix") == "table2-throughput"
+        for key in ("total_seconds", "smoke_seconds", "kernel_seconds"):
+            assert isinstance(baseline.get(key), (int, float)), key
+
+    def test_snapshot_is_valid_json_with_cells(self):
+        payload = json.loads(BASELINE_PATH.read_text())
+        assert payload["cell_seconds"], "snapshot must carry per-cell timings"
+
+
+class TestPerfSmokeGate:
+    """The actual gate — runs the smoke grid + scaled microbench."""
+
+    def test_smoke_grid_within_3x_of_snapshot(self):
+        baseline = load_baseline(BASELINE_PATH)
+        measured = {"smoke_seconds": smoke_seconds()}
+        violations = check_against_baseline(measured, baseline, threshold=3.0)
+        assert not violations, "; ".join(violations)
+
+    def test_executor_kernel_within_3x_of_snapshot(self):
+        baseline = load_baseline(BASELINE_PATH)
+        reference = baseline.get("kernel_seconds")
+        if not isinstance(reference, (int, float)):
+            pytest.skip("snapshot predates kernel_seconds")
+        seconds = executor_microbench(
+            n_accounts=10_000,
+            n_transfers=int(200_000 * MICROBENCH_SCALE),
+            n_blocks=10,
+        )
+        # The CI workload is ~1/10 of the snapshot's; compare against
+        # the proportionally scaled reference.
+        measured = {"kernel_seconds": seconds / MICROBENCH_SCALE}
+        violations = check_against_baseline(measured, baseline, threshold=3.0)
+        assert not violations, "; ".join(violations)
