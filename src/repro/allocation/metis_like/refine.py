@@ -359,9 +359,10 @@ def polish_level(
     Equivalent to calling :func:`refine_partition` (relaxed cap),
     :func:`rebalance` and :func:`refine_partition` (strict cap) in
     sequence, but the three phases share one :class:`_LevelState` — the
-    row index, edge keys and (for integral weights) the live connection
-    matrix survive across phases, with rebalance scattering its own
-    moves into it.
+    row index and edge keys survive across phases, and (for integral
+    weights) the live connection matrix carries over whenever rebalance
+    moved nothing; rebalance moves invalidate it, as one rebuild is
+    cheaper than scattering its potentially thousands of moves.
     """
     csr = csr_from_adjacency(adjacency)
     if csr.n == 0:

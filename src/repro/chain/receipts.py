@@ -129,10 +129,20 @@ class ReceiptLedger:
         cols["target_shards"][new] = target_shards
         cols["issued_blocks"][new] = issued_block
         cols["due_blocks"][new] = due_block
-        if self._sorted and stop > self._start:
-            last_due = int(cols["due_blocks"][stop - 1])
-            if due_block < last_due:
+        if self._sorted:
+            # The pending region stays sorted only if this append keeps
+            # the (due_block, tx_id) order — within the batch (one
+            # shared due block, so tx ids must ascend) and against the
+            # current tail.
+            if count > 1 and not bool((np.diff(tx_ids) > 0).all()):
                 self._sorted = False
+            elif stop > self._start:
+                last_due = int(cols["due_blocks"][stop - 1])
+                last_tx = int(cols["tx_ids"][stop - 1])
+                if due_block < last_due or (
+                    due_block == last_due and int(tx_ids[0]) < last_tx
+                ):
+                    self._sorted = False
         self._stop = stop + count
         self._total += float(amounts.sum())
 

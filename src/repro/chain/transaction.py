@@ -166,19 +166,17 @@ class TransactionBatch:
     def from_transactions(cls, transactions: Sequence[Transaction]) -> "TransactionBatch":
         """Build a batch from transaction objects (test/example helper).
 
-        The ``values`` column is materialised only when some transaction
-        carries value, so metric-only batches stay three columns wide.
+        The ``values`` column is always materialised so the executor
+        sees exactly the objects' values — including explicit zeros —
+        rather than falling back to a default amount.
         """
         if not transactions:
             return cls.empty()
-        values = None
-        if any(t.value for t in transactions):
-            values = np.array([t.value for t in transactions], dtype=np.float64)
         return cls(
             np.array([t.sender for t in transactions], dtype=np.int64),
             np.array([t.receiver for t in transactions], dtype=np.int64),
             np.array([t.block for t in transactions], dtype=np.int64),
-            values,
+            np.array([t.value for t in transactions], dtype=np.float64),
         )
 
     def select(self, mask: np.ndarray) -> "TransactionBatch":

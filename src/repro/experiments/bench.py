@@ -168,6 +168,7 @@ def check_against_baseline(
     measured: Dict[str, float],
     baseline: Dict[str, object],
     threshold: float = 3.0,
+    min_reference: float = 0.25,
 ) -> List[str]:
     """Compare measured wall times against snapshot entries.
 
@@ -175,7 +176,10 @@ def check_against_baseline(
     ``kernel_seconds``, ...) to freshly measured seconds. Returns a
     list of human-readable violations (empty = gate passes); keys the
     snapshot does not carry are skipped, so the gate degrades
-    gracefully against older snapshots.
+    gracefully against older snapshots. References are floored at
+    ``min_reference`` seconds so millisecond-scale snapshot entries
+    recorded on a fast machine do not turn scheduler jitter on slower
+    CI runners into failures.
     """
     if threshold <= 1.0:
         raise ExperimentError(f"threshold must be > 1, got {threshold}")
@@ -184,9 +188,11 @@ def check_against_baseline(
         reference = baseline.get(key)
         if not isinstance(reference, (int, float)) or reference <= 0:
             continue
-        if seconds > threshold * float(reference):
+        floored = max(float(reference), min_reference)
+        if seconds > threshold * floored:
             violations.append(
                 f"{key}: measured {seconds:.3f}s vs snapshot "
-                f"{float(reference):.3f}s (> {threshold:g}x)"
+                f"{float(reference):.3f}s (> {threshold:g}x of "
+                f"max(reference, {min_reference:g}s))"
             )
     return violations

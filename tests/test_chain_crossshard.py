@@ -138,6 +138,126 @@ class TestMigrationInteraction:
         assert executor.apply_migration(1, to_shard=1) == 0
 
 
+class TestBatchedScalarEquivalence:
+    """The batched committer must be indistinguishable from the scalar
+    reference: same balances, nonces, receipts, settlement order and
+    reports, across self-transfers, overdrafts and migrations
+    interleaved with pending receipts."""
+
+    @staticmethod
+    def _twin_executors(assignment, k, relay_delay):
+        executors = []
+        for batched in (True, False):
+            executor = CrossShardExecutor(
+                StateRegistry(k=k),
+                ShardMapping(assignment.copy(), k=k),
+                relay_delay_blocks=relay_delay,
+                batched=batched,
+            )
+            executors.append(executor)
+        return executors
+
+    @staticmethod
+    def _assert_identical(batched, scalar, k):
+        for shard in range(k):
+            assert (
+                batched.registry.store_of(shard).state_root()
+                == scalar.registry.store_of(shard).state_root()
+            )
+        assert batched.pending_receipts == scalar.pending_receipts
+        assert batched.in_flight_value() == scalar.in_flight_value()
+        # Satellite: the O(1) running in-flight total equals the value
+        # recomputed from the pending columns.
+        assert batched.in_flight_value() == pytest.approx(
+            float(batched.ledger.view().amounts.sum())
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_accounts=st.integers(2, 16),
+        k=st.integers(1, 4),
+        relay_delay=st.integers(0, 3),
+        seed=st.integers(0, 10_000),
+    )
+    def test_randomized_batches(self, n_accounts, k, relay_delay, seed):
+        rng = np.random.default_rng(seed)
+        assignment = rng.integers(0, k, size=n_accounts)
+        batched, scalar = self._twin_executors(assignment, k, relay_delay)
+        for account in range(n_accounts):
+            amount = float(rng.integers(0, 12))
+            batched.fund(account, amount)
+            scalar.fund(account, amount)
+
+        # Block sizes straddle the batched committer's small-block
+        # cutoff, so both code paths are exercised against each other.
+        n_tx = int(rng.integers(0, 700))
+        # Self-transfers included; small balances force overdrafts.
+        senders = rng.integers(0, n_accounts, size=n_tx)
+        receivers = rng.integers(0, n_accounts, size=n_tx)
+        amounts = rng.integers(0, 7, size=n_tx).astype(np.float64)
+        blocks = np.sort(rng.integers(0, 4, size=n_tx))
+        batch = TransactionBatch(senders, receivers, blocks, amounts)
+
+        reports_b = batched.execute_batch(batch)
+        reports_s = scalar.execute_batch(batch)
+        assert len(reports_b) == len(reports_s)
+        for rb, rs in zip(reports_b, reports_s):
+            assert (
+                rb.block, rb.intra_executed, rb.withdraws,
+                rb.deposits_settled, rb.failed, rb.relay_latencies,
+            ) == (
+                rs.block, rs.intra_executed, rs.withdraws,
+                rs.deposits_settled, rs.failed, rs.relay_latencies,
+            )
+        self._assert_identical(batched, scalar, k)
+        final_b = batched.settle_all(from_block=4)
+        final_s = scalar.settle_all(from_block=4)
+        assert final_b.deposits_settled == final_s.deposits_settled
+        assert final_b.relay_latencies == final_s.relay_latencies
+        self._assert_identical(batched, scalar, k)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_accounts=st.integers(4, 12),
+        k=st.integers(2, 4),
+        seed=st.integers(0, 5_000),
+    )
+    def test_migrations_interleaved_with_pending_receipts(
+        self, n_accounts, k, seed
+    ):
+        rng = np.random.default_rng(seed)
+        assignment = rng.integers(0, k, size=n_accounts)
+        batched, scalar = self._twin_executors(assignment, k, relay_delay=2)
+        for account in range(n_accounts):
+            batched.fund(account, 20.0)
+            scalar.fund(account, 20.0)
+
+        block = 0
+        for _ in range(6):
+            n_tx = int(rng.integers(1, 120))
+            senders = rng.integers(0, n_accounts, size=n_tx)
+            receivers = rng.integers(0, n_accounts, size=n_tx)
+            amounts = rng.integers(0, 5, size=n_tx).astype(np.float64)
+            batch = TransactionBatch(
+                senders, receivers, np.full(n_tx, block), amounts
+            )
+            batched.execute_batch(batch)
+            scalar.execute_batch(batch)
+            # Migrate a random account mid-flight: state and mapping
+            # move while receipts naming its old shard are pending.
+            account = int(rng.integers(0, n_accounts))
+            to_shard = int(rng.integers(0, k))
+            batched.apply_migration(account, to_shard)
+            scalar.apply_migration(account, to_shard)
+            batched.mapping.assign(account, to_shard)
+            scalar.mapping.assign(account, to_shard)
+            block += int(rng.integers(1, 3))
+        batched.settle_all(from_block=block)
+        scalar.settle_all(from_block=block)
+        self._assert_identical(batched, scalar, k)
+        assert batched.total_value() == pytest.approx(scalar.total_value())
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     n_accounts=st.integers(2, 12),
