@@ -55,9 +55,12 @@ def comparison_table(
         values: List[Optional[float]] = []
         for allocator in allocators:
             summary = _find(summaries, allocator, **setting)
-            values.append(
-                float(summary[metric]) if summary is not None else None
-            )
+            # A run that does not carry the metric (e.g. an executed-
+            # value metric asked of a metrics-only cell) renders "-".
+            if summary is None or metric not in summary:
+                values.append(None)
+            else:
+                values.append(float(summary[metric]))
         present = [v for v in values if v is not None]
         best = (min(present) if lower_is_better else max(present)) if present else None
         cells = [label]

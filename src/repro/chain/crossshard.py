@@ -88,6 +88,8 @@ class ExecutionReport:
     withdraws: int = 0
     deposits_settled: int = 0
     failed: int = 0
+    #: Value credited by receipt settlement in this block.
+    settled_value: float = 0.0
     relay_latencies: List[int] = field(default_factory=list)
 
     @property
@@ -134,6 +136,32 @@ class CrossShardExecutor:
         """Mint ``amount`` to ``account`` on its resident shard (genesis)."""
         shard = self.mapping.shard_of(account)
         self.registry.store_of(shard).credit(account, amount)
+
+    def fund_many(
+        self, accounts: np.ndarray, amounts: Union[np.ndarray, float]
+    ) -> None:
+        """Mint to many accounts at once (columnar genesis funding).
+
+        ``amounts`` may be a scalar (uniform supply) or a per-account
+        array. Credits scatter per shard in one pass — the bulk path
+        the unified engine and the 1M-account microbench use instead of
+        a per-account :meth:`fund` loop.
+        """
+        accounts = np.asarray(accounts, dtype=np.int64)
+        if np.isscalar(amounts) or getattr(amounts, "ndim", 1) == 0:
+            amounts = np.full(len(accounts), float(amounts), dtype=np.float64)
+        else:
+            amounts = np.asarray(amounts, dtype=np.float64)
+        if amounts.shape != accounts.shape:
+            raise ValidationError("accounts/amounts length mismatch")
+        if len(amounts) and float(amounts.min()) < 0:
+            raise ValidationError("funding amounts must be >= 0")
+        shards = self.mapping.shards_of(accounts)
+        for shard in np.unique(shards).tolist():
+            on_shard = shards == shard
+            self.registry.store_of(int(shard)).credit_many(
+                accounts[on_shard], amounts[on_shard]
+            )
 
     @property
     def ledger(self) -> ReceiptLedger:
@@ -235,6 +263,7 @@ class CrossShardExecutor:
                 due.receivers[on_shard], due.amounts[on_shard]
             )
         report.deposits_settled += len(due)
+        report.settled_value += float(due.amounts.sum())
         report.relay_latencies.extend(
             (block - due.issued_blocks).tolist()
         )

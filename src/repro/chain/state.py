@@ -2,26 +2,53 @@
 
 The allocation layer treats shards as transaction counters; this module
 gives them actual state so the substrate can *execute* transfers. Each
-shard keeps a :class:`ShardStateStore` over the accounts
-``phi^{-1}(shard)``; epoch reconfiguration moves account state between
-stores (the migration traffic the paper accounts for), and the
-cross-shard executor (:mod:`repro.chain.crossshard`) debits and credits
-across stores.
+shard keeps a state store over the accounts ``phi^{-1}(shard)``; epoch
+reconfiguration moves account state between stores (the migration
+traffic the paper accounts for), and the cross-shard executor
+(:mod:`repro.chain.crossshard`) debits and credits across stores.
+
+Two interchangeable backends implement the store contract:
+
+* :class:`ShardStateStore` — the scalar-dict backend: balances and
+  nonces in two parallel dicts. Robust for sparse/arbitrary account
+  ids; the default.
+* :class:`DenseShardStateStore` — the dense-array backend: balances and
+  nonces in preallocated ``np.ndarray`` columns indexed directly by
+  account id, plus a residency bitmap. Built for compact id universes
+  (``range(n_accounts)``) where it scales past a million accounts with
+  O(1) columnar gather/scatter; ids beyond the preallocated capacity
+  spill into a fallback dict so sparse stragglers stay correct.
+
+:class:`StateRegistry` selects the backend (``backend="dict"`` /
+``"dense"``) and guarantees both produce identical observable state —
+same state roots, balances and nonces — which the backend-equivalence
+property suite pins down.
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ChainError, ValidationError
+from repro.errors import (
+    ChainError,
+    ConfigurationError,
+    StateMigrationError,
+    ValidationError,
+)
 
 #: Serialised size of one account state record (address, balance, nonce,
 #: storage-root digest) — matches ACCOUNT_STATE_BYTES in repro.chain.epoch.
 STATE_RECORD_BYTES = 128
+
+#: State-store backend names accepted by :class:`StateRegistry`.
+BACKEND_DICT = "dict"
+BACKEND_DENSE = "dense"
+STATE_BACKENDS = (BACKEND_DICT, BACKEND_DENSE)
 
 
 @dataclass(frozen=True)
@@ -57,8 +84,21 @@ class AccountState:
         return replace(self, balance=self.balance - amount, nonce=self.nonce + 1)
 
 
+def _state_root_digest(items: List[Tuple[int, float, int]]) -> str:
+    """Digest over ``(account, balance, nonce)`` rows sorted by account.
+
+    Shared by both backends so a dict store and a dense store holding
+    the same state hash to the same root.
+    """
+    hasher = hashlib.sha256()
+    for account, balance, nonce in sorted(items):
+        hasher.update(f"{account}:{balance!r}:{nonce}".encode("utf-8"))
+        hasher.update(b"\x00")
+    return "0x" + hasher.hexdigest()
+
+
 class ShardStateStore:
-    """The state of all accounts resident on one shard.
+    """The state of all accounts resident on one shard (dict backend).
 
     Internally object-free: balances and nonces live in two parallel
     scalar dicts so the batched executor's gather/scatter hot path never
@@ -169,38 +209,282 @@ class ShardStateStore:
             non.setdefault(account, 0)
 
     def total_balance(self) -> float:
-        """Sum of all resident balances (conservation checks)."""
-        return sum(self._balances.values())
+        """Exactly-rounded sum of resident balances (conservation checks)."""
+        return math.fsum(self._balances.values())
 
     def state_root(self) -> str:
         """Deterministic digest over the sorted account states."""
-        hasher = hashlib.sha256()
-        for account in sorted(self._balances):
-            hasher.update(
-                f"{account}:{self._balances[account]!r}:{self._nonces[account]}".encode(
-                    "utf-8"
-                )
-            )
-            hasher.update(b"\x00")
-        return "0x" + hasher.hexdigest()
+        return _state_root_digest(
+            [
+                (account, balance, self._nonces[account])
+                for account, balance in self._balances.items()
+            ]
+        )
 
     def serialized_bytes(self) -> int:
         """Bytes a miner transfers to sync this shard's state."""
         return len(self._balances) * STATE_RECORD_BYTES
 
 
-class StateRegistry:
-    """All shards' state stores plus migration between them."""
+class DenseShardStateStore:
+    """Dense-array backend: state columns indexed directly by account id.
 
-    def __init__(self, k: int) -> None:
-        if k < 1:
-            raise ValidationError(f"k must be >= 1, got {k}")
-        self.k = k
-        self.stores: Tuple[ShardStateStore, ...] = tuple(
-            ShardStateStore(shard) for shard in range(k)
+    Balances and nonces live in preallocated float64/int64 arrays of
+    length ``capacity`` (the compact id universe) with a residency
+    bitmap for membership; the batched executor's gather/scatter
+    entry points become single fancy-indexing operations instead of
+    per-account dict traffic, which is what lets the executor
+    microbench scale past 1M accounts. Account ids at or above
+    ``capacity`` (sparse stragglers, grown universes) spill into a
+    fallback dict pair with the scalar-dict semantics.
+
+    Observable behaviour — balances, nonces, membership, state roots,
+    error cases — is identical to :class:`ShardStateStore`; the
+    backend-equivalence property suite asserts it.
+    """
+
+    def __init__(self, shard_id: int, capacity: int) -> None:
+        if shard_id < 0:
+            raise ValidationError(f"shard_id must be >= 0, got {shard_id}")
+        if capacity < 0:
+            raise ValidationError(f"capacity must be >= 0, got {capacity}")
+        self.shard_id = shard_id
+        self.capacity = int(capacity)
+        self._bal = np.zeros(capacity, dtype=np.float64)
+        self._non = np.zeros(capacity, dtype=np.int64)
+        self._resident = np.zeros(capacity, dtype=bool)
+        # Fallback for account ids >= capacity (sparse/grown universes).
+        self._extra_bal: Dict[int, float] = {}
+        self._extra_non: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return int(self._resident.sum()) + len(self._extra_bal)
+
+    def __contains__(self, account: int) -> bool:
+        if 0 <= account < self.capacity:
+            return bool(self._resident[account])
+        return account in self._extra_bal
+
+    def accounts(self) -> Iterator[int]:
+        """Resident account ids (unspecified order)."""
+        for account in np.flatnonzero(self._resident).tolist():
+            yield account
+        yield from self._extra_bal
+
+    def get(self, account: int) -> AccountState:
+        """State of ``account``; a fresh zero state when never seen."""
+        if 0 <= account < self.capacity:
+            if not self._resident[account]:
+                return AccountState()
+            return AccountState(
+                balance=float(self._bal[account]), nonce=int(self._non[account])
+            )
+        balance = self._extra_bal.get(account)
+        if balance is None:
+            return AccountState()
+        return AccountState(balance=balance, nonce=self._extra_non[account])
+
+    def put(self, account: int, state: AccountState) -> None:
+        """Install ``state`` for ``account``."""
+        if account < 0:
+            raise ValidationError(f"account must be >= 0, got {account}")
+        if account < self.capacity:
+            self._bal[account] = state.balance
+            self._non[account] = state.nonce
+            self._resident[account] = True
+        else:
+            self._extra_bal[account] = state.balance
+            self._extra_non[account] = state.nonce
+
+    def credit(self, account: int, amount: float) -> AccountState:
+        """Add funds (creating the account on first touch)."""
+        if amount < 0:
+            raise ValidationError(f"credit amount must be >= 0, got {amount}")
+        if 0 <= account < self.capacity:
+            balance = float(self._bal[account]) + amount
+            self._bal[account] = balance
+            self._resident[account] = True
+            return AccountState(balance=balance, nonce=int(self._non[account]))
+        balance = self._extra_bal.get(account, 0.0) + amount
+        self._extra_bal[account] = balance
+        nonce = self._extra_non.setdefault(account, 0)
+        return AccountState(balance=balance, nonce=nonce)
+
+    def debit(self, account: int, amount: float) -> AccountState:
+        """Remove funds; raises :class:`ChainError` when underfunded."""
+        if amount < 0:
+            raise ValidationError(f"debit amount must be >= 0, got {amount}")
+        if 0 <= account < self.capacity:
+            balance = float(self._bal[account])
+            if amount > balance:
+                raise ChainError(f"insufficient balance: {balance} < {amount}")
+            balance -= amount
+            nonce = int(self._non[account]) + 1
+            self._bal[account] = balance
+            self._non[account] = nonce
+            self._resident[account] = True
+            return AccountState(balance=balance, nonce=nonce)
+        balance = self._extra_bal.get(account, 0.0)
+        if amount > balance:
+            raise ChainError(f"insufficient balance: {balance} < {amount}")
+        balance -= amount
+        nonce = self._extra_non.get(account, 0) + 1
+        self._extra_bal[account] = balance
+        self._extra_non[account] = nonce
+        return AccountState(balance=balance, nonce=nonce)
+
+    def remove(self, account: int) -> AccountState:
+        """Remove and return an account's state (for migration)."""
+        if 0 <= account < self.capacity:
+            if not self._resident[account]:
+                raise ChainError(
+                    f"account {account} is not resident on shard {self.shard_id}"
+                )
+            state = AccountState(
+                balance=float(self._bal[account]), nonce=int(self._non[account])
+            )
+            self._bal[account] = 0.0
+            self._non[account] = 0
+            self._resident[account] = False
+            return state
+        try:
+            balance = self._extra_bal.pop(account)
+        except KeyError:
+            raise ChainError(
+                f"account {account} is not resident on shard {self.shard_id}"
+            ) from None
+        return AccountState(balance=balance, nonce=self._extra_non.pop(account))
+
+    # -- columnar bulk access (batched executor hot path) ----------------------
+
+    def _all_in_capacity(self, accounts: np.ndarray) -> bool:
+        return len(accounts) == 0 or (
+            int(accounts.max()) < self.capacity and int(accounts.min()) >= 0
         )
 
-    def store_of(self, shard: int) -> ShardStateStore:
+    def balances_of(self, accounts: np.ndarray) -> np.ndarray:
+        """Balances of ``accounts`` as an array (zero when never seen)."""
+        if self._all_in_capacity(accounts):
+            # Non-resident cells hold 0.0 by construction, matching the
+            # dict backend's get(account, 0.0).
+            return self._bal[accounts]
+        get = self._extra_bal.get
+        capacity = self.capacity
+        bal = self._bal
+        return np.fromiter(
+            (
+                bal[a] if 0 <= a < capacity else get(a, 0.0)
+                for a in accounts.tolist()
+            ),
+            dtype=np.float64,
+            count=len(accounts),
+        )
+
+    def write_back(
+        self,
+        accounts: np.ndarray,
+        balances: np.ndarray,
+        nonce_bumps: np.ndarray,
+    ) -> None:
+        """Scatter updated balances (and nonce increments) back."""
+        if self._all_in_capacity(accounts):
+            self._bal[accounts] = balances
+            np.add.at(self._non, accounts, nonce_bumps)
+            self._resident[accounts] = True
+            return
+        for account, balance, bump in zip(
+            accounts.tolist(), balances.tolist(), nonce_bumps.tolist()
+        ):
+            if 0 <= account < self.capacity:
+                self._bal[account] = balance
+                self._non[account] += bump
+                self._resident[account] = True
+            else:
+                self._extra_bal[account] = balance
+                self._extra_non[account] = self._extra_non.get(account, 0) + bump
+
+    def credit_many(self, accounts: np.ndarray, amounts: np.ndarray) -> None:
+        """Apply a stream of credits in order (settlement scatter)."""
+        if self._all_in_capacity(accounts):
+            # np.add.at applies duplicate indices sequentially, matching
+            # the dict backend's in-order accumulation.
+            np.add.at(self._bal, accounts, amounts)
+            self._resident[accounts] = True
+            return
+        for account, amount in zip(accounts.tolist(), amounts.tolist()):
+            if 0 <= account < self.capacity:
+                self._bal[account] += amount
+                self._resident[account] = True
+            else:
+                self._extra_bal[account] = (
+                    self._extra_bal.get(account, 0.0) + amount
+                )
+                self._extra_non.setdefault(account, 0)
+
+    def total_balance(self) -> float:
+        """Sum of resident balances (float64 pairwise ``np.sum``)."""
+        dense = float(np.sum(self._bal, dtype=np.float64))
+        if not self._extra_bal:
+            return dense
+        return math.fsum([dense, *self._extra_bal.values()])
+
+    def state_root(self) -> str:
+        """Deterministic digest over the sorted account states."""
+        resident = np.flatnonzero(self._resident)
+        items = [
+            (int(a), float(self._bal[a]), int(self._non[a])) for a in resident
+        ]
+        items.extend(
+            (account, balance, self._extra_non[account])
+            for account, balance in self._extra_bal.items()
+        )
+        return _state_root_digest(items)
+
+    def serialized_bytes(self) -> int:
+        """Bytes a miner transfers to sync this shard's state."""
+        return len(self) * STATE_RECORD_BYTES
+
+
+#: Either backend satisfies the store contract.
+AnyShardStateStore = Union[ShardStateStore, DenseShardStateStore]
+
+
+class StateRegistry:
+    """All shards' state stores plus migration between them.
+
+    ``backend`` selects the store implementation: ``"dict"`` (default,
+    arbitrary ids) or ``"dense"`` (compact-id ``np.ndarray`` columns
+    sized by ``n_accounts``, with a dict fallback for ids beyond that
+    capacity). Both are observably identical.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        backend: str = BACKEND_DICT,
+        n_accounts: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        if backend not in STATE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown state backend {backend!r}; "
+                f"available: {', '.join(STATE_BACKENDS)}"
+            )
+        if n_accounts < 0:
+            raise ValidationError(f"n_accounts must be >= 0, got {n_accounts}")
+        self.k = k
+        self.backend = backend
+        self.n_accounts = int(n_accounts)
+        if backend == BACKEND_DENSE:
+            self.stores: Tuple[AnyShardStateStore, ...] = tuple(
+                DenseShardStateStore(shard, self.n_accounts)
+                for shard in range(k)
+            )
+        else:
+            self.stores = tuple(ShardStateStore(shard) for shard in range(k))
+
+    def store_of(self, shard: int) -> AnyShardStateStore:
         if not 0 <= shard < self.k:
             raise ValidationError(f"shard {shard} out of range [0, {self.k})")
         return self.stores[shard]
@@ -216,15 +500,30 @@ class StateRegistry:
         """Move an account's state between shards; returns bytes moved.
 
         Accounts that were never touched have an implicit zero state, so
-        migrating an unknown account is a no-op costing nothing.
+        migrating an unknown account is a no-op costing nothing. A
+        request whose ``from_shard`` does not hold the account while
+        some *other* shard does raises :class:`StateMigrationError` —
+        silently dropping it would strand the balance on the wrong
+        shard.
         """
         source = self.store_of(from_shard)
         target = self.store_of(to_shard)
         if account not in source:
+            actual = self.locate(account)
+            if actual is not None:
+                raise StateMigrationError(
+                    f"account {account} is resident on shard {actual}, "
+                    f"not on migration source shard {from_shard}"
+                )
             return 0
         target.put(account, source.remove(account))
         return STATE_RECORD_BYTES
 
     def total_balance(self) -> float:
-        """System-wide balance — invariant under execution + migration."""
-        return sum(store.total_balance() for store in self.stores)
+        """System-wide balance — invariant under execution + migration.
+
+        Exactly-rounded accumulation (``math.fsum`` over per-store
+        totals) so conservation checks stay tight at millions of
+        accounts.
+        """
+        return math.fsum(store.total_balance() for store in self.stores)

@@ -81,33 +81,51 @@ def _command_simulate(args: argparse.Namespace) -> int:
     params = ProtocolParams(
         k=args.shards, eta=args.eta, tau=args.tau, beta=args.beta, seed=args.seed
     )
-    config = SimulationConfig(params=params)
+    config = SimulationConfig(
+        params=params,
+        execute_values=args.execute,
+        state_backend=args.state_backend,
+    )
     result = Simulation(trace, factory(), config).run()
     summary = summarize_results(result)
-    print()
-    print(
-        render_table(
-            ["Metric", "Value"],
+    rows = [
+        ["epochs", summary["epochs"]],
+        ["cross-shard ratio", f"{summary['mean_cross_shard_ratio']:.2%}"],
+        [
+            "normalised throughput",
+            f"{summary['mean_normalized_throughput']:.2f}",
+        ],
+        [
+            "workload deviation",
+            f"{summary['mean_workload_deviation']:.2f}",
+        ],
+        [
+            "time per decision",
+            format_seconds(float(summary["mean_unit_time"])),
+        ],
+        ["input size", format_bytes(float(summary["mean_input_bytes"]))],
+        ["migrations committed", summary["total_migrations"]],
+    ]
+    if args.execute:
+        rows.extend(
             [
-                ["epochs", summary["epochs"]],
-                ["cross-shard ratio", f"{summary['mean_cross_shard_ratio']:.2%}"],
                 [
-                    "normalised throughput",
-                    f"{summary['mean_normalized_throughput']:.2f}",
+                    "transfers executed",
+                    summary["total_executed_transactions"],
                 ],
                 [
-                    "workload deviation",
-                    f"{summary['mean_workload_deviation']:.2f}",
+                    "value settled (relays)",
+                    f"{float(summary['total_settled_volume']):.1f}",
                 ],
+                ["overdraft aborts", summary["total_overdraft_aborts"]],
                 [
-                    "time per decision",
-                    format_seconds(float(summary["mean_unit_time"])),
+                    "receipts in flight",
+                    summary["final_in_flight_receipts"],
                 ],
-                ["input size", format_bytes(float(summary["mean_input_bytes"]))],
-                ["migrations committed", summary["total_migrations"]],
-            ],
+            ]
         )
-    )
+    print()
+    print(render_table(["Metric", "Value"], rows))
     return 0
 
 
@@ -157,6 +175,7 @@ def _command_matrix(args: argparse.Namespace) -> int:
         matrix_table,
         run_matrix,
         smoke_matrix,
+        with_engine_modes,
         write_result_json,
     )
 
@@ -166,6 +185,9 @@ def _command_matrix(args: argparse.Namespace) -> int:
         "mean_workload_deviation",
         "mean_unit_time",
         "mean_input_bytes",
+        "total_executed_transactions",
+        "total_settled_volume",
+        "total_overdraft_aborts",
     )
     if args.metric not in valid_metrics:
         print(
@@ -174,8 +196,11 @@ def _command_matrix(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    engine_modes = tuple(args.engine_modes.split(","))
     if args.smoke:
         matrix = smoke_matrix(seed=args.seed)
+        if engine_modes != ("metrics",):
+            matrix = with_engine_modes(matrix, engine_modes)
     else:
         try:
             ks = tuple(int(k) for k in args.shards.split(","))
@@ -204,6 +229,7 @@ def _command_matrix(args: argparse.Namespace) -> int:
             betas=betas,
             tau=args.tau,
             seed=args.seed,
+            engine_modes=engine_modes,
         )
     print(
         f"matrix {matrix.name!r}: {len(matrix)} cells, "
@@ -295,6 +321,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--eta", type=float, default=2.0)
     simulate.add_argument("--tau", type=int, default=30)
     simulate.add_argument("--beta", type=float, default=0.0)
+    simulate.add_argument(
+        "--execute",
+        action="store_true",
+        help="drive the unified engine: execute value transfers "
+        "through the cross-shard executor alongside the metrics",
+    )
+    simulate.add_argument(
+        "--state-backend",
+        default="dict",
+        choices=("dict", "dense"),
+        help="per-shard state store backend for --execute",
+    )
     simulate.set_defaults(handler=_command_simulate)
 
     compare = subparsers.add_parser(
@@ -354,6 +392,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric",
         default="mean_normalized_throughput",
         help="summary metric to tabulate",
+    )
+    matrix.add_argument(
+        "--engine-modes",
+        default="metrics",
+        help=(
+            "comma-separated engine modes per cell: metrics (classic), "
+            "execute (unified value execution, dict state backend), "
+            "execute-dense (dense-array state backend)"
+        ),
     )
     matrix.add_argument(
         "--smoke",

@@ -48,6 +48,16 @@ class MigrationError(ReproError):
     """A migration request is malformed or cannot be applied."""
 
 
+class StateMigrationError(MigrationError):
+    """Account state could not be moved between shard stores.
+
+    Raised when a migration names a source shard that does not actually
+    hold the account's state (the account is resident elsewhere) — a
+    stale or inconsistent request the caller must handle, distinct from
+    migrating a never-touched account, which is a free no-op.
+    """
+
+
 class AllocationError(ReproError):
     """An allocation algorithm failed to produce a valid result."""
 

@@ -28,12 +28,14 @@ from repro.experiments.bench import (
 )
 from repro.experiments.matrix import (
     ALLOCATOR_BUILDERS,
+    ENGINE_MODES,
     MatrixCell,
     ScenarioMatrix,
     TraceSpec,
     default_trace,
     paper_tables_matrix,
     smoke_matrix,
+    with_engine_modes,
     with_methods,
 )
 from repro.experiments.runner import (
@@ -47,6 +49,7 @@ from repro.experiments.runner import (
 
 __all__ = [
     "ALLOCATOR_BUILDERS",
+    "ENGINE_MODES",
     "CellOutcome",
     "MatrixCell",
     "MatrixResult",
@@ -68,6 +71,7 @@ __all__ = [
     "smoke_matrix",
     "smoke_seconds",
     "table2_matrix",
+    "with_engine_modes",
     "with_methods",
     "write_result_json",
 ]

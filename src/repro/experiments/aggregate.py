@@ -21,28 +21,32 @@ from repro.experiments.runner import MatrixResult
 
 
 def grid_row_settings(matrix: ScenarioMatrix) -> List[Dict[str, object]]:
-    """One table row per (k, eta, beta) combination of the grid.
+    """One table row per (k, eta, beta, engine_mode) combination.
 
-    Axes with a single value are folded out of the label, mirroring the
-    paper's "k = 4", "eta = 5" row style.
+    Axes with a single value are folded out of the label (and, for the
+    engine mode, out of the filter too), mirroring the paper's
+    "k = 4", "eta = 5" row style.
     """
     rows: List[Dict[str, object]] = []
     for k in matrix.ks:
         for eta in matrix.etas:
             for beta in matrix.betas:
-                label_parts = [f"k = {k}"]
-                if len(matrix.etas) > 1:
-                    label_parts.append(f"eta = {eta:g}")
-                if len(matrix.betas) > 1:
-                    label_parts.append(f"beta = {beta:g}")
-                rows.append(
-                    {
+                for engine_mode in matrix.engine_modes:
+                    label_parts = [f"k = {k}"]
+                    if len(matrix.etas) > 1:
+                        label_parts.append(f"eta = {eta:g}")
+                    if len(matrix.betas) > 1:
+                        label_parts.append(f"beta = {beta:g}")
+                    row: Dict[str, object] = {
                         "k": k,
                         "eta": eta,
                         "beta": beta,
-                        "label": ", ".join(label_parts),
                     }
-                )
+                    if len(matrix.engine_modes) > 1:
+                        label_parts.append(engine_mode)
+                        row["engine_mode"] = engine_mode
+                    row["label"] = ", ".join(label_parts)
+                    rows.append(row)
     return rows
 
 

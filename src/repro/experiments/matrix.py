@@ -25,11 +25,25 @@ from repro.allocation.metis_like import MetisLikeAllocator
 from repro.allocation.orbit import OrbitAllocator
 from repro.allocation.txallo import TxAlloAllocator
 from repro.chain.params import ProtocolParams
+from repro.chain.state import BACKEND_DENSE, BACKEND_DICT
 from repro.core.mosaic import MosaicAllocator
 from repro.data.ethereum import EthereumTraceConfig
 from repro.errors import ConfigurationError
 from repro.sim.engine import ORACLE_LOOKAHEAD, SimulationConfig
 from repro.util.rng import derive_seed
+
+#: Engine modes — a first-class grid axis. ``metrics`` is the classic
+#: metrics-only loop; ``execute`` adds unified value execution on the
+#: scalar-dict state backend; ``execute-dense`` selects the
+#: dense-array backend.
+ENGINE_MODE_METRICS = "metrics"
+ENGINE_MODE_EXECUTE = "execute"
+ENGINE_MODE_EXECUTE_DENSE = "execute-dense"
+ENGINE_MODES = (
+    ENGINE_MODE_METRICS,
+    ENGINE_MODE_EXECUTE,
+    ENGINE_MODE_EXECUTE_DENSE,
+)
 
 #: Allocator builders, keyed by the display name used in result tables.
 #: Each builder takes the cell seed so stochastic allocators stay
@@ -65,19 +79,33 @@ class MatrixCell:
     matrix_seed: int
     oracle_mode: str = ORACLE_LOOKAHEAD
     history_fraction: float = 0.9
+    engine_mode: str = ENGINE_MODE_METRICS
 
     @property
-    def label(self) -> str:
-        """Stable identifier: also the RNG-stream label of this cell."""
+    def scenario_label(self) -> str:
+        """The engine-mode-free identifier: also the RNG-stream label.
+
+        Seeds derive from this label, *not* from :attr:`label`, so an
+        executed cell simulates the bit-identical world of its
+        metrics-mode twin — the engine mode changes what is measured,
+        never the simulated scenario.
+        """
         return (
             f"{self.method}/{self.trace.name}"
             f"/k{self.k}/eta{self.eta:g}/beta{self.beta:g}/tau{self.tau}"
         )
 
     @property
+    def label(self) -> str:
+        """Stable identifier; executed cells carry a mode suffix."""
+        if self.engine_mode == ENGINE_MODE_METRICS:
+            return self.scenario_label
+        return f"{self.scenario_label}/{self.engine_mode}"
+
+    @property
     def cell_seed(self) -> int:
-        """Deterministic per-cell seed, independent across cells."""
-        return derive_seed(self.matrix_seed, self.label)
+        """Deterministic per-cell seed, shared across engine modes."""
+        return derive_seed(self.matrix_seed, self.scenario_label)
 
     def protocol_params(self) -> ProtocolParams:
         return ProtocolParams(
@@ -93,6 +121,12 @@ class MatrixCell:
             params=self.protocol_params(),
             history_fraction=self.history_fraction,
             oracle_mode=self.oracle_mode,
+            execute_values=self.engine_mode != ENGINE_MODE_METRICS,
+            state_backend=(
+                BACKEND_DENSE
+                if self.engine_mode == ENGINE_MODE_EXECUTE_DENSE
+                else BACKEND_DICT
+            ),
         )
 
     def build_allocator(self) -> Allocator:
@@ -104,9 +138,11 @@ class ScenarioMatrix:
     """A declarative grid of simulations.
 
     The cell list is the Cartesian product
-    ``traces x methods x ks x etas x betas`` in that (deterministic)
-    nesting order, all sharing ``tau``/oracle settings. Unknown method
-    names fail at construction time, not mid-run.
+    ``traces x methods x ks x etas x betas x engine_modes`` in that
+    (deterministic) nesting order, all sharing ``tau``/oracle settings.
+    Unknown method or engine-mode names fail at construction time, not
+    mid-run. The default single-mode axis (``("metrics",)``) expands to
+    exactly the cells, labels and seeds of the pre-axis grid.
     """
 
     name: str
@@ -119,6 +155,7 @@ class ScenarioMatrix:
     seed: int = 0
     oracle_mode: str = ORACLE_LOOKAHEAD
     history_fraction: float = 0.9
+    engine_modes: Tuple[str, ...] = (ENGINE_MODE_METRICS,)
 
     def __post_init__(self) -> None:
         unknown = [m for m in self.methods if m not in ALLOCATOR_BUILDERS]
@@ -127,9 +164,15 @@ class ScenarioMatrix:
                 f"unknown methods {unknown}; "
                 f"available: {sorted(ALLOCATOR_BUILDERS)}"
             )
+        unknown_modes = [m for m in self.engine_modes if m not in ENGINE_MODES]
+        if unknown_modes:
+            raise ConfigurationError(
+                f"unknown engine modes {unknown_modes}; "
+                f"available: {', '.join(ENGINE_MODES)}"
+            )
         if not self.methods or not self.traces:
             raise ConfigurationError("matrix needs >= 1 method and >= 1 trace")
-        if not self.ks or not self.etas or not self.betas:
+        if not self.ks or not self.etas or not self.betas or not self.engine_modes:
             raise ConfigurationError("every parameter axis needs >= 1 value")
 
     def cells(self) -> List[MatrixCell]:
@@ -145,12 +188,14 @@ class ScenarioMatrix:
                 matrix_seed=self.seed,
                 oracle_mode=self.oracle_mode,
                 history_fraction=self.history_fraction,
+                engine_mode=engine_mode,
             )
             for trace in self.traces
             for method in self.methods
             for k in self.ks
             for eta in self.etas
             for beta in self.betas
+            for engine_mode in self.engine_modes
         ]
 
     def __len__(self) -> int:
@@ -160,6 +205,7 @@ class ScenarioMatrix:
             * len(self.ks)
             * len(self.etas)
             * len(self.betas)
+            * len(self.engine_modes)
         )
 
 
@@ -231,3 +277,10 @@ def paper_tables_matrix(
 def with_methods(matrix: ScenarioMatrix, methods: Tuple[str, ...]) -> ScenarioMatrix:
     """A copy of ``matrix`` restricted/extended to ``methods``."""
     return replace(matrix, methods=tuple(methods))
+
+
+def with_engine_modes(
+    matrix: ScenarioMatrix, engine_modes: Tuple[str, ...]
+) -> ScenarioMatrix:
+    """A copy of ``matrix`` running under ``engine_modes`` instead."""
+    return replace(matrix, engine_modes=tuple(engine_modes))

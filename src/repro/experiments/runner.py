@@ -73,6 +73,7 @@ def execute_cell(cell: MatrixCell) -> Dict[str, object]:
     summary["cell"] = cell.label
     summary["trace"] = cell.trace.name
     summary["seed"] = cell.cell_seed
+    summary["engine_mode"] = cell.engine_mode
     return summary
 
 

@@ -20,11 +20,25 @@ The loop is columnar end to end: every epoch is a
 :class:`TransactionBatch` view over the trace's arrays, metrics run
 through the fused numpy kernels, and no per-transaction Python object
 is ever materialised on this path.
+
+**Unified execution.** With ``execute_values=True`` the same loop also
+drives the chain substrate: a :class:`~repro.chain.ledger.Ledger` with
+a :class:`~repro.chain.crossshard.CrossShardExecutor` executes every
+epoch's value transfers (withdraw/receipt/deposit) between per-shard
+state stores, and the allocator's mapping changes become beacon-chain
+migration requests whose state movement rides
+:class:`~repro.chain.epoch.EpochReconfigurator` — one loop producing
+both the effectiveness metrics and the executed-value metrics
+(:class:`EpochRecord`'s ``executed_transactions``, ``settled_volume``,
+``in_flight_receipts``, ``overdraft_aborts``). The metrics path is
+byte-for-byte the code that runs with the flag off, so effectiveness
+numbers are bit-identical between the two modes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import fsum
 from typing import List, Optional
 
 import numpy as np
@@ -32,6 +46,7 @@ import numpy as np
 from repro.allocation.base import Allocator, UpdateContext
 from repro.chain.mapping import ShardMapping
 from repro.chain.params import ProtocolParams
+from repro.chain.state import BACKEND_DICT, STATE_BACKENDS
 from repro.chain.transaction import TransactionBatch
 from repro.data.trace import Trace
 from repro.errors import SimulationError
@@ -44,12 +59,27 @@ ORACLE_TRAILING = "trailing"
 
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Configuration of one simulation run."""
+    """Configuration of one simulation run.
+
+    ``execute_values`` switches on the unified engine: the epoch loop
+    additionally executes value transfers through the cross-shard
+    executor and moves account state with reconfiguration.
+    ``state_backend`` selects the per-shard state store implementation
+    (``"dict"`` or ``"dense"``, see :mod:`repro.chain.state`);
+    ``initial_balance`` is the uniform genesis supply per account and
+    ``relay_delay_blocks`` the receipt relay latency. All four are
+    ignored while ``execute_values`` is off, keeping metrics-only runs
+    (and their goldens) untouched.
+    """
 
     params: ProtocolParams
     history_fraction: float = 0.9
     max_epochs: Optional[int] = None
     oracle_mode: str = ORACLE_LOOKAHEAD
+    execute_values: bool = False
+    state_backend: str = BACKEND_DICT
+    initial_balance: float = 100.0
+    relay_delay_blocks: int = 1
 
     def __post_init__(self) -> None:
         check_in_range("history_fraction", self.history_fraction, 0.0, 1.0)
@@ -62,11 +92,31 @@ class SimulationConfig:
             raise SimulationError(
                 f"max_epochs must be >= 1, got {self.max_epochs}"
             )
+        if self.state_backend not in STATE_BACKENDS:
+            raise SimulationError(
+                f"state_backend must be one of {STATE_BACKENDS}, "
+                f"got {self.state_backend!r}"
+            )
+        if self.initial_balance < 0:
+            raise SimulationError(
+                f"initial_balance must be >= 0, got {self.initial_balance}"
+            )
+        if self.relay_delay_blocks < 0:
+            raise SimulationError(
+                f"relay_delay_blocks must be >= 0, got {self.relay_delay_blocks}"
+            )
 
 
 @dataclass
 class EpochRecord:
-    """Per-epoch measurements."""
+    """Per-epoch measurements.
+
+    The executed-value fields stay at their zero defaults in
+    metrics-only runs; with ``execute_values`` on they carry the
+    substrate's view of the same epoch: transfers actually committed,
+    value settled by receipt deposits, receipts still in flight at the
+    epoch boundary, and transfers aborted on insufficient balance.
+    """
 
     epoch: int
     transactions: int
@@ -79,6 +129,10 @@ class EpochRecord:
     migrations: int
     proposed_migrations: int
     new_accounts: int
+    executed_transactions: int = 0
+    settled_volume: float = 0.0
+    in_flight_receipts: int = 0
+    overdraft_aborts: int = 0
 
 
 @dataclass
@@ -88,6 +142,8 @@ class SimulationResult:
     allocator_name: str
     params: ProtocolParams
     records: List[EpochRecord] = field(default_factory=list)
+    #: True when the run drove the unified engine (value execution).
+    execute_values: bool = False
 
     def _mean(self, attribute: str, weighted: bool = False) -> float:
         if not self.records:
@@ -141,6 +197,127 @@ class SimulationResult:
     def total_transactions(self) -> int:
         return int(sum(r.transactions for r in self.records))
 
+    # -- executed-value aggregates (zero in metrics-only runs) -----------------
+
+    @property
+    def total_executed_transactions(self) -> int:
+        return int(sum(r.executed_transactions for r in self.records))
+
+    @property
+    def total_settled_volume(self) -> float:
+        return fsum(r.settled_volume for r in self.records)
+
+    @property
+    def total_overdraft_aborts(self) -> int:
+        return int(sum(r.overdraft_aborts for r in self.records))
+
+    @property
+    def final_in_flight_receipts(self) -> int:
+        """Receipts still pending after the last recorded epoch."""
+        if not self.records:
+            return 0
+        return self.records[-1].in_flight_receipts
+
+
+@dataclass
+class _EpochExecution:
+    """Substrate-side measurements of one executed epoch."""
+
+    executed_transactions: int = 0
+    settled_volume: float = 0.0
+    in_flight_receipts: int = 0
+    overdraft_aborts: int = 0
+
+
+class ExecutionSubstrate:
+    """The chain substrate the unified engine drives per epoch.
+
+    Owns a :class:`~repro.chain.ledger.Ledger` (beacon chain + epoch
+    reconfigurator) over a :class:`~repro.chain.crossshard.CrossShardExecutor`
+    with per-shard state stores, genesis-funded with a uniform supply.
+    The substrate keeps its *own* mapping object — synchronised to the
+    engine's value-for-value — so the metrics path's object flow (and
+    thus its numbers) is untouched by execution.
+    """
+
+    def __init__(
+        self, trace: Trace, mapping: ShardMapping, config: SimulationConfig
+    ) -> None:
+        # Local imports keep the metrics-only engine free of the chain
+        # execution layer (and its import cost) unless the flag is on.
+        from repro.chain.crossshard import CrossShardExecutor
+        from repro.chain.ledger import Ledger
+        from repro.chain.state import StateRegistry
+
+        self.config = config
+        self.mapping = mapping.copy()
+        self.registry = StateRegistry(
+            config.params.k,
+            backend=config.state_backend,
+            n_accounts=trace.n_accounts,
+        )
+        self.executor = CrossShardExecutor(
+            self.registry,
+            self.mapping,
+            relay_delay_blocks=config.relay_delay_blocks,
+        )
+        self.ledger = Ledger(config.params, self.mapping, executor=self.executor)
+        self.executor.fund_many(
+            np.arange(trace.n_accounts, dtype=np.int64),
+            config.initial_balance,
+        )
+        self.genesis_supply = float(trace.n_accounts) * config.initial_balance
+
+    def total_value(self) -> float:
+        """Resident balances plus in-flight receipts (conserved)."""
+        return self.executor.total_value()
+
+    def place_new_accounts(
+        self, accounts: np.ndarray, shards: np.ndarray
+    ) -> None:
+        """Mirror first-seen placements: update phi and move state."""
+        self.mapping.assign_many(accounts, shards)
+        self.executor.apply_migrations(accounts, shards)
+
+    def execute_epoch(self, batch: TransactionBatch) -> _EpochExecution:
+        """Run the epoch's transfers; return the executed-value metrics."""
+        stats = _EpochExecution()
+        for report in self.ledger.execute_epoch(batch):
+            stats.executed_transactions += (
+                report.intra_executed + report.withdraws
+            )
+            stats.settled_volume += report.settled_value
+            stats.overdraft_aborts += report.failed
+        stats.in_flight_receipts = len(self.executor.ledger)
+        return stats
+
+    def reconfigure(self, epoch: int, target: ShardMapping) -> None:
+        """Commit the allocator's mapping update as beacon MRs.
+
+        Every account whose shard changed becomes a migration request;
+        the uncapped commitment round plus reconfiguration applies them
+        to the substrate's phi *and* moves the account state between
+        stores in the same pass (Section III-B-2 semantics) — after
+        which the substrate's mapping equals ``target`` value for
+        value.
+        """
+        from repro.chain.migration import MigrationRequest
+
+        requests = [
+            MigrationRequest(
+                account=account,
+                from_shard=from_shard,
+                to_shard=to_shard,
+                epoch=epoch,
+            )
+            for account, from_shard, to_shard in self.mapping.migration_pairs(
+                target
+            )
+        ]
+        self.ledger.submit_migrations(requests)
+        self.ledger.commit_migrations(capacity=None)
+        self.ledger.reconfigure()
+
 
 class Simulation:
     """Drives one allocator over one trace under one configuration."""
@@ -154,6 +331,10 @@ class Simulation:
         self.trace = trace
         self.allocator = allocator
         self.config = config
+        #: The chain substrate of the last ``execute_values`` run
+        #: (None before run() or in metrics-only mode) — exposed for
+        #: conservation checks and state inspection.
+        self.substrate: Optional[ExecutionSubstrate] = None
 
     def run(self) -> SimulationResult:
         """Execute the full evaluation protocol; return the result."""
@@ -171,11 +352,18 @@ class Simulation:
                 f"({mapping.n_accounts} < {self.trace.n_accounts})"
             )
 
+        substrate: Optional[ExecutionSubstrate] = None
+        if self.config.execute_values:
+            substrate = ExecutionSubstrate(self.trace, mapping, self.config)
+            self.substrate = substrate
+
         seen = np.zeros(self.trace.n_accounts, dtype=bool)
         seen[history.active_accounts()] = True
 
         result = SimulationResult(
-            allocator_name=self.allocator.name, params=params
+            allocator_name=self.allocator.name,
+            params=params,
+            execute_values=self.config.execute_values,
         )
         epoch_views = evaluation.epoch_list(params.tau, self.config.max_epochs)
         empty = TransactionBatch.empty()
@@ -202,10 +390,21 @@ class Simulation:
                 )
                 mapping.assign_many(new_ids, placements)
                 seen[new_ids] = True
+                if substrate is not None:
+                    substrate.place_new_accounts(new_ids, placements)
 
             # 2. Metrics under the previous epoch's allocation.
             ratio, deviation, norm_throughput, _ = epoch_metrics(
                 batch, mapping, params.eta, capacity
+            )
+
+            # 2b. Value execution under the same allocation (unified
+            # engine): the substrate's mapping equals the engine's at
+            # this point, so classification matches the metrics above.
+            execution = (
+                substrate.execute_epoch(batch)
+                if substrate is not None
+                else _EpochExecution()
             )
 
             # 3. Allocator update for the next epoch.
@@ -227,6 +426,8 @@ class Simulation:
             update = self.allocator.update(mapping, context)
             if update.mapping.k != params.k:
                 raise SimulationError("allocator changed k during update")
+            if substrate is not None:
+                substrate.reconfigure(view.index, update.mapping)
             mapping = update.mapping
 
             result.records.append(
@@ -242,6 +443,10 @@ class Simulation:
                     migrations=update.migrations,
                     proposed_migrations=update.proposed_migrations,
                     new_accounts=len(new_ids),
+                    executed_transactions=execution.executed_transactions,
+                    settled_volume=execution.settled_volume,
+                    in_flight_receipts=execution.in_flight_receipts,
+                    overdraft_aborts=execution.overdraft_aborts,
                 )
             )
         return result

@@ -11,8 +11,14 @@ from repro.sim.engine import SimulationResult
 
 
 def summarize_results(result: SimulationResult) -> Dict[str, object]:
-    """Flatten a :class:`SimulationResult` into a JSON-friendly summary."""
-    return {
+    """Flatten a :class:`SimulationResult` into a JSON-friendly summary.
+
+    Executed-value aggregates are only present for unified-engine runs
+    (``execute_values=True``), so metrics-only summaries — and every
+    digest or golden built from them — are unchanged by the flag's
+    existence.
+    """
+    summary: Dict[str, object] = {
         "allocator": result.allocator_name,
         "k": result.params.k,
         "eta": result.params.eta,
@@ -29,6 +35,14 @@ def summarize_results(result: SimulationResult) -> Dict[str, object]:
         "total_migrations": result.total_migrations,
         "total_proposed_migrations": result.total_proposed_migrations,
     }
+    if result.execute_values:
+        summary["total_executed_transactions"] = (
+            result.total_executed_transactions
+        )
+        summary["total_settled_volume"] = result.total_settled_volume
+        summary["total_overdraft_aborts"] = result.total_overdraft_aborts
+        summary["final_in_flight_receipts"] = result.final_in_flight_receipts
+    return summary
 
 
 class ResultRecorder:

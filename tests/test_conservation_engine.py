@@ -74,9 +74,9 @@ def test_total_value_conserved_through_full_loop(seed, k, relay_delay, batched):
             batch.senders, batch.receivers, batch.blocks, values
         )
         for report in ledger.execute_epoch(valued):
-            assert executor.total_value() == pytest.approx(genesis), (
-                f"value drift after block {report.block}"
-            )
+            assert executor.total_value() == pytest.approx(
+                genesis, abs=1e-9, rel=0
+            ), f"value drift after block {report.block}"
 
         # Allocator proposes the next mapping; committed moves become
         # beacon MRs whose state migration rides reconfiguration.
@@ -103,14 +103,14 @@ def test_total_value_conserved_through_full_loop(seed, k, relay_delay, batched):
         ledger.submit_migrations(requests)
         ledger.commit_migrations(capacity=None)
         ledger.reconfigure()  # applies MRs to phi AND moves state
-        assert executor.total_value() == pytest.approx(genesis), (
-            f"value drift after reconfiguration of epoch {view.index}"
-        )
+        assert executor.total_value() == pytest.approx(
+            genesis, abs=1e-9, rel=0
+        ), f"value drift after reconfiguration of epoch {view.index}"
 
     # Flush every pending receipt and re-check the invariant plus an
     # empty in-flight ledger.
     executor.settle_all(from_block=int(trace.batch.blocks.max()) + 1)
-    assert executor.total_value() == pytest.approx(genesis)
+    assert executor.total_value() == pytest.approx(genesis, abs=1e-9, rel=0)
     assert executor.in_flight_value() == 0.0
     # No balance anywhere went negative.
     for shard in range(k):

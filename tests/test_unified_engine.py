@@ -1,0 +1,344 @@
+"""The unified engine: one loop for effectiveness metrics AND execution.
+
+With ``execute_values=True`` the epoch loop additionally drives the
+chain substrate (cross-shard executor, receipt settlement, beacon-MR
+state migration). The contracts pinned here:
+
+* effectiveness metrics are **bit-identical** to metrics-only mode —
+  execution observes the simulation, it never perturbs it;
+* value is conserved through the whole run (genesis supply ==
+  resident balances + in-flight receipts, exactly for integer-valued
+  supplies);
+* the dict and dense state backends produce identical epoch records
+  and identical per-shard state roots;
+* the executed-value fields only exist where they mean something
+  (summaries, engine modes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocation.hash_based import HashAllocator
+from repro.chain.params import ProtocolParams
+from repro.core.mosaic import MosaicAllocator
+from repro.errors import SimulationError
+from repro.sim.engine import Simulation, SimulationConfig, SimulationResult
+from repro.sim.recorder import summarize_results
+
+EFFECTIVENESS_FIELDS = (
+    "epoch",
+    "transactions",
+    "cross_shard_ratio",
+    "workload_deviation",
+    "normalized_throughput",
+    "input_bytes",
+    "migrations",
+    "proposed_migrations",
+    "new_accounts",
+)
+
+EXECUTED_FIELDS = (
+    "executed_transactions",
+    "settled_volume",
+    "in_flight_receipts",
+    "overdraft_aborts",
+)
+
+
+def _effectiveness(result):
+    return [
+        tuple(getattr(r, f) for f in EFFECTIVENESS_FIELDS)
+        for r in result.records
+    ]
+
+
+@pytest.fixture(scope="module")
+def engine_params():
+    return ProtocolParams(k=4, eta=2.0, tau=50, seed=11)
+
+
+class TestBitIdenticalEffectiveness:
+    @pytest.mark.parametrize("allocator_factory", [MosaicAllocator, HashAllocator])
+    @pytest.mark.parametrize("backend", ["dict", "dense"])
+    def test_executed_mode_matches_metrics_only(
+        self, tiny_trace, engine_params, allocator_factory, backend
+    ):
+        plain = Simulation(
+            tiny_trace,
+            allocator_factory(),
+            SimulationConfig(params=engine_params),
+        ).run()
+        executed = Simulation(
+            tiny_trace,
+            allocator_factory(),
+            SimulationConfig(
+                params=engine_params,
+                execute_values=True,
+                state_backend=backend,
+            ),
+        ).run()
+        assert _effectiveness(executed) == _effectiveness(plain)
+
+    def test_metrics_only_records_have_zero_executed_fields(
+        self, tiny_trace, engine_params
+    ):
+        result = Simulation(
+            tiny_trace, HashAllocator(), SimulationConfig(params=engine_params)
+        ).run()
+        for record in result.records:
+            for field in EXECUTED_FIELDS:
+                assert getattr(record, field) == 0
+
+
+class TestExecutedMetrics:
+    def test_executed_fields_are_populated(self, tiny_trace, engine_params):
+        result = Simulation(
+            tiny_trace,
+            MosaicAllocator(),
+            SimulationConfig(params=engine_params, execute_values=True),
+        ).run()
+        assert result.execute_values
+        assert result.total_executed_transactions > 0
+        assert result.total_settled_volume > 0
+        assert result.final_in_flight_receipts >= 0
+        # Executed work cannot exceed the observed transactions.
+        for record in result.records:
+            assert (
+                record.executed_transactions + record.overdraft_aborts
+                <= record.transactions
+            )
+
+    def test_underfunded_run_records_overdraft_aborts(
+        self, tiny_trace, engine_params
+    ):
+        sim = Simulation(
+            tiny_trace,
+            HashAllocator(),
+            SimulationConfig(
+                params=engine_params,
+                execute_values=True,
+                initial_balance=0.0,
+            ),
+        )
+        result = sim.run()
+        # Every account starts penniless: every transfer of value 1
+        # must abort, nothing settles, nothing stays in flight.
+        assert result.total_executed_transactions == 0
+        assert result.total_overdraft_aborts == result.total_transactions
+        assert result.total_settled_volume == 0.0
+        assert sim.substrate.total_value() == 0.0
+
+
+class TestConservation:
+    @pytest.mark.parametrize("backend", ["dict", "dense"])
+    def test_value_conserved_through_full_run(
+        self, tiny_trace, engine_params, backend
+    ):
+        sim = Simulation(
+            tiny_trace,
+            MosaicAllocator(),
+            SimulationConfig(
+                params=engine_params,
+                execute_values=True,
+                state_backend=backend,
+            ),
+        )
+        sim.run()
+        substrate = sim.substrate
+        # Integer-valued supply and unit transfers: exact, not approx.
+        assert substrate.total_value() == substrate.genesis_supply
+        # Flushing every pending receipt must not mint or burn either.
+        substrate.executor.settle_all(
+            from_block=int(tiny_trace.batch.blocks.max()) + 1
+        )
+        assert substrate.total_value() == substrate.genesis_supply
+        assert substrate.executor.in_flight_value() == 0.0
+
+
+class TestBackendEquivalenceEndToEnd:
+    def test_dict_and_dense_runs_are_identical(self, tiny_trace, engine_params):
+        sims = {}
+        for backend in ("dict", "dense"):
+            sim = Simulation(
+                tiny_trace,
+                MosaicAllocator(),
+                SimulationConfig(
+                    params=engine_params,
+                    execute_values=True,
+                    state_backend=backend,
+                ),
+            )
+            sims[backend] = (sim, sim.run())
+        dict_sim, dict_result = sims["dict"]
+        dense_sim, dense_result = sims["dense"]
+        deterministic = EFFECTIVENESS_FIELDS + EXECUTED_FIELDS
+        assert [
+            tuple(getattr(r, f) for f in deterministic)
+            for r in dict_result.records
+        ] == [
+            tuple(getattr(r, f) for f in deterministic)
+            for r in dense_result.records
+        ]
+        for shard in range(engine_params.k):
+            assert (
+                dict_sim.substrate.registry.store_of(shard).state_root()
+                == dense_sim.substrate.registry.store_of(shard).state_root()
+            )
+
+
+class TestResultAggregationRegression:
+    def test_all_means_are_zero_on_empty_records(self, engine_params):
+        """Zero-epoch results must aggregate to 0.0, never divide by zero."""
+        result = SimulationResult(allocator_name="x", params=engine_params)
+        for name in (
+            "mean_cross_shard_ratio",
+            "mean_workload_deviation",
+            "mean_normalized_throughput",
+            "mean_execution_time",
+            "mean_unit_time",
+            "mean_input_bytes",
+        ):
+            assert getattr(result, name) == 0.0, name
+        assert result.total_settled_volume == 0.0
+        assert result.final_in_flight_receipts == 0
+        # And the summary flattens cleanly.
+        summary = summarize_results(result)
+        assert summary["epochs"] == 0
+
+    def test_trace_shorter_than_one_epoch_yields_empty_result(
+        self, tiny_trace, engine_params
+    ):
+        # history_fraction=1.0 leaves an empty evaluation segment.
+        result = Simulation(
+            tiny_trace,
+            HashAllocator(),
+            SimulationConfig(params=engine_params, history_fraction=1.0),
+        ).run()
+        assert result.epochs == 0
+        assert result.mean_cross_shard_ratio == 0.0
+        assert summarize_results(result)["total_transactions"] == 0
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_backend(self, engine_params):
+        with pytest.raises(SimulationError, match="state_backend"):
+            SimulationConfig(params=engine_params, state_backend="sqlite")
+
+    def test_rejects_negative_initial_balance(self, engine_params):
+        with pytest.raises(SimulationError, match="initial_balance"):
+            SimulationConfig(params=engine_params, initial_balance=-1.0)
+
+    def test_rejects_negative_relay_delay(self, engine_params):
+        with pytest.raises(SimulationError, match="relay_delay_blocks"):
+            SimulationConfig(params=engine_params, relay_delay_blocks=-1)
+
+
+class TestSummaries:
+    def test_executed_keys_only_in_executed_summaries(
+        self, tiny_trace, engine_params
+    ):
+        plain = summarize_results(
+            Simulation(
+                tiny_trace,
+                HashAllocator(),
+                SimulationConfig(params=engine_params),
+            ).run()
+        )
+        executed = summarize_results(
+            Simulation(
+                tiny_trace,
+                HashAllocator(),
+                SimulationConfig(params=engine_params, execute_values=True),
+            ).run()
+        )
+        executed_keys = {
+            "total_executed_transactions",
+            "total_settled_volume",
+            "total_overdraft_aborts",
+            "final_in_flight_receipts",
+        }
+        assert executed_keys.isdisjoint(plain)
+        assert executed_keys.issubset(executed)
+
+
+class TestMatrixIntegration:
+    def test_engine_mode_axis_expands_and_keeps_labels(self):
+        from repro.experiments import ScenarioMatrix, default_trace
+
+        trace = default_trace(
+            "exec-trace",
+            n_accounts=400,
+            n_transactions=3_000,
+            n_blocks=300,
+            seed=5,
+        )
+        base = ScenarioMatrix(
+            name="exec", methods=("hash-random",), traces=(trace,), ks=(2,)
+        )
+        both = ScenarioMatrix(
+            name="exec",
+            methods=("hash-random",),
+            traces=(trace,),
+            ks=(2,),
+            engine_modes=("metrics", "execute"),
+        )
+        assert len(both) == 2 * len(base)
+        labels = [c.label for c in both.cells()]
+        assert labels[0] == base.cells()[0].label  # metrics label unchanged
+        assert labels[1] == labels[0] + "/execute"
+        # Same scenario -> same seed across modes.
+        seeds = [c.cell_seed for c in both.cells()]
+        assert seeds[0] == seeds[1]
+
+    def test_executed_cells_report_identical_effectiveness(self):
+        from repro.experiments import ScenarioMatrix, default_trace, run_matrix
+
+        matrix = ScenarioMatrix(
+            name="exec-pair",
+            methods=("mosaic-pilot",),
+            traces=(
+                default_trace(
+                    "exec-trace",
+                    n_accounts=400,
+                    n_transactions=3_000,
+                    n_blocks=300,
+                    seed=5,
+                ),
+            ),
+            ks=(2,),
+            engine_modes=("metrics", "execute", "execute-dense"),
+        )
+        result = run_matrix(matrix, strict=True)
+        summaries = result.summaries
+        assert [s["engine_mode"] for s in summaries] == [
+            "metrics",
+            "execute",
+            "execute-dense",
+        ]
+        for metric in (
+            "mean_cross_shard_ratio",
+            "mean_workload_deviation",
+            "mean_normalized_throughput",
+            "total_migrations",
+        ):
+            values = {s[metric] for s in summaries}
+            assert len(values) == 1, metric
+        # Both executed modes agree on the executed-value metrics too.
+        executed = [s for s in summaries if s["engine_mode"] != "metrics"]
+        assert (
+            executed[0]["total_settled_volume"]
+            == executed[1]["total_settled_volume"]
+        )
+        assert "total_settled_volume" not in summaries[0]
+
+    def test_rejects_unknown_engine_mode(self):
+        from repro.errors import ConfigurationError
+        from repro.experiments import ScenarioMatrix, default_trace
+
+        with pytest.raises(ConfigurationError, match="unknown engine modes"):
+            ScenarioMatrix(
+                name="bad",
+                methods=("hash-random",),
+                traces=(default_trace("t", n_accounts=100, n_transactions=500),),
+                engine_modes=("warp-speed",),
+            )
