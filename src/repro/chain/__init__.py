@@ -14,12 +14,20 @@ from repro.chain.block import Block, BlockHeader, compute_block_hash, GENESIS_HA
 from repro.chain.mapping import ShardMapping
 from repro.chain.mempool import Mempool
 from repro.chain.shard import ShardChain
-from repro.chain.beacon import BeaconChain, CommitReport
+from repro.chain.beacon import BatchCommitReport, BeaconChain, CommitReport
+from repro.chain.migration import MigrationRequest, MigrationRequestBatch
 from repro.chain.miner import Miner, MinerPool, ReshuffleReport
 from repro.chain.epoch import EpochReconfigurator, ReconfigurationReport
 from repro.chain.ledger import Ledger, EpochStats
 from repro.chain.network import OverheadModel, OverheadEstimate, TX_RECORD_BYTES
-from repro.chain.state import AccountState, ShardStateStore, StateRegistry
+from repro.chain.state import (
+    AccountState,
+    DenseShardStateStore,
+    ResidencyIndex,
+    ShardStateStore,
+    SlotDirectory,
+    StateRegistry,
+)
 from repro.chain.receipts import ReceiptBatch, ReceiptLedger
 from repro.chain.crossshard import CrossShardExecutor, Receipt, ExecutionReport
 from repro.chain.economics import (
@@ -42,8 +50,11 @@ __all__ = [
     "ShardMapping",
     "Mempool",
     "ShardChain",
+    "BatchCommitReport",
     "BeaconChain",
     "CommitReport",
+    "MigrationRequest",
+    "MigrationRequestBatch",
     "Miner",
     "MinerPool",
     "ReshuffleReport",
@@ -55,7 +66,10 @@ __all__ = [
     "OverheadEstimate",
     "TX_RECORD_BYTES",
     "AccountState",
+    "DenseShardStateStore",
+    "ResidencyIndex",
     "ShardStateStore",
+    "SlotDirectory",
     "StateRegistry",
     "CrossShardExecutor",
     "Receipt",

@@ -11,11 +11,14 @@ requests with the largest potential improvement win (Section V-A).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.chain.block import GENESIS_HASH, Block
+from repro.chain.kernels import select_migrations_kernel
 from repro.chain.mapping import ShardMapping
-from repro.chain.migration import MigrationRequest
+from repro.chain.migration import MigrationRequest, MigrationRequestBatch
 from repro.errors import BlockLinkError, MigrationError, ValidationError
 
 
@@ -35,6 +38,76 @@ class CommitReport:
     @property
     def rejected_count(self) -> int:
         return len(self.rejected)
+
+
+@dataclass
+class BatchCommitReport:
+    """Columnar commitment outcome (the batch path's :class:`CommitReport`).
+
+    ``committed_batch`` is the committed rows in commitment order; the
+    object views (``committed`` / ``rejected``) materialise lazily so
+    million-row rounds never build per-request objects unless a caller
+    actually inspects them.
+    """
+
+    epoch: int
+    proposed: int
+    committed_batch: MigrationRequestBatch
+    rejected_batch: MigrationRequestBatch
+
+    @property
+    def committed_count(self) -> int:
+        return len(self.committed_batch)
+
+    @property
+    def rejected_count(self) -> int:
+        return len(self.rejected_batch)
+
+    @property
+    def committed(self) -> List[MigrationRequest]:
+        batch = self.committed_batch
+        return batch.take(np.arange(len(batch)))
+
+    @property
+    def rejected(self) -> List[MigrationRequest]:
+        batch = self.rejected_batch
+        return batch.take(np.arange(len(batch)))
+
+
+def apply_batch_to_mapping(
+    batch: MigrationRequestBatch, mapping: ShardMapping
+) -> int:
+    """Bulk-apply one block's committed batch to ``mapping``.
+
+    In-universe rows assign through ``assign_many`` (deduplicated
+    keep-last within the block, preserving sequential last-write-wins
+    semantics; commitment rounds dedup per account anyway). Returns the
+    number of applied rows, duplicates included, matching the scalar
+    per-request loop.
+    """
+    in_universe = batch.accounts < mapping.n_accounts
+    accounts = batch.accounts[in_universe]
+    targets = batch.to_shards[in_universe]
+    if len(accounts) == 0:
+        return 0
+    # Keep-last dedup: reverse, keep first occurrence.
+    _, first_pos = np.unique(accounts[::-1], return_index=True)
+    keep = len(accounts) - 1 - first_pos
+    mapping.assign_many(accounts[keep], targets[keep])
+    return len(accounts)
+
+
+def _expand_entries(
+    entries: Sequence[object],
+) -> List[MigrationRequest]:
+    """Materialise a mixed request/batch sequence as objects, in order."""
+    requests: List[MigrationRequest] = []
+    for entry in entries:
+        if isinstance(entry, MigrationRequestBatch):
+            requests.extend(entry.take(np.arange(len(entry))))
+        elif isinstance(entry, MigrationRequest):
+            requests.append(entry)
+    return requests
 
 
 def prioritize_requests(
@@ -75,8 +148,12 @@ class BeaconChain:
 
     def __init__(self) -> None:
         self._blocks: List[Block] = []
-        self._pending: List[MigrationRequest] = []
-        self._committed_log: List[MigrationRequest] = []
+        #: Pending submissions in order; scalar requests and columnar
+        #: batches interleave freely.
+        self._pending: List[Union[MigrationRequest, MigrationRequestBatch]] = []
+        self._committed_log: List[
+            Union[MigrationRequest, MigrationRequestBatch]
+        ] = []
 
     # -- chain view ----------------------------------------------------------
 
@@ -94,13 +171,17 @@ class BeaconChain:
 
     @property
     def committed_requests(self) -> Sequence[MigrationRequest]:
-        """Every MR ever committed, in commit order (the set ``MR``)."""
-        return tuple(self._committed_log)
+        """Every MR ever committed, in commit order (the set ``MR``).
+
+        Materialised lazily from the committed log (batch-path rounds
+        store columnar batches, not objects).
+        """
+        return tuple(_expand_entries(self._committed_log))
 
     @property
     def pending_requests(self) -> Sequence[MigrationRequest]:
         """Requests submitted but not yet committed."""
-        return tuple(self._pending)
+        return tuple(_expand_entries(self._pending))
 
     def verify(self) -> None:
         """Re-verify the beacon chain's hash links."""
@@ -127,21 +208,52 @@ class BeaconChain:
         for request in requests:
             self.submit(request)
 
+    def submit_batch(self, batch: MigrationRequestBatch) -> None:
+        """Accept a columnar batch of requests into the beacon mempool.
+
+        The batch validated on construction; empty batches are a no-op.
+        """
+        if not isinstance(batch, MigrationRequestBatch):
+            raise MigrationError(
+                f"expected MigrationRequestBatch, got {type(batch).__name__}"
+            )
+        if len(batch):
+            self._pending.append(batch)
+
     def commit_epoch(
         self,
         epoch: int,
         capacity: Optional[int] = None,
         mapping: Optional[ShardMapping] = None,
-    ) -> CommitReport:
+    ) -> Union[CommitReport, "BatchCommitReport"]:
         """Run one commitment round: validate, prioritise, and block-commit.
 
         When ``mapping`` is provided, requests whose ``from_shard`` no
         longer matches the account's current shard are rejected (stale
         requests, e.g. the client raced a previous migration). The
         committed requests are packed into one beacon block.
+
+        When every pending submission arrived as a
+        :class:`MigrationRequestBatch`, the whole round runs columnar
+        (:func:`~repro.chain.kernels.select_migrations_kernel` — the
+        same stale filter, per-account dedup and gain prioritisation,
+        element-for-element) and returns a :class:`BatchCommitReport`
+        whose block payload is the committed batch, not per-request
+        objects. Mixed rounds (scalar requests alongside batches)
+        expand the batches and take the object path, so per-request
+        metadata the columnar form does not carry — proposal epochs,
+        fees — survives verbatim; the engine's hot path is pure-batch,
+        so this never costs where it matters.
         """
         proposed = list(self._pending)
         self._pending.clear()
+        batch_count = sum(
+            isinstance(entry, MigrationRequestBatch) for entry in proposed
+        )
+        if batch_count:
+            if batch_count == len(proposed):
+                return self._commit_epoch_batch(epoch, capacity, mapping, proposed)
+            proposed = list(_expand_entries(proposed))
 
         valid: List[MigrationRequest] = []
         stale: List[MigrationRequest] = []
@@ -175,6 +287,53 @@ class BeaconChain:
             rejected=rejected + stale,
         )
 
+    def _commit_epoch_batch(
+        self,
+        epoch: int,
+        capacity: Optional[int],
+        mapping: Optional[ShardMapping],
+        proposed: Sequence[MigrationRequestBatch],
+    ) -> "BatchCommitReport":
+        """The columnar commitment round (see :meth:`commit_epoch`).
+
+        The proposal epoch survives when all pending batches agree on
+        one; otherwise the committed batch carries the commit round's
+        epoch (a batch has a single epoch column).
+        """
+        proposal_epochs = {batch.epoch for batch in proposed}
+        combined = MigrationRequestBatch.concat(
+            proposed,
+            epoch=(
+                proposal_epochs.pop() if len(proposal_epochs) == 1 else epoch
+            ),
+        )
+        committed_idx, rejected_idx = select_migrations_kernel(
+            combined.accounts,
+            combined.from_shards,
+            combined.to_shards,
+            combined.gains,
+            mapping.as_array() if mapping is not None else None,
+            mapping.k if mapping is not None else None,
+            capacity,
+        )
+        committed_batch = combined.take_batch(committed_idx)
+        block = Block.build(
+            chain_id=self.CHAIN_ID,
+            height=len(self._blocks),
+            parent_hash=self.tip_hash,
+            payload=[committed_batch] if len(committed_batch) else [],
+            epoch=epoch,
+        )
+        self._blocks.append(block)
+        if len(committed_batch):
+            self._committed_log.append(committed_batch)
+        return BatchCommitReport(
+            epoch=epoch,
+            proposed=len(combined),
+            committed_batch=committed_batch,
+            rejected_batch=combined.take_batch(rejected_idx),
+        )
+
     # -- miner-side synchronisation ---------------------------------------------
 
     def requests_since(self, block_height: int) -> List[MigrationRequest]:
@@ -182,21 +341,54 @@ class BeaconChain:
 
         Miners call this during epoch reconfiguration to update their
         locally stored mapping ``phi`` from the latest beacon blocks.
+        Batch payloads are materialised to objects — the batched
+        reconfigurator uses :meth:`batches_since` instead.
         """
         requests: List[MigrationRequest] = []
         for block in self._blocks[max(0, block_height):]:
-            for item in block.payload:
-                if isinstance(item, MigrationRequest):
-                    requests.append(item)
+            requests.extend(_expand_entries(block.payload))
         return requests
+
+    def batches_since(self, block_height: int) -> List[MigrationRequestBatch]:
+        """Per-block committed MRs as columnar batches, in block order.
+
+        One batch per non-empty block (object payloads are converted),
+        so callers that must preserve cross-block ordering — the same
+        account can legitimately move twice across two epochs' blocks —
+        can apply them block by block without materialising objects.
+        """
+        batches: List[MigrationRequestBatch] = []
+        for block in self._blocks[max(0, block_height):]:
+            block_batches: List[MigrationRequestBatch] = []
+            block_objects: List[MigrationRequest] = []
+            for item in block.payload:
+                if isinstance(item, MigrationRequestBatch):
+                    block_batches.append(item)
+                elif isinstance(item, MigrationRequest):
+                    block_objects.append(item)
+            if block_objects:
+                block_batches.append(
+                    MigrationRequestBatch.from_requests(block_objects)
+                )
+            if len(block_batches) == 1:
+                batch = block_batches[0]
+            else:
+                batch = MigrationRequestBatch.concat(
+                    block_batches, epoch=block.header.epoch
+                )
+            if len(batch):
+                batches.append(batch)
+        return batches
 
     def apply_to_mapping(
         self, mapping: ShardMapping, since_height: int = 0
     ) -> int:
-        """Apply committed MRs to ``mapping`` in place; return count applied."""
-        applied = 0
-        for request in self.requests_since(since_height):
-            if request.account < mapping.n_accounts:
-                mapping.assign(request.account, request.to_shard)
-                applied += 1
-        return applied
+        """Apply committed MRs to ``mapping`` in place; return count applied.
+
+        Vectorised per committed block through
+        :func:`apply_batch_to_mapping`.
+        """
+        return sum(
+            apply_batch_to_mapping(batch, mapping)
+            for batch in self.batches_since(since_height)
+        )

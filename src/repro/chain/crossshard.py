@@ -253,12 +253,19 @@ class CrossShardExecutor:
         The relayed deposit rides a later target-shard block. Deposits
         are credited in ``(due_block, tx_id)`` order — receipts of one
         target shard apply as one ordered columnar scatter.
+
+        Deposits route through the *current* mapping (receipt
+        forwarding): a receipt commits to the target shard computed at
+        issue time, but if the receiver migrated while the receipt was
+        in flight, the deposit follows it to the shard now holding the
+        account instead of stranding value on the stale shard.
         """
         due = self._ledger.pop_due(block)
         if len(due) == 0:
             return
-        for shard in np.unique(due.target_shards).tolist():
-            on_shard = due.target_shards == shard
+        current_targets = self.mapping.shards_of(due.receivers)
+        for shard in np.unique(current_targets).tolist():
+            on_shard = current_targets == shard
             self.registry.store_of(int(shard)).credit_many(
                 due.receivers[on_shard], due.amounts[on_shard]
             )
@@ -545,10 +552,28 @@ class CrossShardExecutor:
     def apply_migrations(
         self, accounts: np.ndarray, to_shards: np.ndarray
     ) -> int:
-        """Apply a committed batch of migrations; returns bytes moved."""
+        """Apply committed migrations one by one; returns bytes moved.
+
+        The per-account reference loop — the batched reconfiguration
+        path uses :meth:`apply_migration_batch` instead, and the
+        equivalence suite pins the two to identical outcomes.
+        """
         if len(accounts) != len(to_shards):
             raise ValidationError("accounts/to_shards length mismatch")
         moved = 0
         for account, shard in zip(accounts.tolist(), to_shards.tolist()):
             moved += self.apply_migration(int(account), int(shard))
         return moved
+
+    def apply_migration_batch(
+        self, accounts: np.ndarray, to_shards: np.ndarray
+    ) -> int:
+        """Columnar :meth:`apply_migrations`; returns bytes moved.
+
+        Residency resolves through the registry's index in one
+        vectorised lookup and state moves as grouped per-shard
+        gather/scatter (see :meth:`StateRegistry.migrate_batch`).
+        Accounts must be unique within one batch — beacon commitment
+        rounds guarantee it.
+        """
+        return self.registry.migrate_batch(accounts, to_shards)

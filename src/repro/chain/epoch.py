@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
-from repro.chain.beacon import BeaconChain
+from repro.chain.beacon import BeaconChain, apply_batch_to_mapping
 from repro.chain.mapping import ShardMapping
 from repro.chain.miner import MinerPool, ReshuffleReport
 from repro.chain.network import MR_RECORD_BYTES
@@ -68,11 +68,15 @@ class EpochReconfigurator:
         beacon: BeaconChain,
         miner_pool: Optional[MinerPool] = None,
         executor: Optional["CrossShardExecutor"] = None,
+        batched: bool = True,
     ) -> None:
         self._beacon = beacon
         self._miner_pool = miner_pool
         self._executor = executor
         self._synced_height = 0
+        #: ``batched=False`` selects the per-request reference path
+        #: (same observable behaviour, used by the equivalence tests).
+        self.batched = batched
 
     @property
     def synced_height(self) -> int:
@@ -99,30 +103,54 @@ class EpochReconfigurator:
         new_blocks = len(self._beacon) - self._synced_height
         if new_blocks < 0:
             raise SimulationError("beacon chain shrank; invalid state")
-        requests = self._beacon.requests_since(self._synced_height)
-        beacon_sync_bytes = float(len(requests) * MR_RECORD_BYTES)
-
-        applied = self._beacon.apply_to_mapping(mapping, self._synced_height)
+        synced_from = self._synced_height
         self._synced_height = len(self._beacon)
 
         # Account state follows the allocation: when the reconfigurator
         # drives an executor, the same committed MRs move balances
-        # between shard stores (one columnar pass over the request
-        # arrays), riding the state-sync phase as in Section III-B-2.
+        # between shard stores, riding the state-sync phase as in
+        # Section III-B-2. The batched path never materialises request
+        # objects: each block's committed batch applies as grouped
+        # gather/scatter moves (per source, then per target shard);
+        # blocks apply in order because an account can legitimately
+        # move in two different epochs' blocks.
         state_moved_bytes = 0.0
-        if self._executor is not None and requests:
-            accounts = np.array(
-                [r.account for r in requests], dtype=np.int64
-            )
-            to_shards = np.array(
-                [r.to_shard for r in requests], dtype=np.int64
-            )
-            in_universe = accounts < mapping.n_accounts
-            state_moved_bytes = float(
-                self._executor.apply_migrations(
-                    accounts[in_universe], to_shards[in_universe]
+        if self.batched:
+            batches = self._beacon.batches_since(synced_from)
+            request_count = sum(len(b) for b in batches)
+            applied = 0
+            for batch in batches:
+                applied += apply_batch_to_mapping(batch, mapping)
+                if self._executor is not None:
+                    in_universe = batch.accounts < mapping.n_accounts
+                    state_moved_bytes += float(
+                        self._executor.apply_migration_batch(
+                            batch.accounts[in_universe],
+                            batch.to_shards[in_universe],
+                        )
+                    )
+        else:
+            requests = self._beacon.requests_since(synced_from)
+            request_count = len(requests)
+            applied = 0
+            for request in requests:
+                if request.account < mapping.n_accounts:
+                    mapping.assign(request.account, request.to_shard)
+                    applied += 1
+            if self._executor is not None and requests:
+                accounts = np.array(
+                    [r.account for r in requests], dtype=np.int64
                 )
-            )
+                to_shards = np.array(
+                    [r.to_shard for r in requests], dtype=np.int64
+                )
+                in_universe = accounts < mapping.n_accounts
+                state_moved_bytes = float(
+                    self._executor.apply_migrations(
+                        accounts[in_universe], to_shards[in_universe]
+                    )
+                )
+        beacon_sync_bytes = float(request_count * MR_RECORD_BYTES)
 
         reshuffle_report: Optional[ReshuffleReport] = None
         state_sync_bytes = 0.0

@@ -14,6 +14,7 @@ migration-accounting kernel operates on (struct-of-arrays, mirroring
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -94,13 +95,6 @@ class MigrationRequestBatch:
                 raise MigrationError(
                     f"{name} must match accounts in shape, got {array.shape}"
                 )
-        if len(accounts):
-            if accounts.min() < 0:
-                raise MigrationError("account ids must be >= 0")
-            if from_shards.min() < 0 or to_shards.min() < 0:
-                raise MigrationError("shard ids must be >= 0")
-            if (from_shards == to_shards).any():
-                raise MigrationError("migration must change shards")
         if epoch < 0:
             raise MigrationError(f"epoch must be >= 0, got {epoch}")
         self.accounts = accounts
@@ -108,6 +102,40 @@ class MigrationRequestBatch:
         self.to_shards = to_shards
         self.gains = gains
         self.epoch = int(epoch)
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject malformed rows with the scalar dataclass's messages.
+
+        The batch and object views must be behaviourally identical at
+        the edges: a bad row raises the exact typed
+        :class:`MigrationError` that constructing the equivalent
+        :class:`MigrationRequest` would, reported for the first
+        offending row in submission order.
+        """
+        if len(self.accounts) == 0:
+            return
+        bad = (
+            (self.accounts < 0)
+            | (self.from_shards < 0)
+            | (self.to_shards < 0)
+            | (self.from_shards == self.to_shards)
+        )
+        if not bad.any():
+            return
+        row = int(np.flatnonzero(bad)[0])
+        account = int(self.accounts[row])
+        from_shard = int(self.from_shards[row])
+        to_shard = int(self.to_shards[row])
+        # Same check order as MigrationRequest.__post_init__.
+        if account < 0:
+            raise MigrationError(f"account must be >= 0, got {account}")
+        if from_shard < 0 or to_shard < 0:
+            raise MigrationError("shard ids must be >= 0")
+        raise MigrationError(
+            f"migration must change shards (account {account} "
+            f"stays on shard {from_shard})"
+        )
 
     def __len__(self) -> int:
         return len(self.accounts)
@@ -130,6 +158,83 @@ class MigrationRequestBatch:
             np.array([r.to_shard for r in requests], dtype=np.int64),
             np.array([r.gain for r in requests], dtype=np.float64),
             epoch=requests[0].epoch,
+        )
+
+    @classmethod
+    def _trusted(
+        cls,
+        accounts: np.ndarray,
+        from_shards: np.ndarray,
+        to_shards: np.ndarray,
+        gains: np.ndarray,
+        epoch: int,
+    ) -> "MigrationRequestBatch":
+        """Assemble from rows of an already-validated batch.
+
+        Skips the O(n) row sweep — slices and concatenations of valid
+        rows stay valid, and the commit hot path builds several views
+        of the same million-row round.
+        """
+        batch = cls.__new__(cls)
+        batch.accounts = accounts
+        batch.from_shards = from_shards
+        batch.to_shards = to_shards
+        batch.gains = gains
+        batch.epoch = int(epoch)
+        return batch
+
+    def take_batch(self, indices: np.ndarray) -> "MigrationRequestBatch":
+        """The rows at ``indices`` as a new batch, in index order."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return MigrationRequestBatch._trusted(
+            self.accounts[idx],
+            self.from_shards[idx],
+            self.to_shards[idx],
+            self.gains[idx],
+            epoch=self.epoch,
+        )
+
+    @classmethod
+    def concat(
+        cls, batches: Sequence["MigrationRequestBatch"], epoch: int = 0
+    ) -> "MigrationRequestBatch":
+        """Concatenate ``batches`` row-wise (submission order preserved)."""
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return cls.empty(epoch=epoch)
+        if epoch < 0:
+            raise MigrationError(f"epoch must be >= 0, got {epoch}")
+        return cls._trusted(
+            np.concatenate([b.accounts for b in batches]),
+            np.concatenate([b.from_shards for b in batches]),
+            np.concatenate([b.to_shards for b in batches]),
+            np.concatenate([b.gains for b in batches]),
+            epoch=epoch,
+        )
+
+    def content_digest(self) -> str:
+        """Deterministic digest over the batch's rows.
+
+        Beacon blocks commit to their payload via ``repr``; the digest
+        makes a committed batch's block hash bind to every row without
+        materialising per-request objects.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(str(self.epoch).encode("utf-8"))
+        for column in (
+            self.accounts,
+            self.from_shards,
+            self.to_shards,
+            self.gains,
+        ):
+            hasher.update(np.ascontiguousarray(column).tobytes())
+            hasher.update(b"\x00")
+        return hasher.hexdigest()
+
+    def __repr__(self) -> str:
+        return (
+            f"MigrationRequestBatch(n={len(self)}, epoch={self.epoch}, "
+            f"digest={self.content_digest()})"
         )
 
     def take(self, indices: np.ndarray) -> List[MigrationRequest]:

@@ -13,16 +13,22 @@ Two interchangeable backends implement the store contract:
   nonces in two parallel dicts. Robust for sparse/arbitrary account
   ids; the default.
 * :class:`DenseShardStateStore` — the dense-array backend: balances and
-  nonces in preallocated ``np.ndarray`` columns indexed directly by
-  account id, plus a residency bitmap. Built for compact id universes
-  (``range(n_accounts)``) where it scales past a million accounts with
-  O(1) columnar gather/scatter; ids beyond the preallocated capacity
-  spill into a fallback dict so sparse stragglers stay correct.
+  nonces in per-shard **compacted** ``np.ndarray`` columns. A
+  :class:`SlotDirectory` shared by all stores of a registry maps each
+  global account id to its *home* shard and a local column slot, so a
+  shard's columns are sized to its own population instead of the whole
+  account universe (k-fold less memory than full-universe columns).
+  Ids beyond the directory capacity — and the rare account whose state
+  is resident on a shard other than its home — spill into a fallback
+  dict so sparse stragglers stay correct.
 
 :class:`StateRegistry` selects the backend (``backend="dict"`` /
 ``"dense"``) and guarantees both produce identical observable state —
 same state roots, balances and nonces — which the backend-equivalence
-property suite pins down.
+property suite pins down. The registry also maintains a
+:class:`ResidencyIndex` (account -> holding shards, incremental per
+mutation) so ``locate`` is O(1) instead of an O(k) scan over the
+stores; ``locate_scan`` keeps the scan as the equivalence reference.
 """
 
 from __future__ import annotations
@@ -97,21 +103,130 @@ def _state_root_digest(items: List[Tuple[int, float, int]]) -> str:
     return "0x" + hasher.hexdigest()
 
 
+class ResidencyIndex:
+    """Global account -> holding-shards index (per-account bitmasks).
+
+    One int64 bitmask per account id below ``capacity`` (bit ``j`` set
+    when shard ``j``'s store holds the account) plus a spill dict for
+    ids beyond it. Stores maintain the index incrementally on every
+    membership change — execute scatters, settlements, migrations — so
+    :meth:`get_shard` answers "which shard holds this account's state"
+    in O(1), and :meth:`shards_of` vectorises the lookup for batched
+    reconfiguration.
+
+    An account *can* be resident on more than one shard (a relay
+    settlement can credit a shard the account has since migrated away
+    from); the index then reports the lowest holding shard id — exactly
+    what the O(k) store scan (:meth:`StateRegistry.locate_scan`)
+    returns, which the equivalence property suite pins.
+
+    Bitmasks cap the shard count at :data:`MAX_SHARDS`; registries with
+    more shards fall back to the scan.
+    """
+
+    #: int64 bitmasks hold shard ids 0..62.
+    MAX_SHARDS = 63
+
+    __slots__ = ("capacity", "_mask", "_extra")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValidationError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._mask = np.zeros(self.capacity, dtype=np.int64)
+        self._extra: Dict[int, int] = {}
+
+    def add(self, shard: int, account: int) -> None:
+        bit = 1 << shard
+        if 0 <= account < self.capacity:
+            self._mask[account] |= bit
+        else:
+            self._extra[account] = self._extra.get(account, 0) | bit
+
+    def discard(self, shard: int, account: int) -> None:
+        if 0 <= account < self.capacity:
+            self._mask[account] &= ~(1 << shard)
+            return
+        mask = self._extra.get(account, 0) & ~(1 << shard)
+        if mask:
+            self._extra[account] = mask
+        else:
+            self._extra.pop(account, None)
+
+    def add_many(self, shard: int, accounts: np.ndarray) -> None:
+        if len(accounts) == 0:
+            return
+        if int(accounts.min()) >= 0 and int(accounts.max()) < self.capacity:
+            # Duplicate ids all OR in the same bit — buffering is safe.
+            self._mask[accounts] |= np.int64(1 << shard)
+            return
+        for account in accounts.tolist():
+            self.add(shard, account)
+
+    def discard_many(self, shard: int, accounts: np.ndarray) -> None:
+        if len(accounts) == 0:
+            return
+        if int(accounts.min()) >= 0 and int(accounts.max()) < self.capacity:
+            self._mask[accounts] &= np.int64(~(1 << shard))
+            return
+        for account in accounts.tolist():
+            self.discard(shard, account)
+
+    def get_shard(self, account: int) -> Optional[int]:
+        """Lowest shard id holding ``account``, or None."""
+        if 0 <= account < self.capacity:
+            mask = int(self._mask[account])
+        else:
+            mask = self._extra.get(account, 0)
+        if mask == 0:
+            return None
+        return (mask & -mask).bit_length() - 1
+
+    def shards_of(self, accounts: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`get_shard`; ``-1`` marks non-residents."""
+        accounts = np.asarray(accounts, dtype=np.int64)
+        if len(accounts) == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(accounts.min()) >= 0 and int(accounts.max()) < self.capacity:
+            masks = self._mask[accounts]
+            lowest_bit = masks & -masks
+            # frexp exponents are exact for powers of two (and map the
+            # zero mask to exponent 0, i.e. shard -1 = nowhere).
+            return (np.frexp(lowest_bit.astype(np.float64))[1] - 1).astype(
+                np.int64
+            )
+        return np.array(
+            [
+                -1 if (shard := self.get_shard(a)) is None else shard
+                for a in accounts.tolist()
+            ],
+            dtype=np.int64,
+        )
+
+    def nbytes(self) -> int:
+        return int(self._mask.nbytes)
+
+
 class ShardStateStore:
     """The state of all accounts resident on one shard (dict backend).
 
     Internally object-free: balances and nonces live in two parallel
     scalar dicts so the batched executor's gather/scatter hot path never
     constructs :class:`AccountState` objects. ``get`` materialises one
-    lazily for the object-friendly API.
+    lazily for the object-friendly API. When an ``index`` is attached
+    (by :class:`StateRegistry`), every membership change is mirrored
+    into it.
     """
 
-    def __init__(self, shard_id: int) -> None:
+    def __init__(
+        self, shard_id: int, index: Optional[ResidencyIndex] = None
+    ) -> None:
         if shard_id < 0:
             raise ValidationError(f"shard_id must be >= 0, got {shard_id}")
         self.shard_id = shard_id
         self._balances: Dict[int, float] = {}
         self._nonces: Dict[int, int] = {}
+        self._index = index
 
     def __len__(self) -> int:
         return len(self._balances)
@@ -134,6 +249,8 @@ class ShardStateStore:
         """Install ``state`` for ``account``."""
         if account < 0:
             raise ValidationError(f"account must be >= 0, got {account}")
+        if self._index is not None and account not in self._balances:
+            self._index.add(self.shard_id, account)
         self._balances[account] = state.balance
         self._nonces[account] = state.nonce
 
@@ -141,6 +258,8 @@ class ShardStateStore:
         """Add funds (creating the account on first touch)."""
         if amount < 0:
             raise ValidationError(f"credit amount must be >= 0, got {amount}")
+        if self._index is not None and account not in self._balances:
+            self._index.add(self.shard_id, account)
         balance = self._balances.get(account, 0.0) + amount
         self._balances[account] = balance
         nonce = self._nonces.setdefault(account, 0)
@@ -153,6 +272,8 @@ class ShardStateStore:
         balance = self._balances.get(account, 0.0)
         if amount > balance:
             raise ChainError(f"insufficient balance: {balance} < {amount}")
+        if self._index is not None and account not in self._balances:
+            self._index.add(self.shard_id, account)
         balance -= amount
         nonce = self._nonces.get(account, 0) + 1
         self._balances[account] = balance
@@ -167,6 +288,8 @@ class ShardStateStore:
             raise ChainError(
                 f"account {account} is not resident on shard {self.shard_id}"
             ) from None
+        if self._index is not None:
+            self._index.discard(self.shard_id, account)
         return AccountState(balance=balance, nonce=self._nonces.pop(account))
 
     # -- columnar bulk access (batched executor hot path) ----------------------
@@ -199,6 +322,8 @@ class ShardStateStore:
         ):
             bal[account] = balance
             non[account] = get_nonce(account, 0) + bump
+        if self._index is not None:
+            self._index.add_many(self.shard_id, accounts)
 
     def credit_many(self, accounts: np.ndarray, amounts: np.ndarray) -> None:
         """Apply a stream of credits in order (settlement scatter)."""
@@ -207,6 +332,54 @@ class ShardStateStore:
         for account, amount in zip(accounts.tolist(), amounts.tolist()):
             bal[account] = bal.get(account, 0.0) + amount
             non.setdefault(account, 0)
+        if self._index is not None:
+            self._index.add_many(self.shard_id, accounts)
+
+    # -- bulk migration (batched reconfiguration hot path) ---------------------
+
+    def take_many(
+        self, accounts: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Remove ``accounts`` and return their (balances, nonces).
+
+        Every account must be resident — callers group by the located
+        holding shard first. The columnar twin of a :meth:`remove`
+        loop.
+        """
+        n = len(accounts)
+        balances = np.empty(n, dtype=np.float64)
+        nonces = np.empty(n, dtype=np.int64)
+        bal = self._balances
+        non = self._nonces
+        for i, account in enumerate(accounts.tolist()):
+            try:
+                balances[i] = bal.pop(account)
+            except KeyError:
+                raise ChainError(
+                    f"account {account} is not resident on shard "
+                    f"{self.shard_id}"
+                ) from None
+            nonces[i] = non.pop(account)
+        if self._index is not None:
+            self._index.discard_many(self.shard_id, accounts)
+        return balances, nonces
+
+    def put_many(
+        self,
+        accounts: np.ndarray,
+        balances: np.ndarray,
+        nonces: np.ndarray,
+    ) -> None:
+        """Install state rows in bulk (the columnar twin of ``put``)."""
+        bal = self._balances
+        non = self._nonces
+        for account, balance, nonce in zip(
+            accounts.tolist(), balances.tolist(), nonces.tolist()
+        ):
+            bal[account] = balance
+            non[account] = nonce
+        if self._index is not None:
+            self._index.add_many(self.shard_id, accounts)
 
     def total_balance(self) -> float:
         """Exactly-rounded sum of resident balances (conservation checks)."""
@@ -225,59 +398,187 @@ class ShardStateStore:
         """Bytes a miner transfers to sync this shard's state."""
         return len(self._balances) * STATE_RECORD_BYTES
 
+    def column_nbytes(self) -> int:
+        """Array-column bytes held by this store (0: dicts only)."""
+        return 0
+
+
+class SlotDirectory:
+    """Shared global-id -> (home shard, local slot) directory.
+
+    One directory serves every dense store of a registry: ``home[a]``
+    is the shard whose columns hold account ``a`` (-1 = no columns
+    anywhere), ``slot[a]`` the position inside that shard's columns.
+    Storing the directory once — instead of full-universe columns per
+    shard — is what cuts the dense backend's memory k-fold.
+    """
+
+    __slots__ = ("capacity", "home", "slot")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValidationError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.home = np.full(self.capacity, -1, dtype=np.int32)
+        self.slot = np.zeros(self.capacity, dtype=np.int64)
+
+    def nbytes(self) -> int:
+        return int(self.home.nbytes + self.slot.nbytes)
+
 
 class DenseShardStateStore:
-    """Dense-array backend: state columns indexed directly by account id.
+    """Dense-array backend: compacted per-shard state columns.
 
-    Balances and nonces live in preallocated float64/int64 arrays of
-    length ``capacity`` (the compact id universe) with a residency
-    bitmap for membership; the batched executor's gather/scatter
-    entry points become single fancy-indexing operations instead of
-    per-account dict traffic, which is what lets the executor
-    microbench scale past 1M accounts. Account ids at or above
-    ``capacity`` (sparse stragglers, grown universes) spill into a
-    fallback dict pair with the scalar-dict semantics.
+    Balances and nonces live in numpy columns sized to this shard's own
+    population; the shared :class:`SlotDirectory` translates global
+    account ids to local column slots (``home[a] == shard_id`` marks
+    membership). Columns grow by doubling as accounts arrive; slots
+    vacated by migration are recycled through a free list. The batched
+    executor's gather/scatter entry points stay single fancy-indexing
+    operations (one extra slot indirection versus full-universe
+    columns), which is what lets the executor microbench scale past 1M
+    accounts without allocating ``k x n_accounts`` cells.
+
+    Account ids at or above the directory capacity — and accounts whose
+    state is resident here while their *home* columns live on another
+    shard (a relay settlement can do that) — spill into a fallback dict
+    pair with the scalar-dict semantics.
 
     Observable behaviour — balances, nonces, membership, state roots,
     error cases — is identical to :class:`ShardStateStore`; the
     backend-equivalence property suite asserts it.
     """
 
-    def __init__(self, shard_id: int, capacity: int) -> None:
+    def __init__(
+        self,
+        shard_id: int,
+        capacity: int,
+        directory: Optional[SlotDirectory] = None,
+        index: Optional[ResidencyIndex] = None,
+    ) -> None:
         if shard_id < 0:
             raise ValidationError(f"shard_id must be >= 0, got {shard_id}")
         if capacity < 0:
             raise ValidationError(f"capacity must be >= 0, got {capacity}")
         self.shard_id = shard_id
         self.capacity = int(capacity)
-        self._bal = np.zeros(capacity, dtype=np.float64)
-        self._non = np.zeros(capacity, dtype=np.int64)
-        self._resident = np.zeros(capacity, dtype=bool)
-        # Fallback for account ids >= capacity (sparse/grown universes).
+        self._dir = directory if directory is not None else SlotDirectory(capacity)
+        self._index = index
+        self._bal = np.zeros(0, dtype=np.float64)
+        self._non = np.zeros(0, dtype=np.int64)
+        self._used = 0
+        self._free: List[int] = []
+        self._count = 0
+        # Fallback for ids >= capacity and off-home residents.
         self._extra_bal: Dict[int, float] = {}
         self._extra_non: Dict[int, int] = {}
 
+    # -- slot plumbing ----------------------------------------------------------
+
+    def _grow_columns(self, n_slots: int) -> None:
+        if n_slots <= len(self._bal):
+            return
+        new_capacity = max(16, len(self._bal))
+        while new_capacity < n_slots:
+            new_capacity *= 2
+        for name in ("_bal", "_non"):
+            column = getattr(self, name)
+            grown = np.zeros(new_capacity, dtype=column.dtype)
+            grown[: self._used] = column[: self._used]
+            setattr(self, name, grown)
+
+    def _alloc_slot(self, account: int) -> int:
+        """Claim a zeroed column slot for ``account`` (makes it home)."""
+        if self._free:
+            slot = self._free.pop()
+        else:
+            slot = self._used
+            self._grow_columns(slot + 1)
+            self._used += 1
+        self._dir.home[account] = self.shard_id
+        self._dir.slot[account] = slot
+        self._count += 1
+        if self._index is not None:
+            self._index.add(self.shard_id, account)
+        return slot
+
+    def _alloc_slots_bulk(self, accounts: np.ndarray) -> None:
+        """Claim slots for many distinct new accounts at once."""
+        n_new = len(accounts)
+        if n_new == 0:
+            return
+        slots = np.empty(n_new, dtype=np.int64)
+        n_recycled = min(len(self._free), n_new)
+        if n_recycled:
+            slots[:n_recycled] = self._free[len(self._free) - n_recycled :]
+            del self._free[len(self._free) - n_recycled :]
+        n_fresh = n_new - n_recycled
+        if n_fresh:
+            self._grow_columns(self._used + n_fresh)
+            slots[n_recycled:] = np.arange(
+                self._used, self._used + n_fresh, dtype=np.int64
+            )
+            self._used += n_fresh
+        self._dir.home[accounts] = self.shard_id
+        self._dir.slot[accounts] = slots
+        self._count += n_new
+        if self._index is not None:
+            self._index.add_many(self.shard_id, accounts)
+
+    def _free_slot(self, account: int) -> None:
+        slot = int(self._dir.slot[account])
+        self._bal[slot] = 0.0
+        self._non[slot] = 0
+        self._free.append(slot)
+        self._dir.home[account] = -1
+        self._count -= 1
+        if self._index is not None:
+            self._index.discard(self.shard_id, account)
+
+    def _is_home(self, account: int) -> bool:
+        return (
+            0 <= account < self.capacity
+            and self._dir.home[account] == self.shard_id
+        )
+
+    def _can_claim(self, account: int) -> bool:
+        """True when ``account`` may take a home slot here: in capacity,
+        homed nowhere, and not already spilled into this store's extras
+        (promotion would double-count the membership)."""
+        return (
+            0 <= account < self.capacity
+            and self._dir.home[account] == -1
+            and account not in self._extra_bal
+        )
+
+    def _put_extra(self, account: int, balance: float, nonce: int) -> None:
+        if account not in self._extra_bal:
+            self._count += 1
+            if self._index is not None:
+                self._index.add(self.shard_id, account)
+        self._extra_bal[account] = balance
+        self._extra_non[account] = nonce
+
     def __len__(self) -> int:
-        return int(self._resident.sum()) + len(self._extra_bal)
+        return self._count
 
     def __contains__(self, account: int) -> bool:
-        if 0 <= account < self.capacity:
-            return bool(self._resident[account])
-        return account in self._extra_bal
+        return self._is_home(account) or account in self._extra_bal
 
     def accounts(self) -> Iterator[int]:
         """Resident account ids (unspecified order)."""
-        for account in np.flatnonzero(self._resident).tolist():
+        for account in np.flatnonzero(
+            self._dir.home == self.shard_id
+        ).tolist():
             yield account
         yield from self._extra_bal
 
     def get(self, account: int) -> AccountState:
         """State of ``account``; a fresh zero state when never seen."""
-        if 0 <= account < self.capacity:
-            if not self._resident[account]:
-                return AccountState()
+        if self._is_home(account):
+            slot = self._dir.slot[account]
             return AccountState(
-                balance=float(self._bal[account]), nonce=int(self._non[account])
+                balance=float(self._bal[slot]), nonce=int(self._non[slot])
             )
         balance = self._extra_bal.get(account)
         if balance is None:
@@ -288,64 +589,72 @@ class DenseShardStateStore:
         """Install ``state`` for ``account``."""
         if account < 0:
             raise ValidationError(f"account must be >= 0, got {account}")
-        if account < self.capacity:
-            self._bal[account] = state.balance
-            self._non[account] = state.nonce
-            self._resident[account] = True
-        else:
-            self._extra_bal[account] = state.balance
-            self._extra_non[account] = state.nonce
+        if self._is_home(account):
+            slot = self._dir.slot[account]
+            self._bal[slot] = state.balance
+            self._non[slot] = state.nonce
+            return
+        if self._can_claim(account):
+            slot = self._alloc_slot(account)
+            self._bal[slot] = state.balance
+            self._non[slot] = state.nonce
+            return
+        self._put_extra(account, state.balance, state.nonce)
 
     def credit(self, account: int, amount: float) -> AccountState:
         """Add funds (creating the account on first touch)."""
         if amount < 0:
             raise ValidationError(f"credit amount must be >= 0, got {amount}")
-        if 0 <= account < self.capacity:
-            balance = float(self._bal[account]) + amount
-            self._bal[account] = balance
-            self._resident[account] = True
-            return AccountState(balance=balance, nonce=int(self._non[account]))
+        if self._is_home(account):
+            slot = self._dir.slot[account]
+            balance = float(self._bal[slot]) + amount
+            self._bal[slot] = balance
+            return AccountState(balance=balance, nonce=int(self._non[slot]))
+        if self._can_claim(account):
+            slot = self._alloc_slot(account)
+            self._bal[slot] = amount
+            return AccountState(balance=amount, nonce=0)
         balance = self._extra_bal.get(account, 0.0) + amount
-        self._extra_bal[account] = balance
-        nonce = self._extra_non.setdefault(account, 0)
+        nonce = self._extra_non.get(account, 0)
+        self._put_extra(account, balance, nonce)
         return AccountState(balance=balance, nonce=nonce)
 
     def debit(self, account: int, amount: float) -> AccountState:
         """Remove funds; raises :class:`ChainError` when underfunded."""
         if amount < 0:
             raise ValidationError(f"debit amount must be >= 0, got {amount}")
-        if 0 <= account < self.capacity:
-            balance = float(self._bal[account])
+        if self._is_home(account):
+            slot = self._dir.slot[account]
+            balance = float(self._bal[slot])
             if amount > balance:
                 raise ChainError(f"insufficient balance: {balance} < {amount}")
             balance -= amount
-            nonce = int(self._non[account]) + 1
-            self._bal[account] = balance
-            self._non[account] = nonce
-            self._resident[account] = True
+            nonce = int(self._non[slot]) + 1
+            self._bal[slot] = balance
+            self._non[slot] = nonce
             return AccountState(balance=balance, nonce=nonce)
+        if self._can_claim(account):
+            if amount > 0.0:
+                raise ChainError(f"insufficient balance: 0.0 < {amount}")
+            slot = self._alloc_slot(account)
+            self._non[slot] = 1
+            return AccountState(balance=0.0, nonce=1)
         balance = self._extra_bal.get(account, 0.0)
         if amount > balance:
             raise ChainError(f"insufficient balance: {balance} < {amount}")
         balance -= amount
         nonce = self._extra_non.get(account, 0) + 1
-        self._extra_bal[account] = balance
-        self._extra_non[account] = nonce
+        self._put_extra(account, balance, nonce)
         return AccountState(balance=balance, nonce=nonce)
 
     def remove(self, account: int) -> AccountState:
         """Remove and return an account's state (for migration)."""
-        if 0 <= account < self.capacity:
-            if not self._resident[account]:
-                raise ChainError(
-                    f"account {account} is not resident on shard {self.shard_id}"
-                )
+        if self._is_home(account):
+            slot = self._dir.slot[account]
             state = AccountState(
-                balance=float(self._bal[account]), nonce=int(self._non[account])
+                balance=float(self._bal[slot]), nonce=int(self._non[slot])
             )
-            self._bal[account] = 0.0
-            self._non[account] = 0
-            self._resident[account] = False
+            self._free_slot(account)
             return state
         try:
             balance = self._extra_bal.pop(account)
@@ -353,29 +662,36 @@ class DenseShardStateStore:
             raise ChainError(
                 f"account {account} is not resident on shard {self.shard_id}"
             ) from None
+        self._count -= 1
+        if self._index is not None:
+            self._index.discard(self.shard_id, account)
         return AccountState(balance=balance, nonce=self._extra_non.pop(account))
 
     # -- columnar bulk access (batched executor hot path) ----------------------
 
-    def _all_in_capacity(self, accounts: np.ndarray) -> bool:
-        return len(accounts) == 0 or (
-            int(accounts.max()) < self.capacity and int(accounts.min()) >= 0
+    def _fast_bulk_ok(self, accounts: np.ndarray) -> bool:
+        """True when the pure-columnar bulk path applies."""
+        return not self._extra_bal and (
+            len(accounts) == 0
+            or (
+                int(accounts.min()) >= 0
+                and int(accounts.max()) < self.capacity
+            )
         )
 
     def balances_of(self, accounts: np.ndarray) -> np.ndarray:
         """Balances of ``accounts`` as an array (zero when never seen)."""
-        if self._all_in_capacity(accounts):
-            # Non-resident cells hold 0.0 by construction, matching the
-            # dict backend's get(account, 0.0).
-            return self._bal[accounts]
-        get = self._extra_bal.get
-        capacity = self.capacity
-        bal = self._bal
+        if self._fast_bulk_ok(accounts):
+            home = self._dir.home[accounts]
+            mine = home == self.shard_id
+            if mine.all():
+                return self._bal[self._dir.slot[accounts]]
+            result = np.zeros(len(accounts), dtype=np.float64)
+            if mine.any():
+                result[mine] = self._bal[self._dir.slot[accounts[mine]]]
+            return result
         return np.fromiter(
-            (
-                bal[a] if 0 <= a < capacity else get(a, 0.0)
-                for a in accounts.tolist()
-            ),
+            (self.get(a).balance for a in accounts.tolist()),
             dtype=np.float64,
             count=len(accounts),
         )
@@ -387,52 +703,127 @@ class DenseShardStateStore:
         nonce_bumps: np.ndarray,
     ) -> None:
         """Scatter updated balances (and nonce increments) back."""
-        if self._all_in_capacity(accounts):
-            self._bal[accounts] = balances
-            np.add.at(self._non, accounts, nonce_bumps)
-            self._resident[accounts] = True
-            return
+        if self._fast_bulk_ok(accounts):
+            home = self._dir.home[accounts]
+            new = home == -1
+            if (new | (home == self.shard_id)).all():
+                if new.any():
+                    self._alloc_slots_bulk(np.unique(accounts[new]))
+                slots = self._dir.slot[accounts]
+                self._bal[slots] = balances
+                np.add.at(self._non, slots, nonce_bumps)
+                return
         for account, balance, bump in zip(
             accounts.tolist(), balances.tolist(), nonce_bumps.tolist()
         ):
-            if 0 <= account < self.capacity:
-                self._bal[account] = balance
-                self._non[account] += bump
-                self._resident[account] = True
+            if self._is_home(account):
+                slot = self._dir.slot[account]
+                self._bal[slot] = balance
+                self._non[slot] += bump
+            elif self._can_claim(account):
+                slot = self._alloc_slot(account)
+                self._bal[slot] = balance
+                self._non[slot] = bump
             else:
-                self._extra_bal[account] = balance
-                self._extra_non[account] = self._extra_non.get(account, 0) + bump
+                self._put_extra(
+                    account,
+                    balance,
+                    self._extra_non.get(account, 0) + bump,
+                )
 
     def credit_many(self, accounts: np.ndarray, amounts: np.ndarray) -> None:
         """Apply a stream of credits in order (settlement scatter)."""
-        if self._all_in_capacity(accounts):
-            # np.add.at applies duplicate indices sequentially, matching
-            # the dict backend's in-order accumulation.
-            np.add.at(self._bal, accounts, amounts)
-            self._resident[accounts] = True
-            return
+        if self._fast_bulk_ok(accounts):
+            home = self._dir.home[accounts]
+            new = home == -1
+            if (new | (home == self.shard_id)).all():
+                if new.any():
+                    self._alloc_slots_bulk(np.unique(accounts[new]))
+                # np.add.at applies duplicate indices sequentially,
+                # matching the dict backend's in-order accumulation.
+                np.add.at(self._bal, self._dir.slot[accounts], amounts)
+                return
         for account, amount in zip(accounts.tolist(), amounts.tolist()):
-            if 0 <= account < self.capacity:
-                self._bal[account] += amount
-                self._resident[account] = True
+            self.credit(account, float(amount))
+
+    # -- bulk migration (batched reconfiguration hot path) ---------------------
+
+    def take_many(
+        self, accounts: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Remove ``accounts`` (all resident here); return their state."""
+        if self._fast_bulk_ok(accounts) and len(accounts):
+            home = self._dir.home[accounts]
+            if (home == self.shard_id).all():
+                slots = self._dir.slot[accounts]
+                balances = self._bal[slots].copy()
+                nonces = self._non[slots].copy()
+                self._bal[slots] = 0.0
+                self._non[slots] = 0
+                self._free.extend(slots.tolist())
+                self._dir.home[accounts] = -1
+                self._count -= len(accounts)
+                if self._index is not None:
+                    self._index.discard_many(self.shard_id, accounts)
+                return balances, nonces
+        n = len(accounts)
+        balances = np.empty(n, dtype=np.float64)
+        nonces = np.empty(n, dtype=np.int64)
+        for i, account in enumerate(accounts.tolist()):
+            state = self.remove(account)
+            balances[i] = state.balance
+            nonces[i] = state.nonce
+        return balances, nonces
+
+    def put_many(
+        self,
+        accounts: np.ndarray,
+        balances: np.ndarray,
+        nonces: np.ndarray,
+    ) -> None:
+        """Install state rows in bulk (the columnar twin of ``put``)."""
+        if self._fast_bulk_ok(accounts):
+            home = self._dir.home[accounts]
+            new = home == -1
+            if (new | (home == self.shard_id)).all():
+                if new.any():
+                    self._alloc_slots_bulk(np.unique(accounts[new]))
+                slots = self._dir.slot[accounts]
+                self._bal[slots] = balances
+                self._non[slots] = nonces
+                return
+        for account, balance, nonce in zip(
+            accounts.tolist(), balances.tolist(), nonces.tolist()
+        ):
+            if self._is_home(account):
+                slot = self._dir.slot[account]
+                self._bal[slot] = balance
+                self._non[slot] = nonce
+            elif self._can_claim(account):
+                slot = self._alloc_slot(account)
+                self._bal[slot] = balance
+                self._non[slot] = nonce
             else:
-                self._extra_bal[account] = (
-                    self._extra_bal.get(account, 0.0) + amount
-                )
-                self._extra_non.setdefault(account, 0)
+                self._put_extra(account, balance, int(nonce))
 
     def total_balance(self) -> float:
         """Sum of resident balances (float64 pairwise ``np.sum``)."""
-        dense = float(np.sum(self._bal, dtype=np.float64))
+        dense = float(np.sum(self._bal[: self._used], dtype=np.float64))
         if not self._extra_bal:
             return dense
         return math.fsum([dense, *self._extra_bal.values()])
 
     def state_root(self) -> str:
         """Deterministic digest over the sorted account states."""
-        resident = np.flatnonzero(self._resident)
+        resident = np.flatnonzero(self._dir.home == self.shard_id)
+        slots = self._dir.slot[resident]
         items = [
-            (int(a), float(self._bal[a]), int(self._non[a])) for a in resident
+            (int(a), float(b), int(n))
+            for a, b, n in zip(
+                resident.tolist(),
+                self._bal[slots].tolist(),
+                self._non[slots].tolist(),
+            )
         ]
         items.extend(
             (account, balance, self._extra_non[account])
@@ -444,6 +835,10 @@ class DenseShardStateStore:
         """Bytes a miner transfers to sync this shard's state."""
         return len(self) * STATE_RECORD_BYTES
 
+    def column_nbytes(self) -> int:
+        """Bytes held by this store's state columns."""
+        return int(self._bal.nbytes + self._non.nbytes)
+
 
 #: Either backend satisfies the store contract.
 AnyShardStateStore = Union[ShardStateStore, DenseShardStateStore]
@@ -453,9 +848,13 @@ class StateRegistry:
     """All shards' state stores plus migration between them.
 
     ``backend`` selects the store implementation: ``"dict"`` (default,
-    arbitrary ids) or ``"dense"`` (compact-id ``np.ndarray`` columns
-    sized by ``n_accounts``, with a dict fallback for ids beyond that
-    capacity). Both are observably identical.
+    arbitrary ids) or ``"dense"`` (compacted per-shard ``np.ndarray``
+    columns behind a shared :class:`SlotDirectory` sized by
+    ``n_accounts``, with a dict fallback for ids beyond that capacity).
+    Both are observably identical. A :class:`ResidencyIndex` is
+    maintained for either backend (when ``k`` fits a bitmask) so
+    :meth:`locate` is O(1); :meth:`locate_scan` keeps the O(k) scan as
+    the equivalence reference.
     """
 
     def __init__(
@@ -476,13 +875,32 @@ class StateRegistry:
         self.k = k
         self.backend = backend
         self.n_accounts = int(n_accounts)
+        self._index: Optional[ResidencyIndex] = (
+            ResidencyIndex(self.n_accounts)
+            if k <= ResidencyIndex.MAX_SHARDS
+            else None
+        )
+        self._directory: Optional[SlotDirectory] = None
         if backend == BACKEND_DENSE:
+            self._directory = SlotDirectory(self.n_accounts)
             self.stores: Tuple[AnyShardStateStore, ...] = tuple(
-                DenseShardStateStore(shard, self.n_accounts)
+                DenseShardStateStore(
+                    shard,
+                    self.n_accounts,
+                    directory=self._directory,
+                    index=self._index,
+                )
                 for shard in range(k)
             )
         else:
-            self.stores = tuple(ShardStateStore(shard) for shard in range(k))
+            self.stores = tuple(
+                ShardStateStore(shard, index=self._index) for shard in range(k)
+            )
+
+    @property
+    def residency_index(self) -> Optional[ResidencyIndex]:
+        """The incremental account->shard index (None when k > 63)."""
+        return self._index
 
     def store_of(self, shard: int) -> AnyShardStateStore:
         if not 0 <= shard < self.k:
@@ -490,11 +908,33 @@ class StateRegistry:
         return self.stores[shard]
 
     def locate(self, account: int) -> Optional[int]:
-        """Shard currently holding ``account``'s state, or None."""
+        """Shard currently holding ``account``'s state, or None.
+
+        O(1) through the residency index; identical to
+        :meth:`locate_scan` (the property suite pins it).
+        """
+        if self._index is not None:
+            return self._index.get_shard(account)
+        return self.locate_scan(account)
+
+    def locate_scan(self, account: int) -> Optional[int]:
+        """Reference O(k) locate: scan the stores in shard order."""
         for store in self.stores:
             if account in store:
                 return store.shard_id
         return None
+
+    def locate_many(self, accounts: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`locate`; ``-1`` marks non-residents."""
+        if self._index is not None:
+            return self._index.shards_of(accounts)
+        return np.array(
+            [
+                -1 if (shard := self.locate_scan(int(a))) is None else shard
+                for a in np.asarray(accounts, dtype=np.int64).tolist()
+            ],
+            dtype=np.int64,
+        )
 
     def migrate(self, account: int, from_shard: int, to_shard: int) -> int:
         """Move an account's state between shards; returns bytes moved.
@@ -519,6 +959,63 @@ class StateRegistry:
         target.put(account, source.remove(account))
         return STATE_RECORD_BYTES
 
+    def migrate_batch(
+        self, accounts: np.ndarray, to_shards: np.ndarray
+    ) -> int:
+        """Move many accounts to their target shards; returns bytes moved.
+
+        The columnar twin of a ``locate`` + :meth:`migrate` loop:
+        residency resolves through the index in one vectorised lookup,
+        then state moves grouped per source shard (one bulk take each)
+        and per target shard (one bulk put each). Accounts must be
+        unique within the batch — the beacon's per-epoch commitment
+        rounds guarantee that. Non-resident accounts and accounts
+        already on their target are free no-ops, exactly like the
+        scalar path.
+        """
+        accounts = np.asarray(accounts, dtype=np.int64)
+        to_shards = np.asarray(to_shards, dtype=np.int64)
+        if accounts.shape != to_shards.shape:
+            raise ValidationError("accounts/to_shards length mismatch")
+        if len(accounts) == 0:
+            return 0
+        if len(to_shards) and (
+            int(to_shards.min()) < 0 or int(to_shards.max()) >= self.k
+        ):
+            raise ValidationError("target shard out of range in migration batch")
+        current = self.locate_many(accounts)
+        moving = (current >= 0) & (current != to_shards)
+        if not moving.any():
+            return 0
+        acc = accounts[moving]
+        src = current[moving]
+        dst = to_shards[moving]
+
+        order = np.argsort(src, kind="stable")
+        acc, src, dst = acc[order], src[order], dst[order]
+        balances = np.empty(len(acc), dtype=np.float64)
+        nonces = np.empty(len(acc), dtype=np.int64)
+        boundaries = np.flatnonzero(np.diff(src) != 0) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [len(acc)]))
+        for start, stop in zip(starts.tolist(), stops.tolist()):
+            taken = self.store_of(int(src[start])).take_many(acc[start:stop])
+            balances[start:stop], nonces[start:stop] = taken
+
+        order = np.argsort(dst, kind="stable")
+        acc, dst = acc[order], dst[order]
+        balances, nonces = balances[order], nonces[order]
+        boundaries = np.flatnonzero(np.diff(dst) != 0) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [len(acc)]))
+        for start, stop in zip(starts.tolist(), stops.tolist()):
+            self.store_of(int(dst[start])).put_many(
+                acc[start:stop],
+                balances[start:stop],
+                nonces[start:stop],
+            )
+        return len(acc) * STATE_RECORD_BYTES
+
     def total_balance(self) -> float:
         """System-wide balance — invariant under execution + migration.
 
@@ -527,3 +1024,17 @@ class StateRegistry:
         accounts.
         """
         return math.fsum(store.total_balance() for store in self.stores)
+
+    def state_memory_nbytes(self) -> int:
+        """Bytes held in numpy state structures across the registry.
+
+        Sums the per-shard state columns plus the shared slot directory
+        and residency index — the figure the compaction memory test
+        compares against the full-universe-columns layout.
+        """
+        total = sum(store.column_nbytes() for store in self.stores)
+        if self._directory is not None:
+            total += self._directory.nbytes()
+        if self._index is not None:
+            total += self._index.nbytes()
+        return int(total)

@@ -173,6 +173,7 @@ def _command_matrix(args: argparse.Namespace) -> int:
         baseline_snapshot,
         default_trace,
         matrix_table,
+        realloc_smoke_matrix,
         run_matrix,
         smoke_matrix,
         with_engine_modes,
@@ -197,7 +198,11 @@ def _command_matrix(args: argparse.Namespace) -> int:
         )
         return 2
     engine_modes = tuple(args.engine_modes.split(","))
-    if args.smoke:
+    if args.realloc_smoke:
+        matrix = realloc_smoke_matrix(seed=args.seed)
+        if engine_modes != ("metrics",):
+            matrix = with_engine_modes(matrix, engine_modes)
+    elif args.smoke:
         matrix = smoke_matrix(seed=args.seed)
         if engine_modes != ("metrics",):
             matrix = with_engine_modes(matrix, engine_modes)
@@ -264,19 +269,40 @@ def _command_matrix(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from repro.experiments import run_bench
+    from repro.experiments import cell_delta_rows, run_bench
 
     print(
         "running the Table II benchmark workload "
-        f"({args.workers} worker(s)) + executor microbench + smoke grid"
+        f"({args.workers} worker(s)) + executor/reconfig microbenches "
+        "+ smoke grid"
     )
     payload = run_bench(path=args.output, workers=args.workers)
     print(f"\nsnapshot written to {args.output}")
     print(f"total_seconds   : {payload['total_seconds']}")
     print(f"kernel_seconds  : {payload['kernel_seconds']}")
     print(f"smoke_seconds   : {payload['smoke_seconds']}")
+    if "reconfig_seconds_batch_1m" in payload:
+        print(
+            f"reconfig 1M     : {payload['reconfig_seconds_batch_1m']}s "
+            f"batch vs {payload['reconfig_seconds_object_1m']}s object"
+        )
     if "speedup_vs_reference" in payload:
         print(f"speedup vs prev : {payload['speedup_vs_reference']}x")
+    delta_rows = cell_delta_rows(payload)
+    if delta_rows:
+        # Per-cell deltas vs the previous snapshot make a drifting cell
+        # visible at a glance instead of hiding inside the total.
+        rows = [
+            [
+                label,
+                f"{ref:.3f}s" if ref is not None else "-",
+                f"{now:.3f}s",
+                f"{delta:+.0%}" if delta is not None else "-",
+            ]
+            for label, ref, now, delta in delta_rows
+        ]
+        print()
+        print(render_table(["Cell", "Reference", "Now", "Delta"], rows))
     failures = int(payload.get("failures", 0))
     if failures:
         print(f"error: {failures} cell(s) failed", file=sys.stderr)
@@ -406,6 +432,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="run the built-in 2x2 CI smoke grid",
+    )
+    matrix.add_argument(
+        "--realloc-smoke",
+        action="store_true",
+        help="run the reallocation-heavy executed CI cell (metis in "
+        "execute-dense mode, exercising the batched beacon/"
+        "reconfiguration path)",
     )
     matrix.add_argument("--output", help="write full results JSON here")
     matrix.add_argument("--baseline", help="write a BENCH_baseline.json here")

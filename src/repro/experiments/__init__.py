@@ -19,9 +19,11 @@ from repro.experiments.aggregate import (
     write_result_json,
 )
 from repro.experiments.bench import (
+    cell_delta_rows,
     check_against_baseline,
     executor_microbench,
     load_baseline,
+    reconfig_microbench,
     run_bench,
     smoke_seconds,
     table2_matrix,
@@ -34,6 +36,7 @@ from repro.experiments.matrix import (
     TraceSpec,
     default_trace,
     paper_tables_matrix,
+    realloc_smoke_matrix,
     smoke_matrix,
     with_engine_modes,
     with_methods,
@@ -56,6 +59,7 @@ __all__ = [
     "ScenarioMatrix",
     "TraceSpec",
     "baseline_snapshot",
+    "cell_delta_rows",
     "check_against_baseline",
     "default_trace",
     "execute_cell",
@@ -64,6 +68,8 @@ __all__ = [
     "load_baseline",
     "matrix_table",
     "paper_tables_matrix",
+    "realloc_smoke_matrix",
+    "reconfig_microbench",
     "run_bench",
     "run_cell",
     "run_matrix",

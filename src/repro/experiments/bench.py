@@ -100,6 +100,105 @@ def executor_microbench(
     return time.perf_counter() - started
 
 
+def reconfig_microbench(
+    n_accounts: int = 1_000_000,
+    k: int = 16,
+    seed: int = 0,
+    mode: str = "batch",
+    backend: str = "dense",
+    move_fraction: float = 1.0,
+) -> float:
+    """Wall seconds for one full-repartition reconfiguration (executed mode).
+
+    Builds a funded universe under a random mapping, draws a
+    metis-style full repartition (every account re-assigned uniformly,
+    so ~(k-1)/k of the universe moves), and times the complete
+    reconfiguration pipeline: request construction, beacon submission,
+    the uncapped commitment round, mapping sync, and account state
+    movement between the shard stores. ``mode`` selects the columnar
+    path (``"batch"``: one :class:`MigrationRequestBatch`, vectorised
+    commitment, grouped gather/scatter state moves) or the per-account
+    object path (``"object"``: one ``MigrationRequest`` per move and a
+    locate loop). The results feed the snapshot's
+    ``reconfig_seconds_{object,batch}_1m`` entries and the CI gate.
+    """
+    from repro.chain.beacon import BeaconChain
+    from repro.chain.crossshard import CrossShardExecutor
+    from repro.chain.epoch import EpochReconfigurator
+    from repro.chain.mapping import ShardMapping
+    from repro.chain.migration import MigrationRequest, MigrationRequestBatch
+    from repro.chain.state import StateRegistry
+
+    if mode not in ("object", "batch"):
+        raise ExperimentError(f"mode must be 'object' or 'batch', got {mode!r}")
+    rng = np.random.default_rng(seed)
+    mapping = ShardMapping(rng.integers(0, k, size=n_accounts), k=k)
+    registry = StateRegistry(k=k, backend=backend, n_accounts=n_accounts)
+    executor = CrossShardExecutor(registry, mapping)
+    executor.fund_many(np.arange(n_accounts, dtype=np.int64), 100.0)
+
+    target = rng.integers(0, k, size=n_accounts, dtype=np.int64)
+    moved = np.flatnonzero(target != mapping.as_array())
+    if move_fraction < 1.0:
+        moved = moved[: int(len(moved) * move_fraction)]
+    from_shards = mapping.as_array()[moved].copy()
+    to_shards = target[moved]
+    beacon = BeaconChain()
+    reconfigurator = EpochReconfigurator(
+        beacon, executor=executor, batched=(mode == "batch")
+    )
+
+    started = time.perf_counter()
+    if mode == "batch":
+        beacon.submit_batch(
+            MigrationRequestBatch(moved, from_shards, to_shards)
+        )
+    else:
+        beacon.submit_many(
+            [
+                MigrationRequest(
+                    account=int(account),
+                    from_shard=int(from_shard),
+                    to_shard=int(to_shard),
+                )
+                for account, from_shard, to_shard in zip(
+                    moved.tolist(), from_shards.tolist(), to_shards.tolist()
+                )
+            ]
+        )
+    beacon.commit_epoch(epoch=0, capacity=None, mapping=mapping)
+    reconfigurator.run(0, mapping)
+    return time.perf_counter() - started
+
+
+def cell_delta_rows(
+    payload: Dict[str, object]
+) -> List[Tuple[str, Optional[float], float, Optional[float]]]:
+    """Per-cell ``(label, reference_s, measured_s, delta_fraction)`` rows.
+
+    Pairs a snapshot's ``cell_seconds`` with its ``reference.cells`` so
+    ``repro bench`` can print where a speedup or regression actually
+    lives instead of one opaque total. Cells without a reference timing
+    carry ``None`` for the reference and delta.
+    """
+    cells = payload.get("cell_seconds") or {}
+    reference = payload.get("reference") or {}
+    ref_cells = reference.get("cells") if isinstance(reference, dict) else {}
+    if not isinstance(ref_cells, dict):
+        ref_cells = {}
+    rows: List[Tuple[str, Optional[float], float, Optional[float]]] = []
+    for label in sorted(cells):
+        measured = float(cells[label])
+        ref = ref_cells.get(label)
+        if isinstance(ref, (int, float)) and ref > 0:
+            rows.append(
+                (label, float(ref), measured, (measured - float(ref)) / float(ref))
+            )
+        else:
+            rows.append((label, None, measured, None))
+    return rows
+
+
 def smoke_seconds(workers: int = 1) -> float:
     """Wall seconds of the CI smoke grid (``repro matrix --smoke``)."""
     from repro.experiments.matrix import smoke_matrix
@@ -152,6 +251,13 @@ def run_bench(
         executor_microbench(n_accounts=1_000_000, backend="dense")
         for _ in range(2)
     )
+    # Best of two for the batch path (first run pays dense-column page
+    # faults); the object path is dominated by per-request Python work,
+    # one run is representative.
+    reconfig_batch_1m = min(
+        reconfig_microbench(mode="batch") for _ in range(2)
+    )
+    reconfig_object_1m = reconfig_microbench(mode="object")
     smoke = smoke_seconds()
 
     all_notes = [
@@ -160,6 +266,9 @@ def run_bench(
         "kernel_seconds: columnar cross-shard executor microbenchmark",
         "kernel_seconds_{dict,dense}_1m: the same executor workload over "
         "a 1M-account universe, per state-store backend",
+        "reconfig_seconds_{object,batch}_1m: metis-style full repartition "
+        "of a 1M-account executed universe (beacon commit + state "
+        "movement), per migration path",
         "smoke_seconds: the 2x2 CI smoke grid",
     ]
     if notes:
@@ -169,6 +278,8 @@ def run_bench(
     payload["kernel_seconds"] = round(kernel_seconds, 3)
     payload["kernel_seconds_dict_1m"] = round(kernel_dict_1m, 3)
     payload["kernel_seconds_dense_1m"] = round(kernel_dense_1m, 3)
+    payload["reconfig_seconds_object_1m"] = round(reconfig_object_1m, 3)
+    payload["reconfig_seconds_batch_1m"] = round(reconfig_batch_1m, 3)
     payload["smoke_seconds"] = round(smoke, 3)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return payload

@@ -254,6 +254,34 @@ def smoke_matrix(seed: int = 0) -> ScenarioMatrix:
     )
 
 
+def realloc_smoke_matrix(seed: int = 0) -> ScenarioMatrix:
+    """One reallocation-heavy executed cell for CI.
+
+    Metis recomputes a full partition every epoch, so in executed mode
+    each epoch's mapping update floods the beacon with migration
+    requests — exercising the columnar beacon commit, the residency
+    index and the grouped gather/scatter state movement end to end on
+    every push, at smoke-grid size.
+    """
+    return ScenarioMatrix(
+        name="realloc-smoke",
+        methods=("metis",),
+        traces=(
+            default_trace(
+                "smoke-trace",
+                n_accounts=600,
+                n_transactions=6_000,
+                n_blocks=400,
+                seed=7,
+            ),
+        ),
+        ks=(4,),
+        tau=40,
+        seed=seed,
+        engine_modes=("execute-dense",),
+    )
+
+
 def paper_tables_matrix(
     trace: TraceSpec, tau: int = 40, seed: int = 42
 ) -> ScenarioMatrix:

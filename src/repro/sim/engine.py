@@ -277,7 +277,7 @@ class ExecutionSubstrate:
     ) -> None:
         """Mirror first-seen placements: update phi and move state."""
         self.mapping.assign_many(accounts, shards)
-        self.executor.apply_migrations(accounts, shards)
+        self.executor.apply_migration_batch(accounts, shards)
 
     def execute_epoch(self, batch: TransactionBatch) -> _EpochExecution:
         """Run the epoch's transfers; return the executed-value metrics."""
@@ -294,27 +294,25 @@ class ExecutionSubstrate:
     def reconfigure(self, epoch: int, target: ShardMapping) -> None:
         """Commit the allocator's mapping update as beacon MRs.
 
-        Every account whose shard changed becomes a migration request;
-        the uncapped commitment round plus reconfiguration applies them
-        to the substrate's phi *and* moves the account state between
-        stores in the same pass (Section III-B-2 semantics) — after
-        which the substrate's mapping equals ``target`` value for
+        Every account whose shard changed becomes one row of a columnar
+        :class:`~repro.chain.migration.MigrationRequestBatch` (no
+        per-account request objects); the uncapped commitment round
+        plus batched reconfiguration applies them to the substrate's
+        phi *and* moves the account state between stores as grouped
+        gather/scatter in the same pass (Section III-B-2 semantics) —
+        after which the substrate's mapping equals ``target`` value for
         value.
         """
-        from repro.chain.migration import MigrationRequest
+        from repro.chain.migration import MigrationRequestBatch
 
-        requests = [
-            MigrationRequest(
-                account=account,
-                from_shard=from_shard,
-                to_shard=to_shard,
-                epoch=epoch,
-            )
-            for account, from_shard, to_shard in self.mapping.migration_pairs(
-                target
-            )
-        ]
-        self.ledger.submit_migrations(requests)
+        moved = self.mapping.diff(target)
+        batch = MigrationRequestBatch(
+            moved,
+            self.mapping.as_array()[moved],
+            target.as_array()[moved],
+            epoch=epoch,
+        )
+        self.ledger.submit_migration_batch(batch)
         self.ledger.commit_migrations(capacity=None)
         self.ledger.reconfigure()
 

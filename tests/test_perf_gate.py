@@ -17,13 +17,21 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.experiments import check_against_baseline, executor_microbench
-from repro.experiments.bench import load_baseline, smoke_seconds
+from repro.experiments.bench import (
+    load_baseline,
+    reconfig_microbench,
+    smoke_seconds,
+)
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_baseline.json"
 
 #: CI-sized microbench: same kernel path as the snapshot's
 #: ``kernel_seconds`` workload at 1/10 of the transfer count.
 MICROBENCH_SCALE = 0.1
+
+#: CI-sized reconfiguration bench: the snapshot's 1M-account full
+#: repartition at 1/10 of the universe.
+RECONFIG_SCALE = 0.1
 
 
 class TestGateLogic:
@@ -75,6 +83,21 @@ class TestCommittedSnapshot:
             f"dict backend ({dict_1m}s)"
         )
 
+    def test_snapshot_reconfig_batch_holds_3x_over_object(self):
+        """The columnar reconfiguration path must stay >= 3x faster
+        than the per-account object path at the 1M-account scale."""
+        baseline = load_baseline(BASELINE_PATH)
+        object_1m = baseline.get("reconfig_seconds_object_1m")
+        batch_1m = baseline.get("reconfig_seconds_batch_1m")
+        if object_1m is None or batch_1m is None:
+            pytest.skip("snapshot predates the reconfiguration entries")
+        assert isinstance(object_1m, (int, float)) and object_1m > 0
+        assert isinstance(batch_1m, (int, float)) and batch_1m > 0
+        assert 3.0 * batch_1m <= object_1m, (
+            f"batched 1M reconfiguration ({batch_1m}s) lost its 3x margin "
+            f"over the object path ({object_1m}s)"
+        )
+
 
 class TestPerfSmokeGate:
     """The actual gate — runs the smoke grid + scaled microbench."""
@@ -112,5 +135,26 @@ class TestPerfSmokeGate:
             for _ in range(2)
         )
         measured = {"kernel_seconds_dense_1m": seconds}
+        violations = check_against_baseline(measured, baseline, threshold=3.0)
+        assert not violations, "; ".join(violations)
+
+    def test_batched_reconfig_within_3x_of_snapshot(self):
+        """The batch reconfiguration path must not de-vectorise.
+
+        Runs the full-repartition workload at 1/10 of the snapshot's
+        universe and compares against the proportionally scaled
+        reference (the 0.25s floor in ``check_against_baseline``
+        absorbs the fixed overhead share at this size).
+        """
+        baseline = load_baseline(BASELINE_PATH)
+        if baseline.get("reconfig_seconds_batch_1m") is None:
+            pytest.skip("snapshot predates the reconfiguration entries")
+        seconds = min(
+            reconfig_microbench(
+                n_accounts=int(1_000_000 * RECONFIG_SCALE), mode="batch"
+            )
+            for _ in range(2)
+        )
+        measured = {"reconfig_seconds_batch_1m": seconds / RECONFIG_SCALE}
         violations = check_against_baseline(measured, baseline, threshold=3.0)
         assert not violations, "; ".join(violations)

@@ -1,0 +1,455 @@
+"""Columnar reconfiguration path: beacon batches, grouped state moves.
+
+Three contracts are pinned here:
+
+* the beacon's batch commitment round (``submit_batch`` +
+  ``commit_epoch``) is element-for-element equivalent to the scalar
+  object round — same committed set, same commitment order, same
+  stale/dedup/capacity decisions;
+* ``EpochReconfigurator(batched=True)`` moves exactly the state the
+  per-request reference path moves (mappings, state roots, byte
+  accounting), on either state backend;
+* value is conserved at every block boundary across batched
+  reconfigurations, and relay deposits follow a receiver that migrated
+  while the receipt was in flight (receipt forwarding).
+
+``MigrationRequestBatch.validate`` edge behaviour rides along: bad rows
+raise the same typed messages the scalar dataclass raises.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.beacon import BatchCommitReport, BeaconChain, CommitReport
+from repro.chain.crossshard import CrossShardExecutor
+from repro.chain.epoch import EpochReconfigurator
+from repro.chain.mapping import ShardMapping
+from repro.chain.migration import MigrationRequest, MigrationRequestBatch
+from repro.chain.state import StateRegistry
+from repro.chain.transaction import TransactionBatch
+from repro.errors import MigrationError
+
+K = 4
+N_ACCOUNTS = 20
+
+
+def _request_rows(draw_rows):
+    return [
+        (account, from_shard, to_shard if to_shard != from_shard else (to_shard + 1) % (K + 1), gain)
+        for account, from_shard, to_shard, gain in draw_rows
+    ]
+
+
+_ROWS = st.lists(
+    st.tuples(
+        st.integers(0, N_ACCOUNTS + 4),  # may exceed the mapping (stale)
+        st.integers(0, K - 1),
+        st.integers(0, K),  # may exceed k (stale)
+        st.integers(0, 6),  # integer gains force exact ties
+    ),
+    max_size=30,
+)
+
+
+class TestBeaconBatchEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=_ROWS,
+        capacity=st.one_of(st.none(), st.integers(0, 12)),
+        use_mapping=st.booleans(),
+        seed=st.integers(0, 100),
+    )
+    def test_batch_commit_matches_scalar_commit(
+        self, rows, capacity, use_mapping, seed
+    ):
+        rows = _request_rows(rows)
+        rng = np.random.default_rng(seed)
+        mapping_array = rng.integers(0, K, size=N_ACCOUNTS)
+
+        requests = [
+            MigrationRequest(
+                account=a, from_shard=f, to_shard=t, gain=float(g), epoch=0
+            )
+            for a, f, t, g in rows
+        ]
+        scalar_beacon = BeaconChain()
+        scalar_beacon.submit_many(requests)
+        scalar_report = scalar_beacon.commit_epoch(
+            epoch=0,
+            capacity=capacity,
+            mapping=ShardMapping(mapping_array.copy(), k=K) if use_mapping else None,
+        )
+        assert isinstance(scalar_report, CommitReport)
+
+        batch_beacon = BeaconChain()
+        batch_beacon.submit_batch(MigrationRequestBatch.from_requests(requests))
+        batch_report = batch_beacon.commit_epoch(
+            epoch=0,
+            capacity=capacity,
+            mapping=ShardMapping(mapping_array.copy(), k=K) if use_mapping else None,
+        )
+        if requests:
+            assert isinstance(batch_report, BatchCommitReport)
+
+        def rows_of(report_committed):
+            return [
+                (r.account, r.from_shard, r.to_shard, r.gain)
+                for r in report_committed
+            ]
+
+        # Committed set AND order match exactly; rejected sets match.
+        assert rows_of(batch_report.committed) == rows_of(
+            scalar_report.committed
+        )
+        assert sorted(rows_of(batch_report.rejected)) == sorted(
+            rows_of(scalar_report.rejected)
+        )
+        assert batch_report.proposed == scalar_report.proposed
+
+        # The committed log and the miner-side sync views agree too.
+        assert [
+            (r.account, r.to_shard) for r in batch_beacon.requests_since(0)
+        ] == [
+            (r.account, r.to_shard) for r in scalar_beacon.requests_since(0)
+        ]
+        if use_mapping:
+            # (Without the stale filter, out-of-range target shards can
+            # commit; applying those raises in both paths alike.)
+            scalar_map = ShardMapping(mapping_array.copy(), k=K)
+            batch_map = ShardMapping(mapping_array.copy(), k=K)
+            assert scalar_beacon.apply_to_mapping(
+                scalar_map
+            ) == batch_beacon.apply_to_mapping(batch_map)
+            assert scalar_map == batch_map
+
+    def test_mixed_scalar_and_batch_submissions_commit_together(self):
+        """Mixed rounds expand to the object path so per-request
+        metadata (proposal epoch, fee) survives verbatim."""
+        beacon = BeaconChain()
+        beacon.submit(
+            MigrationRequest(
+                account=0, from_shard=0, to_shard=1, gain=5.0, epoch=3, fee=2.0
+            )
+        )
+        beacon.submit_batch(
+            MigrationRequestBatch(
+                np.array([1, 2]),
+                np.array([0, 0]),
+                np.array([2, 3]),
+                np.array([1.0, 9.0]),
+            )
+        )
+        report = beacon.commit_epoch(epoch=7, capacity=2)
+        assert isinstance(report, CommitReport)
+        assert [r.account for r in report.committed] == [2, 0]
+        assert report.rejected_count == 1
+        # The scalar request's own metadata is stored, not rewritten.
+        assert report.committed[1].epoch == 3
+        assert report.committed[1].fee == 2.0
+
+    def test_pure_batch_round_preserves_proposal_epoch(self):
+        beacon = BeaconChain()
+        beacon.submit_batch(
+            MigrationRequestBatch(
+                np.array([0]), np.array([0]), np.array([1]), epoch=3
+            )
+        )
+        report = beacon.commit_epoch(epoch=7)
+        assert isinstance(report, BatchCommitReport)
+        assert report.committed_batch.epoch == 3
+        assert report.committed[0].epoch == 3
+
+    def test_submit_batch_rejects_non_batches(self):
+        beacon = BeaconChain()
+        with pytest.raises(MigrationError, match="MigrationRequestBatch"):
+            beacon.submit_batch([MigrationRequest(0, 0, 1)])  # type: ignore[arg-type]
+
+    def test_batches_since_returns_per_block_batches(self):
+        beacon = BeaconChain()
+        beacon.submit_batch(
+            MigrationRequestBatch(np.array([0]), np.array([0]), np.array([1]))
+        )
+        beacon.commit_epoch(epoch=0)
+        beacon.submit(MigrationRequest(account=1, from_shard=1, to_shard=0))
+        beacon.commit_epoch(epoch=1)
+        batches = beacon.batches_since(0)
+        assert [len(b) for b in batches] == [1, 1]
+        assert batches[0].accounts.tolist() == [0]
+        assert batches[1].accounts.tolist() == [1]
+        assert [len(b) for b in beacon.batches_since(1)] == [1]
+
+    def test_empty_round_still_appends_a_block(self):
+        beacon = BeaconChain()
+        beacon.submit_batch(MigrationRequestBatch.empty())
+        report = beacon.commit_epoch(epoch=0)
+        assert report.committed_count == 0
+        assert len(beacon) == 1
+        beacon.verify()
+
+
+def _build_world(seed, backend, batched, n_accounts=40, relay_delay=2):
+    rng = np.random.default_rng(seed)
+    mapping = ShardMapping(rng.integers(0, K, size=n_accounts), k=K)
+    registry = StateRegistry(k=K, backend=backend, n_accounts=n_accounts)
+    executor = CrossShardExecutor(
+        registry, mapping, relay_delay_blocks=relay_delay
+    )
+    executor.fund_many(
+        np.arange(n_accounts, dtype=np.int64),
+        rng.integers(0, 50, size=n_accounts).astype(np.float64),
+    )
+    beacon = BeaconChain()
+    reconfigurator = EpochReconfigurator(
+        beacon, executor=executor, batched=batched
+    )
+    return rng, mapping, registry, executor, beacon, reconfigurator
+
+
+class TestReconfiguratorBatchEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 500),
+        backend=st.sampled_from(["dict", "dense"]),
+        epochs=st.integers(1, 3),
+    )
+    def test_batched_run_matches_reference_run(self, seed, backend, epochs):
+        n_accounts = 40
+        outcomes = {}
+        for batched in (False, True):
+            rng, mapping, registry, executor, beacon, reconfigurator = (
+                _build_world(seed, backend, batched, n_accounts)
+            )
+            block = 0
+            reports = []
+            for epoch in range(epochs):
+                # Some transfers so receipts/settlements interleave.
+                n_tx = 12
+                executor.execute_block(
+                    block,
+                    TransactionBatch(
+                        rng.integers(0, n_accounts, size=n_tx),
+                        rng.integers(0, n_accounts, size=n_tx),
+                        np.full(n_tx, block),
+                        rng.integers(0, 5, size=n_tx).astype(np.float64),
+                    ),
+                )
+                block += 1
+                # A repartition proposal for a random subset.
+                n_moves = int(rng.integers(1, n_accounts))
+                movers = rng.choice(n_accounts, size=n_moves, replace=False)
+                movers.sort()
+                targets = (mapping.as_array()[movers] + rng.integers(
+                    1, K, size=n_moves
+                )) % K
+                beacon.submit_batch(
+                    MigrationRequestBatch(
+                        movers,
+                        mapping.as_array()[movers].copy(),
+                        targets,
+                        rng.random(n_moves),
+                    )
+                ) if batched else beacon.submit_many(
+                    [
+                        MigrationRequest(
+                            account=int(a),
+                            from_shard=int(f),
+                            to_shard=int(t),
+                            gain=float(g),
+                        )
+                        for a, f, t, g in zip(
+                            movers.tolist(),
+                            mapping.as_array()[movers].tolist(),
+                            targets.tolist(),
+                            rng.random(n_moves).tolist(),
+                        )
+                    ]
+                )
+                beacon.commit_epoch(
+                    epoch=epoch, capacity=None, mapping=mapping
+                )
+                reports.append(reconfigurator.run(epoch, mapping))
+            executor.settle_all(from_block=block)
+            outcomes[batched] = (
+                mapping.as_array().tolist(),
+                [registry.store_of(s).state_root() for s in range(K)],
+                [
+                    (
+                        r.migrations_applied,
+                        r.beacon_sync_bytes,
+                        r.state_moved_bytes,
+                        r.migration_extra_bytes,
+                    )
+                    for r in reports
+                ],
+                executor.total_value(),
+            )
+        assert outcomes[True] == outcomes[False]
+
+    def test_wrong_gain_stream_cannot_leak_between_paths(self):
+        """The equivalence test above feeds both paths the same RNG
+        stream; sanity-check the stream alignment by rerunning one
+        world twice with the same flag and expecting identical roots."""
+        first = _build_world(7, "dict", True)
+        second = _build_world(7, "dict", True)
+        assert [
+            first[2].store_of(s).state_root() for s in range(K)
+        ] == [second[2].store_of(s).state_root() for s in range(K)]
+
+
+class TestConservationAcrossBatchedReconfigurations:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 300),
+        backend=st.sampled_from(["dict", "dense"]),
+    )
+    def test_value_conserved_at_every_block_boundary(self, seed, backend):
+        n_accounts = 50
+        rng, mapping, registry, executor, beacon, reconfigurator = (
+            _build_world(seed, backend, True, n_accounts)
+        )
+        genesis = executor.total_value()
+        block = 0
+        for epoch in range(4):
+            for _ in range(3):
+                n_tx = int(rng.integers(1, 25))
+                executor.execute_block(
+                    block,
+                    TransactionBatch(
+                        rng.integers(0, n_accounts, size=n_tx),
+                        rng.integers(0, n_accounts, size=n_tx),
+                        np.full(n_tx, block),
+                        rng.integers(0, 6, size=n_tx).astype(np.float64),
+                    ),
+                )
+                block += 1
+                assert executor.total_value() == pytest.approx(
+                    genesis, abs=1e-9, rel=0
+                ), f"value drift after block {block - 1}"
+            target = rng.integers(0, K, size=n_accounts, dtype=np.int64)
+            moved = np.flatnonzero(target != mapping.as_array())
+            beacon.submit_batch(
+                MigrationRequestBatch(
+                    moved,
+                    mapping.as_array()[moved].copy(),
+                    target[moved],
+                    epoch=epoch,
+                )
+            )
+            beacon.commit_epoch(epoch=epoch, capacity=None, mapping=mapping)
+            reconfigurator.run(epoch, mapping)
+            assert np.array_equal(mapping.as_array(), target)
+            assert executor.total_value() == pytest.approx(
+                genesis, abs=1e-9, rel=0
+            ), f"value drift after reconfiguration of epoch {epoch}"
+        executor.settle_all(from_block=block)
+        assert executor.total_value() == pytest.approx(genesis, abs=1e-9, rel=0)
+        assert executor.in_flight_value() == 0.0
+
+
+class TestBatchValidateMessages:
+    """Batch and object paths are behaviourally identical at the edges."""
+
+    @pytest.mark.parametrize(
+        "rows, scalar_kwargs",
+        [
+            (([-3], [0], [1]), dict(account=-3, from_shard=0, to_shard=1)),
+            (([2], [-1], [1]), dict(account=2, from_shard=-1, to_shard=1)),
+            (([2], [0], [-4]), dict(account=2, from_shard=0, to_shard=-4)),
+            (([7], [3], [3]), dict(account=7, from_shard=3, to_shard=3)),
+        ],
+    )
+    def test_batch_raises_the_scalar_message(self, rows, scalar_kwargs):
+        with pytest.raises(MigrationError) as scalar_error:
+            MigrationRequest(**scalar_kwargs)
+        with pytest.raises(MigrationError) as batch_error:
+            MigrationRequestBatch(
+                np.array(rows[0]), np.array(rows[1]), np.array(rows[2])
+            )
+        assert str(batch_error.value) == str(scalar_error.value)
+
+    def test_first_offending_row_reported(self):
+        with pytest.raises(
+            MigrationError, match=r"account 5 stays on shard 2"
+        ):
+            MigrationRequestBatch(
+                np.array([1, 5, -1]),
+                np.array([0, 2, 0]),
+                np.array([1, 2, 1]),
+            )
+
+    def test_take_batch_and_concat_round_trip(self):
+        batch = MigrationRequestBatch(
+            np.array([3, 1, 2]),
+            np.array([0, 1, 2]),
+            np.array([1, 2, 0]),
+            np.array([0.5, 1.5, 2.5]),
+            epoch=4,
+        )
+        sliced = batch.take_batch(np.array([2, 0]))
+        assert sliced.accounts.tolist() == [2, 3]
+        assert sliced.epoch == 4
+        merged = MigrationRequestBatch.concat([batch, sliced], epoch=4)
+        assert len(merged) == 5
+        assert merged.accounts.tolist() == [3, 1, 2, 2, 3]
+        # Digests commit to content.
+        assert batch.content_digest() != sliced.content_digest()
+        assert (
+            batch.content_digest()
+            == MigrationRequestBatch.concat([batch], epoch=4).content_digest()
+        )
+
+
+class TestReceiptForwarding:
+    """Relay deposits follow a receiver that migrated in flight."""
+
+    @pytest.mark.parametrize("backend", ["dict", "dense"])
+    @pytest.mark.parametrize("batched_executor", [True, False])
+    def test_deposit_lands_on_current_shard(self, backend, batched_executor):
+        mapping = ShardMapping(np.array([0, 1, 2, 0]), k=3)
+        registry = StateRegistry(k=3, backend=backend, n_accounts=4)
+        executor = CrossShardExecutor(
+            registry, mapping, relay_delay_blocks=3, batched=batched_executor
+        )
+        executor.fund(0, 10.0)
+        executor.fund(1, 5.0)
+        genesis = executor.total_value()
+
+        # Block 0: account 0 (shard 0) pays account 1 (shard 1) — the
+        # receipt targets shard 1 at issue time.
+        executor.execute_block(
+            0,
+            TransactionBatch(
+                np.array([0]), np.array([1]), np.array([0]), np.array([4.0])
+            ),
+        )
+        assert executor.pending_receipts[0].target_shard == 1
+
+        # Receiver migrates to shard 2 while the receipt is in flight.
+        mapping.assign(1, 2)
+        executor.apply_migration(1, 2)
+        assert registry.locate(1) == 2
+
+        # The deposit becomes due: it must follow the receiver to
+        # shard 2 (the current phi shard), not credit stale shard 1.
+        report = executor.execute_block(3, [])
+        assert report.deposits_settled == 1
+        assert registry.locate(1) == 2
+        assert 1 not in registry.store_of(1)
+        assert registry.store_of(2).get(1).balance == 9.0
+        assert executor.total_value() == genesis
+
+    def test_unmigrated_receiver_still_settles_on_issue_shard(self):
+        mapping = ShardMapping(np.array([0, 1]), k=2)
+        registry = StateRegistry(k=2, backend="dict", n_accounts=2)
+        executor = CrossShardExecutor(registry, mapping, relay_delay_blocks=1)
+        executor.fund(0, 3.0)
+        executor.execute_block(
+            0,
+            TransactionBatch(
+                np.array([0]), np.array([1]), np.array([0]), np.array([2.0])
+            ),
+        )
+        executor.execute_block(1, [])
+        assert registry.store_of(1).get(1).balance == 2.0

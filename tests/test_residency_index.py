@@ -1,0 +1,239 @@
+"""Residency-index-vs-locate equivalence, and dense-store compaction.
+
+The registry's :class:`ResidencyIndex` replaces the O(k) store scan on
+the migration path, and it is load-bearing: a relay settlement can
+leave account state resident off the phi shard (or on *two* shards),
+so the index must report exactly what the scan reports under any
+interleaving of execution, migration and settlement. The property
+suite here drives both state backends through randomized op streams
+and compares ``locate`` (index) against ``locate_scan`` (reference)
+after every step.
+
+The compaction contract rides along: per-shard local-slot columns must
+cut the dense backend's numpy footprint at least 4x against the old
+full-universe-columns layout at k=16 / 1M accounts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.crossshard import CrossShardExecutor
+from repro.chain.mapping import ShardMapping
+from repro.chain.state import (
+    BACKEND_DENSE,
+    BACKEND_DICT,
+    ResidencyIndex,
+    StateRegistry,
+)
+from repro.chain.transaction import TransactionBatch
+from repro.errors import StateMigrationError
+
+N_ACCOUNTS = 30
+K = 4
+
+
+def _assert_index_matches_scan(registry: StateRegistry) -> None:
+    ids = np.arange(N_ACCOUNTS + 5, dtype=np.int64)  # includes unknown ids
+    expected = [registry.locate_scan(int(a)) for a in ids]
+    for account, want in zip(ids.tolist(), expected):
+        assert registry.locate(account) == want, account
+    packed = registry.locate_many(ids)
+    assert packed.tolist() == [-1 if w is None else w for w in expected]
+
+
+_OPS = st.lists(
+    st.one_of(
+        # One block of transfers: (senders, receivers, amounts).
+        st.tuples(
+            st.just("execute"),
+            st.lists(
+                st.tuples(
+                    st.integers(0, N_ACCOUNTS - 1),
+                    st.integers(0, N_ACCOUNTS - 1),
+                    st.integers(0, 8),
+                ),
+                min_size=1,
+                max_size=10,
+            ),
+        ),
+        # Reassign an account's shard and move its state.
+        st.tuples(
+            st.just("migrate"),
+            st.integers(0, N_ACCOUNTS - 1),
+            st.integers(0, K - 1),
+        ),
+        # Advance blocks so pending receipts settle.
+        st.tuples(st.just("settle"), st.integers(1, 3)),
+    ),
+    max_size=25,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_OPS, seed=st.integers(0, 1_000), backend=st.sampled_from(["dict", "dense"]))
+def test_index_equals_scan_under_execute_migrate_settle(ops, seed, backend):
+    rng = np.random.default_rng(seed)
+    mapping = ShardMapping(rng.integers(0, K, size=N_ACCOUNTS), k=K)
+    registry = StateRegistry(k=K, backend=backend, n_accounts=N_ACCOUNTS)
+    executor = CrossShardExecutor(registry, mapping, relay_delay_blocks=2)
+    executor.fund_many(
+        np.arange(N_ACCOUNTS, dtype=np.int64),
+        rng.integers(0, 30, size=N_ACCOUNTS).astype(np.float64),
+    )
+    _assert_index_matches_scan(registry)
+
+    block = 0
+    for op in ops:
+        if op[0] == "execute":
+            _, rows = op
+            senders = np.array([r[0] for r in rows], dtype=np.int64)
+            receivers = np.array([r[1] for r in rows], dtype=np.int64)
+            amounts = np.array([r[2] for r in rows], dtype=np.float64)
+            executor.execute_block(
+                block,
+                TransactionBatch(
+                    senders, receivers, np.full(len(rows), block), amounts
+                ),
+            )
+            block += 1
+        elif op[0] == "migrate":
+            _, account, to_shard = op
+            mapping.assign(account, to_shard)
+            executor.apply_migration(account, to_shard)
+        else:
+            _, gap = op
+            block += gap
+            executor.execute_block(block, [])
+            block += 1
+        _assert_index_matches_scan(registry)
+
+    # Flush everything and check once more at quiescence.
+    executor.settle_all(from_block=block)
+    _assert_index_matches_scan(registry)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=_OPS, seed=st.integers(0, 1_000))
+def test_dict_and_dense_agree_on_residency(ops, seed):
+    """Both backends walk the same op stream to the same residency."""
+    registries = {}
+    for backend in (BACKEND_DICT, BACKEND_DENSE):
+        rng = np.random.default_rng(seed)
+        mapping = ShardMapping(rng.integers(0, K, size=N_ACCOUNTS), k=K)
+        registry = StateRegistry(k=K, backend=backend, n_accounts=N_ACCOUNTS)
+        executor = CrossShardExecutor(registry, mapping, relay_delay_blocks=1)
+        executor.fund_many(
+            np.arange(N_ACCOUNTS, dtype=np.int64),
+            rng.integers(0, 30, size=N_ACCOUNTS).astype(np.float64),
+        )
+        block = 0
+        for op in ops:
+            if op[0] == "execute":
+                _, rows = op
+                executor.execute_block(
+                    block,
+                    TransactionBatch(
+                        np.array([r[0] for r in rows], dtype=np.int64),
+                        np.array([r[1] for r in rows], dtype=np.int64),
+                        np.full(len(rows), block),
+                        np.array([r[2] for r in rows], dtype=np.float64),
+                    ),
+                )
+                block += 1
+            elif op[0] == "migrate":
+                _, account, to_shard = op
+                mapping.assign(account, to_shard)
+                executor.apply_migration(account, to_shard)
+            else:
+                block += op[1]
+                executor.execute_block(block, [])
+                block += 1
+        registries[backend] = registry
+    ids = np.arange(N_ACCOUNTS, dtype=np.int64)
+    assert (
+        registries[BACKEND_DICT].locate_many(ids).tolist()
+        == registries[BACKEND_DENSE].locate_many(ids).tolist()
+    )
+
+
+class TestResidencyIndexUnit:
+    def test_lowest_shard_wins_on_multi_residency(self):
+        index = ResidencyIndex(8)
+        index.add(3, 1)
+        index.add(1, 1)
+        assert index.get_shard(1) == 1
+        index.discard(1, 1)
+        assert index.get_shard(1) == 3
+        index.discard(3, 1)
+        assert index.get_shard(1) is None
+
+    def test_spill_ids_beyond_capacity(self):
+        index = ResidencyIndex(4)
+        index.add(2, 100)
+        assert index.get_shard(100) == 2
+        assert index.shards_of(np.array([100, 1])).tolist() == [2, -1]
+        index.discard(2, 100)
+        assert index.get_shard(100) is None
+
+    def test_shards_of_vectorised_matches_scalar(self):
+        index = ResidencyIndex(16)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            index.add(int(rng.integers(0, 8)), int(rng.integers(0, 16)))
+        ids = np.arange(16, dtype=np.int64)
+        packed = index.shards_of(ids)
+        for account, got in zip(ids.tolist(), packed.tolist()):
+            want = index.get_shard(account)
+            assert got == (-1 if want is None else want)
+
+    def test_add_many_discard_many(self):
+        index = ResidencyIndex(10)
+        index.add_many(5, np.array([1, 3, 3, 7], dtype=np.int64))
+        assert index.get_shard(3) == 5
+        index.discard_many(5, np.array([3, 7], dtype=np.int64))
+        assert index.get_shard(3) is None
+        assert index.get_shard(1) == 5
+
+    def test_registry_exposes_index_and_wrong_source_still_raises(self):
+        registry = StateRegistry(3, backend=BACKEND_DENSE, n_accounts=8)
+        assert registry.residency_index is not None
+        registry.store_of(2).credit(5, 4.0)
+        assert registry.locate(5) == 2
+        with pytest.raises(StateMigrationError, match="resident on shard 2"):
+            registry.migrate(5, 0, 1)
+
+
+class TestDenseCompactionMemory:
+    def test_compacted_columns_cut_memory_4x_at_k16_1m(self):
+        """Per-shard local slots vs full-universe columns: >= 4x smaller.
+
+        The pre-compaction layout allocated per shard one float64
+        balance column, one int64 nonce column and one bool residency
+        bitmap over the whole universe: k * n * 17 bytes. The compacted
+        layout holds one slot per live account plus the shared
+        directory/index, independent of k.
+        """
+        n_accounts, k = 1_000_000, 16
+        registry = StateRegistry(k=k, backend=BACKEND_DENSE, n_accounts=n_accounts)
+        mapping = ShardMapping(
+            np.random.default_rng(0).integers(0, k, size=n_accounts), k=k
+        )
+        executor = CrossShardExecutor(registry, mapping)
+        executor.fund_many(np.arange(n_accounts, dtype=np.int64), 1.0)
+        old_layout_nbytes = k * n_accounts * (8 + 8 + 1)
+        compacted = registry.state_memory_nbytes()
+        assert compacted > 0
+        assert compacted * 4 <= old_layout_nbytes, (
+            f"compacted dense state ({compacted / 1e6:.1f} MB) must be >= 4x "
+            f"below the full-universe layout ({old_layout_nbytes / 1e6:.1f} MB)"
+        )
+
+    def test_memory_accounting_counts_columns_directory_and_index(self):
+        registry = StateRegistry(k=2, backend=BACKEND_DENSE, n_accounts=100)
+        base = registry.state_memory_nbytes()
+        # Directory (100 * 12) + index (100 * 8), no columns yet.
+        assert base == 100 * (4 + 8) + 100 * 8
+        registry.store_of(0).credit(1, 5.0)
+        assert registry.state_memory_nbytes() > base
