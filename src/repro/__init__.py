@@ -77,9 +77,16 @@ from repro.sim.scenario import Scenario, SCENARIOS, get_scenario, run_comparison
 from repro.data import (
     Trace,
     EthereumTraceConfig,
+    ValueModelConfig,
     generate_ethereum_like_trace,
     read_transactions_csv,
     write_transactions_csv,
+    TraceSource,
+    MaterialisedTraceSource,
+    GeneratorTraceSource,
+    CsvTraceSource,
+    EpochStream,
+    stream_epochs,
 )
 from repro.sim import (
     Simulation,
@@ -141,9 +148,16 @@ __all__ = [
     "run_comparison",
     "Trace",
     "EthereumTraceConfig",
+    "ValueModelConfig",
     "generate_ethereum_like_trace",
     "read_transactions_csv",
     "write_transactions_csv",
+    "TraceSource",
+    "MaterialisedTraceSource",
+    "GeneratorTraceSource",
+    "CsvTraceSource",
+    "EpochStream",
+    "stream_epochs",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",

@@ -44,7 +44,7 @@ is the key invariant, property-tested in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -90,6 +90,8 @@ class ExecutionReport:
     failed: int = 0
     #: Value credited by receipt settlement in this block.
     settled_value: float = 0.0
+    #: Fees collected from successful transfers in this block.
+    fees_collected: float = 0.0
     relay_latencies: List[int] = field(default_factory=list)
 
     @property
@@ -129,6 +131,11 @@ class CrossShardExecutor:
         self.batched = batched
         self._ledger = ReceiptLedger()
         self._next_tx_id = 0
+        #: Fees debited from senders on successful transfers. Fees
+        #: leave circulating balances but not the system: they count
+        #: toward :meth:`total_value`, keeping conservation exact for
+        #: fee-carrying traces.
+        self.collected_fees = 0.0
 
     # -- funding -----------------------------------------------------------------
 
@@ -195,8 +202,12 @@ class CrossShardExecutor:
         return self._ledger.total_amount
 
     def total_value(self) -> float:
-        """Resident balances plus in-flight receipts — conserved."""
-        return self.registry.total_balance() + self.in_flight_value()
+        """Resident balances + in-flight receipts + fees — conserved."""
+        return (
+            self.registry.total_balance()
+            + self.in_flight_value()
+            + self.collected_fees
+        )
 
     # -- execution -----------------------------------------------------------------
 
@@ -209,10 +220,10 @@ class CrossShardExecutor:
 
         Deposits for receipts issued at block ``b`` become due at block
         ``b + relay_delay_blocks``. Transfers whose sender cannot cover
-        the amount fail without side effects. ``transactions`` may be a
-        columnar :class:`TransactionBatch` (its ``values`` column, when
-        present, supplies per-transfer amounts) or a sequence of
-        :class:`Transaction` objects.
+        the amount (plus fee) fail without side effects. ``transactions``
+        may be a columnar :class:`TransactionBatch` (its ``values`` /
+        ``fees`` columns, when present, supply per-transfer amounts and
+        fees) or a sequence of :class:`Transaction` objects.
         """
         report = ExecutionReport(block=block)
         self._settle_due(block, report)
@@ -220,6 +231,7 @@ class CrossShardExecutor:
             senders = transactions.senders
             receivers = transactions.receivers
             amounts = transactions.amounts()
+            fees = transactions.fees
         else:
             senders = np.array(
                 [tx.sender for tx in transactions], dtype=np.int64
@@ -230,13 +242,16 @@ class CrossShardExecutor:
             amounts = np.array(
                 [tx.value for tx in transactions], dtype=np.float64
             )
+            fees = np.array([tx.fee for tx in transactions], dtype=np.float64)
+            if not fees.any():
+                fees = None
         self._check_universe(senders, receivers)
         sender_shards, receiver_shards, _ = classify_kernel(
             senders, receivers, self.mapping.as_array()
         )
         self._apply_transfers(
             block, senders, receivers, amounts, sender_shards, receiver_shards,
-            report,
+            report, fees=fees,
         )
         return report
 
@@ -286,18 +301,19 @@ class CrossShardExecutor:
         sender_shards: np.ndarray,
         receiver_shards: np.ndarray,
         report: ExecutionReport,
+        fees: Optional[np.ndarray] = None,
     ) -> None:
         if len(senders) == 0:
             return
         if self.batched and len(senders) >= _BATCH_MIN_BLOCK:
             self._apply_transfers_batched(
                 block, senders, receivers, amounts, sender_shards,
-                receiver_shards, report,
+                receiver_shards, report, fees,
             )
         else:
             self._apply_transfers_scalar(
                 block, senders, receivers, amounts, sender_shards,
-                receiver_shards, report,
+                receiver_shards, report, fees,
             )
 
     def _apply_transfers_batched(
@@ -309,6 +325,7 @@ class CrossShardExecutor:
         sender_shards: np.ndarray,
         receiver_shards: np.ndarray,
         report: ExecutionReport,
+        fees: Optional[np.ndarray] = None,
     ) -> None:
         """Vectorised withdraw/intra phase over one block.
 
@@ -317,9 +334,12 @@ class CrossShardExecutor:
         an intra transfer *is* the receiver's mapped shard), so the
         block gathers each unique account's balance once, resolves
         outcomes, applies one ordered delta stream, and scatters the
-        results back per shard.
+        results back per shard. A fee, when present, debits with its
+        transfer (sender pays ``value + fee``) and accrues to the
+        executor's collected-fees pool.
         """
         n = len(senders)
+        debits = amounts if fees is None else amounts + fees
         intra = sender_shards == receiver_shards
         unique_accounts, inverse = np.unique(
             np.concatenate([senders, receivers]), return_inverse=True
@@ -346,7 +366,7 @@ class CrossShardExecutor:
         # The rest — potential overdrafts — are resolved by an exact
         # sequential scan over the transfers that touch them (their own
         # debits plus any intra credit that could fund them).
-        totals = np.bincount(sender_idx, weights=amounts, minlength=n_unique)
+        totals = np.bincount(sender_idx, weights=debits, minlength=n_unique)
         is_sender = np.zeros(n_unique, dtype=bool)
         is_sender[sender_idx] = True
         slow = is_sender & (opening < totals)
@@ -365,20 +385,21 @@ class CrossShardExecutor:
             sender_idx_l = sender_idx.tolist()
             receiver_idx_l = receiver_idx.tolist()
             amounts_l = amounts.tolist()
+            debits_l = debits.tolist() if fees is not None else amounts_l
             intra_l = intra.tolist()
             for i in relevant.tolist():
                 s = sender_idx_l[i]
-                amount = amounts_l[i]
+                debit = debits_l[i]
                 if slow_l[s]:
                     balance = balances[s]
-                    if amount > balance:
+                    if debit > balance:
                         success[i] = False
                         continue
-                    balances[s] = balance - amount
+                    balances[s] = balance - debit
                 if intra_l[i]:
                     r = receiver_idx_l[i]
                     if slow_l[r]:
-                        balances[r] += amount
+                        balances[r] += amounts_l[i]
 
         # Ordered delta stream: (debit, intra-credit) per successful
         # transfer, in transaction order — np.add.at applies elements
@@ -392,7 +413,7 @@ class CrossShardExecutor:
         stream_idx = np.empty(2 * m, dtype=np.int64)
         stream_amt = np.empty(2 * m, dtype=np.float64)
         stream_idx[0::2] = ok_senders
-        stream_amt[0::2] = -ok_amounts
+        stream_amt[0::2] = -debits[success]
         stream_idx[1::2] = ok_receivers
         stream_amt[1::2] = ok_amounts
         keep = np.ones(2 * m, dtype=bool)
@@ -429,6 +450,10 @@ class CrossShardExecutor:
                 due_block=block + self.relay_delay_blocks,
             )
         self._next_tx_id += m
+        if fees is not None and m:
+            collected = float(fees[success].sum())
+            self.collected_fees += collected
+            report.fees_collected += collected
         report.intra_executed += int(ok_intra.sum())
         report.withdraws += int(cross_ok.sum())
         report.failed += int(n - m)
@@ -442,6 +467,7 @@ class CrossShardExecutor:
         sender_shards: np.ndarray,
         receiver_shards: np.ndarray,
         report: ExecutionReport,
+        fees: Optional[np.ndarray] = None,
     ) -> None:
         """Per-transfer reference committer (equivalence baseline)."""
         stores = [self.registry.store_of(i) for i in range(self.registry.k)]
@@ -449,12 +475,16 @@ class CrossShardExecutor:
         for i in range(len(senders)):
             sender_shard = int(sender_shards[i])
             amount = float(amounts[i])
+            fee = float(fees[i]) if fees is not None else 0.0
             source = stores[sender_shard]
             try:
-                source.debit(int(senders[i]), amount)
+                source.debit(int(senders[i]), amount + fee)
             except ChainError:
                 report.failed += 1
                 continue
+            if fee:
+                self.collected_fees += fee
+                report.fees_collected += fee
             receiver_shard = int(receiver_shards[i])
             if sender_shard == receiver_shard:
                 source.credit(int(receivers[i]), amount)
@@ -491,11 +521,12 @@ class CrossShardExecutor:
         """Execute a batch block by block.
 
         Amounts come from the batch's ``values`` column when present,
-        else every transfer moves ``amount_per_tx`` units. Shard
-        classification runs once over the whole batch through the
-        shared :func:`classify_kernel`; blocks are delimited by change
-        points in the (already block-ordered) ``blocks`` column, exactly
-        as the scalar bucketing loop did.
+        else every transfer moves ``amount_per_tx`` units; a ``fees``
+        column, when present, debits alongside (sender pays
+        ``value + fee``). Shard classification runs once over the whole
+        batch through the shared :func:`classify_kernel`; blocks are
+        delimited by change points in the (already block-ordered)
+        ``blocks`` column, exactly as the scalar bucketing loop did.
         """
         if amount_per_tx < 0:
             raise ValidationError(
@@ -512,6 +543,7 @@ class CrossShardExecutor:
             amounts = batch.values
         else:
             amounts = np.full(len(batch), amount_per_tx, dtype=np.float64)
+        fees = batch.fees
         boundaries = np.flatnonzero(np.diff(batch.blocks) != 0) + 1
         starts = np.concatenate(([0], boundaries))
         stops = np.concatenate((boundaries, [len(batch)]))
@@ -527,6 +559,7 @@ class CrossShardExecutor:
                 sender_shards[start:stop],
                 receiver_shards[start:stop],
                 report,
+                fees=fees[start:stop] if fees is not None else None,
             )
             reports.append(report)
         return reports

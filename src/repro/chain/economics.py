@@ -12,6 +12,12 @@ This module makes that argument executable:
   beacon chain saturated for a number of epochs;
 * :func:`simulate_flooding` — runs the commitment policy under attack
   and reports how many honest requests still commit.
+
+It also owns the **value-faithful genesis funding** used by the unified
+engine's observed-funding mode: :func:`observed_funding_balances`
+derives per-account genesis balances from the value flow a trace
+actually records, so an executed replay settles the trace's economics
+instead of a uniform synthetic supply.
 """
 
 from __future__ import annotations
@@ -19,9 +25,54 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.chain.beacon import prioritize_requests
 from repro.chain.migration import MigrationRequest
+from repro.chain.transaction import TransactionBatch
 from repro.errors import ConfigurationError, ValidationError
+
+
+def observed_funding_balances(
+    batch: TransactionBatch,
+    n_accounts: int,
+    headroom: float = 0.0,
+) -> np.ndarray:
+    """Per-account genesis balances sufficient to replay ``batch``.
+
+    One vectorised sufficiency pass: every account is funded with its
+    total observed outflow — the sum of the values (plus fees) it sends
+    anywhere in the trace. That bound is *relay-safe*: cross-shard
+    credits arrive a relay delay late, so an exact prefix-min schedule
+    that counts incoming credits would under-fund receivers whose
+    spending rides in-flight deposits; total outflow covers every debit
+    regardless of settlement timing, which is what makes replayed
+    traces settle with zero overdraft aborts. Accounts that never send
+    get zero. ``headroom`` scales the result (0.1 = +10%) for scenarios
+    that add synthetic traffic on top of the replay.
+
+    Batches without a ``values`` column fund each send at the
+    executor's default transfer amount of 1.0, so metric traces stay
+    replayable under observed funding.
+    """
+    if n_accounts < 0:
+        raise ValidationError(f"n_accounts must be >= 0, got {n_accounts}")
+    if headroom < 0:
+        raise ValidationError(f"headroom must be >= 0, got {headroom}")
+    if len(batch) and batch.max_account_id() >= n_accounts:
+        raise ValidationError(
+            f"batch references account {batch.max_account_id()} but the "
+            f"universe only covers {n_accounts} accounts"
+        )
+    outflow = batch.amounts(default=1.0)
+    if batch.fees is not None:
+        outflow = outflow + batch.fees
+    balances = np.bincount(
+        batch.senders, weights=outflow, minlength=n_accounts
+    ).astype(np.float64)
+    if headroom:
+        balances *= 1.0 + headroom
+    return balances
 
 
 @dataclass(frozen=True)

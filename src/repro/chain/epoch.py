@@ -49,6 +49,9 @@ class ReconfigurationReport:
     #: Actual account-state bytes moved between shard stores when the
     #: reconfigurator drives a cross-shard executor (0 without one).
     state_moved_bytes: float = 0.0
+    #: Column bytes reclaimed by post-migration store compaction
+    #: (0 unless the reconfigurator was built with a compact threshold).
+    compacted_bytes: float = 0.0
 
     @property
     def total_communication_bytes(self) -> float:
@@ -69,7 +72,12 @@ class EpochReconfigurator:
         miner_pool: Optional[MinerPool] = None,
         executor: Optional["CrossShardExecutor"] = None,
         batched: bool = True,
+        compact_slack: Optional[float] = None,
     ) -> None:
+        if compact_slack is not None and compact_slack < 0:
+            raise SimulationError(
+                f"compact_slack must be >= 0, got {compact_slack}"
+            )
         self._beacon = beacon
         self._miner_pool = miner_pool
         self._executor = executor
@@ -77,6 +85,12 @@ class EpochReconfigurator:
         #: ``batched=False`` selects the per-request reference path
         #: (same observable behaviour, used by the equivalence tests).
         self.batched = batched
+        #: When set, each reconfiguration ends with a dense-store
+        #: compaction pass: any store whose vacated slots exceed
+        #: ``compact_slack`` x its live population is re-slotted so
+        #: migration churn cannot grow columns without bound. ``None``
+        #: (default) never compacts — state layout is untouched.
+        self.compact_slack = compact_slack
 
     @property
     def synced_height(self) -> int:
@@ -171,6 +185,12 @@ class EpochReconfigurator:
         # the only migration-specific state traffic.
         migration_extra_bytes = float(applied * account_state_bytes)
 
+        compacted_bytes = 0.0
+        if self.compact_slack is not None and self._executor is not None:
+            compacted_bytes = float(
+                self._executor.registry.compact_stores(self.compact_slack)
+            )
+
         return ReconfigurationReport(
             epoch=epoch,
             migrations_applied=applied,
@@ -180,4 +200,5 @@ class EpochReconfigurator:
             state_sync_bytes=state_sync_bytes,
             migration_extra_bytes=migration_extra_bytes,
             state_moved_bytes=state_moved_bytes,
+            compacted_bytes=compacted_bytes,
         )

@@ -106,46 +106,49 @@ def _state_root_digest(items: List[Tuple[int, float, int]]) -> str:
 class ResidencyIndex:
     """Global account -> holding-shards index (per-account bitmasks).
 
-    One int64 bitmask per account id below ``capacity`` (bit ``j`` set
-    when shard ``j``'s store holds the account) plus a spill dict for
-    ids beyond it. Stores maintain the index incrementally on every
-    membership change — execute scatters, settlements, migrations — so
-    :meth:`get_shard` answers "which shard holds this account's state"
-    in O(1), and :meth:`shards_of` vectorises the lookup for batched
-    reconfiguration.
+    A ``(capacity, n_words)`` uint64 bitmask matrix — bit ``j`` of word
+    ``j // 64`` set when shard ``j``'s store holds the account — plus a
+    spill dict (arbitrary-width Python-int masks) for ids beyond the
+    capacity. One word covers up to 64 shards; larger ``n_shards``
+    simply widen the matrix, so no shard count falls back to the O(k)
+    store scan any more. Stores maintain the index incrementally on
+    every membership change — execute scatters, settlements, migrations
+    — so :meth:`get_shard` answers "which shard holds this account's
+    state" in O(words), and :meth:`shards_of` vectorises the lookup for
+    batched reconfiguration.
 
     An account *can* be resident on more than one shard (a relay
     settlement can credit a shard the account has since migrated away
     from); the index then reports the lowest holding shard id — exactly
     what the O(k) store scan (:meth:`StateRegistry.locate_scan`)
-    returns, which the equivalence property suite pins.
-
-    Bitmasks cap the shard count at :data:`MAX_SHARDS`; registries with
-    more shards fall back to the scan.
+    returns, which the equivalence property suite pins (including at
+    k = 80, where the old single-int64 layout could not index at all).
     """
 
-    #: int64 bitmasks hold shard ids 0..62.
-    MAX_SHARDS = 63
+    __slots__ = ("capacity", "n_shards", "n_words", "_mask", "_extra")
 
-    __slots__ = ("capacity", "_mask", "_extra")
-
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, n_shards: int = 64) -> None:
         if capacity < 0:
             raise ValidationError(f"capacity must be >= 0, got {capacity}")
+        if n_shards < 1:
+            raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
         self.capacity = int(capacity)
-        self._mask = np.zeros(self.capacity, dtype=np.int64)
+        self.n_shards = int(n_shards)
+        self.n_words = (self.n_shards + 63) // 64
+        self._mask = np.zeros((self.capacity, self.n_words), dtype=np.uint64)
         self._extra: Dict[int, int] = {}
 
     def add(self, shard: int, account: int) -> None:
-        bit = 1 << shard
         if 0 <= account < self.capacity:
-            self._mask[account] |= bit
+            self._mask[account, shard >> 6] |= np.uint64(1 << (shard & 63))
         else:
-            self._extra[account] = self._extra.get(account, 0) | bit
+            self._extra[account] = self._extra.get(account, 0) | (1 << shard)
 
     def discard(self, shard: int, account: int) -> None:
         if 0 <= account < self.capacity:
-            self._mask[account] &= ~(1 << shard)
+            self._mask[account, shard >> 6] &= np.uint64(
+                ~(1 << (shard & 63)) & 0xFFFFFFFFFFFFFFFF
+            )
             return
         mask = self._extra.get(account, 0) & ~(1 << shard)
         if mask:
@@ -158,7 +161,7 @@ class ResidencyIndex:
             return
         if int(accounts.min()) >= 0 and int(accounts.max()) < self.capacity:
             # Duplicate ids all OR in the same bit — buffering is safe.
-            self._mask[accounts] |= np.int64(1 << shard)
+            self._mask[accounts, shard >> 6] |= np.uint64(1 << (shard & 63))
             return
         for account in accounts.tolist():
             self.add(shard, account)
@@ -167,7 +170,9 @@ class ResidencyIndex:
         if len(accounts) == 0:
             return
         if int(accounts.min()) >= 0 and int(accounts.max()) < self.capacity:
-            self._mask[accounts] &= np.int64(~(1 << shard))
+            self._mask[accounts, shard >> 6] &= np.uint64(
+                ~(1 << (shard & 63)) & 0xFFFFFFFFFFFFFFFF
+            )
             return
         for account in accounts.tolist():
             self.discard(shard, account)
@@ -175,9 +180,11 @@ class ResidencyIndex:
     def get_shard(self, account: int) -> Optional[int]:
         """Lowest shard id holding ``account``, or None."""
         if 0 <= account < self.capacity:
-            mask = int(self._mask[account])
-        else:
-            mask = self._extra.get(account, 0)
+            for word_index, word in enumerate(self._mask[account].tolist()):
+                if word:
+                    return (word_index << 6) + (word & -word).bit_length() - 1
+            return None
+        mask = self._extra.get(account, 0)
         if mask == 0:
             return None
         return (mask & -mask).bit_length() - 1
@@ -188,13 +195,20 @@ class ResidencyIndex:
         if len(accounts) == 0:
             return np.zeros(0, dtype=np.int64)
         if int(accounts.min()) >= 0 and int(accounts.max()) < self.capacity:
-            masks = self._mask[accounts]
-            lowest_bit = masks & -masks
+            masks = self._mask[accounts]  # (n, n_words)
+            occupied = masks != 0
+            resident = occupied.any(axis=1)
+            # First non-empty word per row (0 for non-residents, which
+            # the `resident` mask overrides below).
+            first_word = np.argmax(occupied, axis=1)
+            words = masks[np.arange(len(accounts)), first_word]
+            lowest_bit = words & (~words + np.uint64(1))
             # frexp exponents are exact for powers of two (and map the
-            # zero mask to exponent 0, i.e. shard -1 = nowhere).
-            return (np.frexp(lowest_bit.astype(np.float64))[1] - 1).astype(
-                np.int64
-            )
+            # zero mask to exponent 0, i.e. bit -1).
+            bits = np.frexp(lowest_bit.astype(np.float64))[1].astype(np.int64) - 1
+            shards = (first_word.astype(np.int64) << 6) + bits
+            shards[~resident] = -1
+            return shards
         return np.array(
             [
                 -1 if (shard := self.get_shard(a)) is None else shard
@@ -400,6 +414,14 @@ class ShardStateStore:
 
     def column_nbytes(self) -> int:
         """Array-column bytes held by this store (0: dicts only)."""
+        return 0
+
+    def slack_slots(self) -> int:
+        """Vacated-but-unreleased slots (0: dicts shrink themselves)."""
+        return 0
+
+    def compact(self) -> int:
+        """No-op for the dict backend; returns bytes reclaimed (0)."""
         return 0
 
 
@@ -839,6 +861,48 @@ class DenseShardStateStore:
         """Bytes held by this store's state columns."""
         return int(self._bal.nbytes + self._non.nbytes)
 
+    def slack_slots(self) -> int:
+        """Slots vacated by migration but still held by the columns."""
+        return len(self._free)
+
+    def compact(self) -> int:
+        """Re-slot resident accounts into fresh right-sized columns.
+
+        Migration churn vacates slots faster than new arrivals reclaim
+        them: the free list grows and the columns never shrink. This
+        pass rebuilds the columns at the smallest power-of-two capacity
+        covering the live population (slot order preserved, so state
+        roots and iteration order are untouched), clears the free list
+        and rewrites the directory's slots. Returns the column bytes
+        reclaimed. O(live accounts) — callers gate it behind a slack
+        threshold (see :meth:`StateRegistry.compact_stores`).
+        """
+        before = self.column_nbytes()
+        resident = np.flatnonzero(self._dir.home == self.shard_id)
+        count = len(resident)
+        old_slots = None
+        if count:
+            old_slots = self._dir.slot[resident]
+            order = np.argsort(old_slots, kind="stable")
+            resident = resident[order]
+            old_slots = old_slots[order]
+        new_capacity = 0
+        if count:
+            new_capacity = 16
+            while new_capacity < count:
+                new_capacity *= 2
+        new_bal = np.zeros(new_capacity, dtype=np.float64)
+        new_non = np.zeros(new_capacity, dtype=np.int64)
+        if count:
+            new_bal[:count] = self._bal[old_slots]
+            new_non[:count] = self._non[old_slots]
+            self._dir.slot[resident] = np.arange(count, dtype=np.int64)
+        self._bal = new_bal
+        self._non = new_non
+        self._used = count
+        self._free = []
+        return before - self.column_nbytes()
+
 
 #: Either backend satisfies the store contract.
 AnyShardStateStore = Union[ShardStateStore, DenseShardStateStore]
@@ -852,9 +916,11 @@ class StateRegistry:
     columns behind a shared :class:`SlotDirectory` sized by
     ``n_accounts``, with a dict fallback for ids beyond that capacity).
     Both are observably identical. A :class:`ResidencyIndex` is
-    maintained for either backend (when ``k`` fits a bitmask) so
-    :meth:`locate` is O(1); :meth:`locate_scan` keeps the O(k) scan as
-    the equivalence reference.
+    maintained for either backend (multi-word bitmasks, so any ``k``)
+    so :meth:`locate` is O(1); :meth:`locate_scan` keeps the O(k) scan
+    as the equivalence reference. :meth:`compact_stores` re-slots
+    dense stores whose free lists grew past a slack threshold after
+    heavy migration churn, shrinking their columns.
     """
 
     def __init__(
@@ -875,10 +941,8 @@ class StateRegistry:
         self.k = k
         self.backend = backend
         self.n_accounts = int(n_accounts)
-        self._index: Optional[ResidencyIndex] = (
-            ResidencyIndex(self.n_accounts)
-            if k <= ResidencyIndex.MAX_SHARDS
-            else None
+        self._index: Optional[ResidencyIndex] = ResidencyIndex(
+            self.n_accounts, n_shards=k
         )
         self._directory: Optional[SlotDirectory] = None
         if backend == BACKEND_DENSE:
@@ -899,7 +963,7 @@ class StateRegistry:
 
     @property
     def residency_index(self) -> Optional[ResidencyIndex]:
-        """The incremental account->shard index (None when k > 63)."""
+        """The incremental account->shard index (multi-word, any k)."""
         return self._index
 
     def store_of(self, shard: int) -> AnyShardStateStore:
@@ -1015,6 +1079,26 @@ class StateRegistry:
                 nonces[start:stop],
             )
         return len(acc) * STATE_RECORD_BYTES
+
+    def compact_stores(self, min_slack: float = 0.5) -> int:
+        """Compact every store whose vacated slots exceed the threshold.
+
+        A store qualifies when its free list holds more than
+        ``min_slack`` times its live population (so a freshly-settled
+        store is never rebuilt for a handful of holes). Returns the
+        total column bytes reclaimed. Dict stores are free no-ops.
+        Typically driven per epoch by
+        :class:`~repro.chain.epoch.EpochReconfigurator` after heavy
+        migration churn.
+        """
+        if min_slack < 0:
+            raise ValidationError(f"min_slack must be >= 0, got {min_slack}")
+        reclaimed = 0
+        for store in self.stores:
+            slack = store.slack_slots()
+            if slack and slack > min_slack * max(1, len(store)):
+                reclaimed += store.compact()
+        return reclaimed
 
     def total_balance(self) -> float:
         """System-wide balance — invariant under execution + migration.

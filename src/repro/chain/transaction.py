@@ -72,13 +72,14 @@ class TransactionBatch:
 
     All metric, allocation and execution hot paths operate on batches:
     numpy arrays ``senders``, ``receivers`` and ``blocks`` of equal
-    length, plus an optional ``values`` column carrying per-transfer
-    amounts for the cross-shard executor (``None`` when the batch only
-    feeds metrics/allocation, which keeps those paths allocation-free).
-    Batches are immutable; slicing returns views wherever numpy allows.
+    length, plus optional ``values``/``fees`` columns carrying
+    per-transfer amounts and fees for the cross-shard executor (``None``
+    when the batch only feeds metrics/allocation, which keeps those
+    paths allocation-free). Batches are immutable; slicing returns
+    views wherever numpy allows.
     """
 
-    __slots__ = ("senders", "receivers", "blocks", "values")
+    __slots__ = ("senders", "receivers", "blocks", "values", "fees")
 
     def __init__(
         self,
@@ -86,6 +87,7 @@ class TransactionBatch:
         receivers: np.ndarray,
         blocks: Optional[np.ndarray] = None,
         values: Optional[np.ndarray] = None,
+        fees: Optional[np.ndarray] = None,
     ) -> None:
         senders = np.asarray(senders, dtype=np.int64)
         receivers = np.asarray(receivers, dtype=np.int64)
@@ -107,18 +109,28 @@ class TransactionBatch:
                 raise ValidationError("values must match senders in shape")
             if len(values) and values.min() < 0:
                 raise ValidationError("transaction values must be >= 0")
+        if fees is not None:
+            fees = np.asarray(fees, dtype=np.float64)
+            if fees.shape != senders.shape:
+                raise ValidationError("fees must match senders in shape")
+            if len(fees) and fees.min() < 0:
+                raise ValidationError("transaction fees must be >= 0")
         if len(senders) and (senders.min() < 0 or receivers.min() < 0):
             raise ValidationError("account ids must be >= 0")
         self.senders = senders
         self.receivers = receivers
         self.blocks = blocks
         self.values = values
+        self.fees = fees
 
     def __len__(self) -> int:
         return len(self.senders)
 
     def _value_at(self, index: int) -> float:
         return float(self.values[index]) if self.values is not None else 0.0
+
+    def _fee_at(self, index: int) -> float:
+        return float(self.fees[index]) if self.fees is not None else 0.0
 
     def __iter__(self) -> Iterator[Transaction]:
         for i in range(len(self)):
@@ -127,6 +139,7 @@ class TransactionBatch:
                 receiver=int(self.receivers[i]),
                 block=int(self.blocks[i]),
                 value=self._value_at(i),
+                fee=self._fee_at(i),
                 tx_id=i,
             )
 
@@ -138,6 +151,7 @@ class TransactionBatch:
             self.receivers[index],
             self.blocks[index],
             self.values[index] if self.values is not None else None,
+            self.fees[index] if self.fees is not None else None,
         )
 
     def at(self, index: int) -> Transaction:
@@ -147,6 +161,7 @@ class TransactionBatch:
             receiver=int(self.receivers[index]),
             block=int(self.blocks[index]),
             value=self._value_at(index),
+            fee=self._fee_at(index),
             tx_id=index,
         )
 
@@ -154,6 +169,12 @@ class TransactionBatch:
         """Per-transfer amounts: the ``values`` column, or ``default``."""
         if self.values is not None:
             return self.values
+        return np.full(len(self), default, dtype=np.float64)
+
+    def fee_amounts(self, default: float = 0.0) -> np.ndarray:
+        """Per-transfer fees: the ``fees`` column, or ``default``."""
+        if self.fees is not None:
+            return self.fees
         return np.full(len(self), default, dtype=np.float64)
 
     @classmethod
@@ -168,15 +189,19 @@ class TransactionBatch:
 
         The ``values`` column is always materialised so the executor
         sees exactly the objects' values — including explicit zeros —
-        rather than falling back to a default amount.
+        rather than falling back to a default amount. The ``fees``
+        column is materialised only when some object carries a fee,
+        keeping fee-free batches identical to their pre-fee layout.
         """
         if not transactions:
             return cls.empty()
+        fees = np.array([t.fee for t in transactions], dtype=np.float64)
         return cls(
             np.array([t.sender for t in transactions], dtype=np.int64),
             np.array([t.receiver for t in transactions], dtype=np.int64),
             np.array([t.block for t in transactions], dtype=np.int64),
             np.array([t.value for t in transactions], dtype=np.float64),
+            fees if fees.any() else None,
         )
 
     def select(self, mask: np.ndarray) -> "TransactionBatch":
@@ -189,6 +214,7 @@ class TransactionBatch:
             self.receivers[mask],
             self.blocks[mask],
             self.values[mask] if self.values is not None else None,
+            self.fees[mask] if self.fees is not None else None,
         )
 
     def concat(self, other: "TransactionBatch") -> "TransactionBatch":
@@ -199,11 +225,42 @@ class TransactionBatch:
             values = np.concatenate(
                 [self.amounts(), other.amounts()]
             )
+        if self.fees is None and other.fees is None:
+            fees = None
+        else:
+            fees = np.concatenate([self.fee_amounts(), other.fee_amounts()])
         return TransactionBatch(
             np.concatenate([self.senders, other.senders]),
             np.concatenate([self.receivers, other.receivers]),
             np.concatenate([self.blocks, other.blocks]),
             values,
+            fees,
+        )
+
+    @classmethod
+    def concat_many(
+        cls, batches: Sequence["TransactionBatch"]
+    ) -> "TransactionBatch":
+        """Concatenate many batches in one pass (order preserved).
+
+        The single-allocation twin of folding :meth:`concat` — this is
+        what trace-source materialisation uses so assembling a trace
+        from chunks stays O(total rows). Optional columns materialise
+        whenever any input batch carries them.
+        """
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        has_values = any(b.values is not None for b in batches)
+        has_fees = any(b.fees is not None for b in batches)
+        return cls(
+            np.concatenate([b.senders for b in batches]),
+            np.concatenate([b.receivers for b in batches]),
+            np.concatenate([b.blocks for b in batches]),
+            np.concatenate([b.amounts() for b in batches]) if has_values else None,
+            np.concatenate([b.fee_amounts() for b in batches]) if has_fees else None,
         )
 
     def involving(self, account_id: int) -> "TransactionBatch":

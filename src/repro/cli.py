@@ -33,6 +33,27 @@ from repro.sim.scenario import DEFAULT_METHODS, SCENARIOS, get_scenario, run_com
 from repro.util.formatting import format_bytes, format_seconds, render_table
 
 
+#: Default location of the checked-in streamed-ETL CI fixture,
+#: relative to the repository root.
+ETL_SMOKE_FIXTURE = "tests/fixtures/etl_smoke.csv"
+
+
+def _resolve_etl_fixture() -> Optional[Path]:
+    """Locate the checked-in ETL smoke fixture.
+
+    Tried relative to the current directory first (the CI invocation),
+    then relative to the repository this module was loaded from, so
+    ``repro matrix --etl-smoke`` also works from other directories in a
+    source checkout. Returns ``None`` when neither exists (e.g. an
+    installed package without the test tree).
+    """
+    for base in (Path.cwd(), Path(__file__).resolve().parents[2]):
+        candidate = base / ETL_SMOKE_FIXTURE
+        if candidate.is_file():
+            return candidate
+    return None
+
+
 def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--accounts", type=int, default=3_000, help="account universe size"
@@ -42,9 +63,29 @@ def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--blocks", type=int, default=2_400, help="block span")
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--value-model",
+        default="none",
+        choices=("none", "uniform", "zipf", "burst"),
+        help="attach per-transfer values to the synthetic trace "
+        "(zipf = heavy-tailed, burst = zipf + flash-crowd window)",
+    )
+    parser.add_argument(
+        "--fee-fraction",
+        type=float,
+        default=0.0,
+        help="with a value model: per-transfer fee as a fraction of value",
+    )
 
 
 def _trace_config(args: argparse.Namespace) -> EthereumTraceConfig:
+    value_model = None
+    if args.value_model != "none":
+        from repro.data.generators import ValueModelConfig
+
+        value_model = ValueModelConfig(
+            kind=args.value_model, fee_fraction=args.fee_fraction
+        )
     return EthereumTraceConfig(
         n_accounts=args.accounts,
         n_transactions=args.transactions,
@@ -52,6 +93,7 @@ def _trace_config(args: argparse.Namespace) -> EthereumTraceConfig:
         hub_fraction=0.01,
         hub_transaction_share=0.12,
         seed=args.seed,
+        value_model=value_model,
     )
 
 
@@ -64,8 +106,18 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_simulate(args: argparse.Namespace) -> int:
     if args.input:
-        trace, _registry = read_transactions_csv(args.input)
-        print(f"loaded {len(trace):,} transactions from {args.input}")
+        if args.streamed:
+            from repro.data.source import CsvTraceSource
+
+            source = CsvTraceSource(args.input)
+            trace = source.materialise()
+            print(
+                f"streamed {len(trace):,} transactions from {args.input} "
+                f"(peak buffer {source.peak_buffer_rows:,} rows)"
+            )
+        else:
+            trace, _registry = read_transactions_csv(args.input)
+            print(f"loaded {len(trace):,} transactions from {args.input}")
     else:
         trace = generate_ethereum_like_trace(_trace_config(args))
         print(f"generated {len(trace):,} synthetic transactions")
@@ -85,6 +137,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
         params=params,
         execute_values=args.execute,
         state_backend=args.state_backend,
+        funding=args.funding,
     )
     result = Simulation(trace, factory(), config).run()
     summary = summarize_results(result)
@@ -172,11 +225,14 @@ def _command_matrix(args: argparse.Namespace) -> int:
         ScenarioMatrix,
         baseline_snapshot,
         default_trace,
+        etl_smoke_matrix,
         matrix_table,
         realloc_smoke_matrix,
         run_matrix,
         smoke_matrix,
         with_engine_modes,
+        with_funding,
+        with_trace_source,
         write_result_json,
     )
 
@@ -198,7 +254,46 @@ def _command_matrix(args: argparse.Namespace) -> int:
         )
         return 2
     engine_modes = tuple(args.engine_modes.split(","))
-    if args.realloc_smoke:
+    trace_source = (
+        args.trace_source if args.trace_source != "synthetic" else None
+    )
+    if trace_source is not None and not Path(trace_source).is_file():
+        print(
+            f"error: --trace-source {trace_source!r} is not a file",
+            file=sys.stderr,
+        )
+        return 2
+    if args.etl_smoke is not None:
+        if trace_source is not None:
+            print(
+                "error: --etl-smoke already names its extract; "
+                "pass the CSV as the --etl-smoke argument instead of "
+                "--trace-source",
+                file=sys.stderr,
+            )
+            return 2
+        if args.etl_smoke:
+            fixture = Path(args.etl_smoke)
+            if not fixture.is_file():
+                print(
+                    f"error: --etl-smoke fixture {args.etl_smoke!r} "
+                    "is not a file",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            fixture = _resolve_etl_fixture()
+            if fixture is None:
+                print(
+                    f"error: default fixture {ETL_SMOKE_FIXTURE!r} not "
+                    "found; pass a CSV path to --etl-smoke",
+                    file=sys.stderr,
+                )
+                return 2
+        matrix = etl_smoke_matrix(str(fixture), seed=args.seed)
+        if engine_modes != ("metrics",):
+            matrix = with_engine_modes(matrix, engine_modes)
+    elif args.realloc_smoke:
         matrix = realloc_smoke_matrix(seed=args.seed)
         if engine_modes != ("metrics",):
             matrix = with_engine_modes(matrix, engine_modes)
@@ -236,6 +331,14 @@ def _command_matrix(args: argparse.Namespace) -> int:
             seed=args.seed,
             engine_modes=engine_modes,
         )
+    # --trace-source and an explicit --funding apply to whichever grid
+    # was selected (custom or a smoke variant), so neither is ever
+    # silently ignored — `--etl-smoke --funding uniform` really runs
+    # the legacy uniform supply.
+    if trace_source is not None:
+        matrix = with_trace_source(matrix, trace_source)
+    if args.funding is not None:
+        matrix = with_funding(matrix, args.funding)
     print(
         f"matrix {matrix.name!r}: {len(matrix)} cells, "
         f"{args.workers} worker(s)"
@@ -285,6 +388,12 @@ def _command_bench(args: argparse.Namespace) -> int:
         print(
             f"reconfig 1M     : {payload['reconfig_seconds_batch_1m']}s "
             f"batch vs {payload['reconfig_seconds_object_1m']}s object"
+        )
+    if "ingest_seconds_streamed_1m" in payload:
+        print(
+            f"ingest 1M       : {payload['ingest_seconds_streamed_1m']}s "
+            f"streamed vs {payload['ingest_seconds_materialised_1m']}s "
+            "materialised"
         )
     if "speedup_vs_reference" in payload:
         print(f"speedup vs prev : {payload['speedup_vs_reference']}x")
@@ -358,6 +467,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="dict",
         choices=("dict", "dense"),
         help="per-shard state store backend for --execute",
+    )
+    simulate.add_argument(
+        "--funding",
+        default="uniform",
+        choices=("uniform", "observed"),
+        help="genesis supply for --execute: uniform per-account balance "
+        "or value-faithful balances derived from the trace's value flow",
+    )
+    simulate.add_argument(
+        "--streamed",
+        action="store_true",
+        help="decode --input through the chunked bounded-memory "
+        "CsvTraceSource instead of the eager reader",
     )
     simulate.set_defaults(handler=_command_simulate)
 
@@ -439,6 +561,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the reallocation-heavy executed CI cell (metis in "
         "execute-dense mode, exercising the batched beacon/"
         "reconfiguration path)",
+    )
+    matrix.add_argument(
+        "--etl-smoke",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="CSV",
+        help="run the streamed value-faithful executed CI cell over an "
+        f"ethereum-etl CSV (default fixture: {ETL_SMOKE_FIXTURE})",
+    )
+    matrix.add_argument(
+        "--trace-source",
+        default="synthetic",
+        metavar="CSV|synthetic",
+        help="trace-source axis: 'synthetic' (default) generates the "
+        "grid's trace; a CSV path replays that ethereum-etl extract "
+        "through the chunked streamed decoder instead",
+    )
+    matrix.add_argument(
+        "--funding",
+        default=None,
+        choices=("uniform", "observed"),
+        help="genesis supply for executed cells: uniform legacy supply "
+        "or value-faithful balances from the trace's observed flow "
+        "(default: the grid's own mode — uniform, except --etl-smoke "
+        "which defaults to observed)",
     )
     matrix.add_argument("--output", help="write full results JSON here")
     matrix.add_argument("--baseline", help="write a BENCH_baseline.json here")

@@ -1,25 +1,49 @@
-"""Datasets: trace containers, synthetic Ethereum-like generation, ETL."""
+"""Datasets: trace containers, sources, synthetic generation, ETL."""
 
 from repro.data.trace import Trace, EpochView
 from repro.data.generators import (
     zipf_weights,
     sample_pairs,
+    sample_transfer_values,
     CommunityConfig,
+    ValueModelConfig,
     community_pair_sampler,
 )
 from repro.data.ethereum import EthereumTraceConfig, generate_ethereum_like_trace
-from repro.data.etl import write_transactions_csv, read_transactions_csv, ETL_COLUMNS
+from repro.data.etl import (
+    write_transactions_csv,
+    read_transactions_csv,
+    ETL_COLUMNS,
+    FEE_COLUMN,
+)
+from repro.data.source import (
+    CsvTraceSource,
+    EpochStream,
+    GeneratorTraceSource,
+    MaterialisedTraceSource,
+    TraceSource,
+    stream_epochs,
+)
 
 __all__ = [
     "Trace",
     "EpochView",
     "zipf_weights",
     "sample_pairs",
+    "sample_transfer_values",
     "CommunityConfig",
+    "ValueModelConfig",
     "community_pair_sampler",
     "EthereumTraceConfig",
     "generate_ethereum_like_trace",
     "write_transactions_csv",
     "read_transactions_csv",
     "ETL_COLUMNS",
+    "FEE_COLUMN",
+    "TraceSource",
+    "MaterialisedTraceSource",
+    "GeneratorTraceSource",
+    "CsvTraceSource",
+    "EpochStream",
+    "stream_epochs",
 ]

@@ -26,8 +26,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Optional
+
 from repro.chain.transaction import TransactionBatch
-from repro.data.generators import CommunityConfig, community_pair_sampler, zipf_weights
+from repro.data.generators import (
+    CommunityConfig,
+    ValueModelConfig,
+    community_pair_sampler,
+    sample_transfer_values,
+    zipf_weights,
+)
 from repro.data.trace import Trace
 from repro.errors import DataError
 from repro.util.rng import RngFactory
@@ -52,6 +60,12 @@ class EthereumTraceConfig:
     community: CommunityConfig = CommunityConfig()
     new_account_fraction: float = 0.10
     seed: int = 0
+    #: When set, transfers carry ``values`` (and, with a fee fraction,
+    #: ``fees``) sampled from this model. ``None`` (the default) keeps
+    #: the classic three-column metric trace, so existing goldens are
+    #: untouched. Values draw from their own RNG stream, so a valued
+    #: trace has the bit-identical graph structure of its valueless twin.
+    value_model: Optional[ValueModelConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_accounts < 10:
@@ -137,5 +151,16 @@ def generate_ethereum_like_trace(config: EthereumTraceConfig) -> Trace:
             receivers[sub_positions[clash]] + 1
         ) % n_established
 
-    batch = TransactionBatch(senders, receivers, blocks)
+    # 5) Values/fees ride a dedicated RNG stream so enabling a value
+    #    model never perturbs the graph structure sampled above.
+    values = fees = None
+    if config.value_model is not None:
+        values, fees = sample_transfer_values(
+            rngs.generator("ethereum-values"),
+            blocks,
+            config.value_model,
+            n_blocks=config.n_blocks,
+        )
+
+    batch = TransactionBatch(senders, receivers, blocks, values, fees)
     return Trace(batch, n_accounts=n_total)

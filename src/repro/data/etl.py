@@ -3,6 +3,17 @@
 The paper collects its dataset with Ethereum ETL. This module reads and
 writes the subset of that CSV schema the evaluation needs, so a real
 extract can be dropped into the same pipeline as the synthetic traces.
+The ``value`` column is carried faithfully into the batch's ``values``
+column (a replayed extract settles the volume it recorded, not a
+synthetic per-transfer default); an optional ``fee`` column — our
+documented extension for traces generated with a fee model — rides
+along the same way.
+
+Malformed rows raise :class:`~repro.errors.MalformedRowError` carrying
+the file name and 1-based line number, so one bad row in a huge extract
+is findable without re-running the decode. The chunked, bounded-memory
+decoder lives in :mod:`repro.data.source` (:class:`CsvTraceSource`)
+and shares the row parsing defined here.
 """
 
 from __future__ import annotations
@@ -16,10 +27,123 @@ import numpy as np
 from repro.chain.account import AccountRegistry, address_from_id
 from repro.chain.transaction import TransactionBatch
 from repro.data.trace import Trace
-from repro.errors import DataError
+from repro.errors import DataError, MalformedRowError
 
 #: Columns written/accepted, a subset of ethereum-etl's transactions.csv.
 ETL_COLUMNS = ("hash", "block_number", "from_address", "to_address", "value")
+
+#: Optional per-transfer fee column (our extension; absent from real
+#: ethereum-etl extracts, written only for traces that carry fees).
+FEE_COLUMN = "fee"
+
+
+class _RowDecoder:
+    """Shared per-row decode for the eager reader and the chunked source.
+
+    Resolves the header once, then turns each raw CSV row into an
+    ``(sender, receiver, block, value, fee)`` tuple — or ``None`` for
+    rows the paper's account-graph construction skips (contract
+    creations, self-transfers). Bad cells raise
+    :class:`MalformedRowError` with the file and 1-based line number.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        fieldnames: Optional[List[str]],
+        registry: AccountRegistry,
+    ) -> None:
+        if fieldnames is None:
+            raise DataError(f"{path} is empty")
+        missing = {"block_number", "from_address", "to_address"} - set(fieldnames)
+        if missing:
+            raise DataError(f"{path} is missing columns: {sorted(missing)}")
+        self.path = path
+        self.registry = registry
+        self._block_idx = fieldnames.index("block_number")
+        self._from_idx = fieldnames.index("from_address")
+        self._to_idx = fieldnames.index("to_address")
+        self._value_idx = (
+            fieldnames.index("value") if "value" in fieldnames else None
+        )
+        self._fee_idx = (
+            fieldnames.index(FEE_COLUMN) if FEE_COLUMN in fieldnames else None
+        )
+        self._width = max(
+            idx
+            for idx in (
+                self._block_idx,
+                self._from_idx,
+                self._to_idx,
+                self._value_idx,
+                self._fee_idx,
+            )
+            if idx is not None
+        ) + 1
+
+    @property
+    def has_values(self) -> bool:
+        return self._value_idx is not None
+
+    @property
+    def has_fees(self) -> bool:
+        return self._fee_idx is not None
+
+    def decode(
+        self, line: int, row: List[str]
+    ) -> Optional[Tuple[int, int, int, float, float]]:
+        if not row:
+            return None  # blank line (csv.DictReader skipped these too)
+        if len(row) < self._width:
+            raise MalformedRowError(
+                self.path, line, f"expected >= {self._width} columns, got {len(row)}"
+            )
+        from_address = row[self._from_idx].strip()
+        to_address = row[self._to_idx].strip()
+        if not from_address or not to_address:
+            return None  # contract creation / malformed endpoint
+        raw_block = row[self._block_idx]
+        try:
+            block = int(raw_block)
+        except (TypeError, ValueError):
+            raise MalformedRowError(
+                self.path, line, f"bad block_number {raw_block!r}"
+            ) from None
+        if block < 0:
+            raise MalformedRowError(
+                self.path, line, f"negative block_number {block}"
+            )
+        value = 0.0
+        if self._value_idx is not None:
+            raw_value = row[self._value_idx].strip()
+            if raw_value:
+                try:
+                    value = float(raw_value)
+                except ValueError:
+                    raise MalformedRowError(
+                        self.path, line, f"bad value {raw_value!r}"
+                    ) from None
+                if value < 0 or value != value:  # negative or NaN
+                    raise MalformedRowError(
+                        self.path, line, f"bad value {raw_value!r}"
+                    )
+        fee = 0.0
+        if self._fee_idx is not None:
+            raw_fee = row[self._fee_idx].strip()
+            if raw_fee:
+                try:
+                    fee = float(raw_fee)
+                except ValueError:
+                    raise MalformedRowError(
+                        self.path, line, f"bad fee {raw_fee!r}"
+                    ) from None
+                if fee < 0 or fee != fee:
+                    raise MalformedRowError(self.path, line, f"bad fee {raw_fee!r}")
+        sender = self.registry.register(from_address)
+        receiver = self.registry.register(to_address)
+        if sender == receiver:
+            return None  # self-transfers carry no allocation signal
+        return sender, receiver, block, value, fee
 
 
 def write_transactions_csv(
@@ -30,7 +154,10 @@ def write_transactions_csv(
     """Write ``trace`` as an ethereum-etl style CSV; return rows written.
 
     When no registry is supplied, deterministic synthetic addresses are
-    derived from the integer ids.
+    derived from the integer ids. The ``value`` column carries the
+    batch's ``values`` (0 for metric-only traces); a ``fee`` column is
+    appended only when the trace carries fees, so fee-free files keep
+    the exact ethereum-etl column subset.
     """
     path = Path(path)
     batch = trace.batch
@@ -40,22 +167,23 @@ def write_transactions_csv(
             return registry.address_of(account_id)
         return address_from_id(account_id)
 
+    values = batch.values
+    fees = batch.fees
+    columns = ETL_COLUMNS + ((FEE_COLUMN,) if fees is not None else ())
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(ETL_COLUMNS)
+        writer.writerow(columns)
         for i in range(len(batch)):
-            sender = int(batch.senders[i])
-            receiver = int(batch.receivers[i])
-            block = int(batch.blocks[i])
-            writer.writerow(
-                (
-                    f"0x{i:064x}",
-                    block,
-                    to_address(sender),
-                    to_address(receiver),
-                    0,
-                )
-            )
+            row = [
+                f"0x{i:064x}",
+                int(batch.blocks[i]),
+                to_address(int(batch.senders[i])),
+                to_address(int(batch.receivers[i])),
+                float(values[i]) if values is not None else 0,
+            ]
+            if fees is not None:
+                row.append(float(fees[i]))
+            writer.writerow(row)
     return len(batch)
 
 
@@ -63,11 +191,21 @@ def read_transactions_csv(
     path: Union[str, Path],
     registry: Optional[AccountRegistry] = None,
 ) -> Tuple[Trace, AccountRegistry]:
-    """Read an ethereum-etl style CSV into a :class:`Trace`.
+    """Read an ethereum-etl style CSV into a :class:`Trace` (eager).
 
     Unknown addresses are registered on the fly; rows with an empty
     ``to_address`` (contract creations) are skipped, as in the paper's
-    account-graph construction.
+    account-graph construction. Rows may appear in any block order —
+    the whole file is decoded, then stable-sorted by block. For
+    bounded-memory ingest of large block-ordered extracts use
+    :class:`repro.data.source.CsvTraceSource` instead.
+
+    An **all-zero value column** is treated as absent: that is what
+    the writer emits for metric-only traces (and what every pre-value
+    file carries), and materialising it would silently turn executed
+    replays of those files into zero-amount transfers instead of the
+    executor's default amount. Real extracts always carry non-zero
+    values somewhere, so genuine value columns are unaffected.
     """
     path = Path(path)
     if registry is None:
@@ -76,39 +214,39 @@ def read_transactions_csv(
     senders: List[int] = []
     receivers: List[int] = []
     blocks: List[int] = []
+    values: List[float] = []
+    fees: List[float] = []
 
     with path.open(newline="") as handle:
-        reader = csv.DictReader(handle)
-        if reader.fieldnames is None:
-            raise DataError(f"{path} is empty")
-        missing = {"block_number", "from_address", "to_address"} - set(
-            reader.fieldnames
-        )
-        if missing:
-            raise DataError(f"{path} is missing columns: {sorted(missing)}")
-        for row_number, row in enumerate(reader, start=2):
-            to_address = (row.get("to_address") or "").strip()
-            from_address = (row.get("from_address") or "").strip()
-            if not to_address or not from_address:
-                continue  # contract creation / malformed row
-            try:
-                block = int(row["block_number"])
-            except (TypeError, ValueError) as exc:
-                raise DataError(
-                    f"{path}:{row_number}: bad block_number {row.get('block_number')!r}"
-                ) from exc
-            sender = registry.register(from_address)
-            receiver = registry.register(to_address)
-            if sender == receiver:
-                continue  # self-transfers carry no allocation signal
+        reader = csv.reader(handle)
+        fieldnames = next(reader, None)
+        decoder = _RowDecoder(path, fieldnames, registry)
+        has_values = decoder.has_values
+        has_fees = decoder.has_fees
+        for line, row in enumerate(reader, start=2):
+            decoded = decoder.decode(line, row)
+            if decoded is None:
+                continue
+            sender, receiver, block, value, fee = decoded
             senders.append(sender)
             receivers.append(receiver)
             blocks.append(block)
+            if has_values:
+                values.append(value)
+            if has_fees:
+                fees.append(fee)
 
     order = np.argsort(np.asarray(blocks, dtype=np.int64), kind="stable")
+    values_column = None
+    if decoder.has_values:
+        values_column = np.asarray(values, dtype=np.float64)[order]
+        if not values_column.any():
+            values_column = None  # all-zero column = no value signal
     batch = TransactionBatch(
         np.asarray(senders, dtype=np.int64)[order],
         np.asarray(receivers, dtype=np.int64)[order],
         np.asarray(blocks, dtype=np.int64)[order],
+        values_column,
+        np.asarray(fees, dtype=np.float64)[order] if decoder.has_fees else None,
     )
     return Trace(batch, n_accounts=len(registry)), registry

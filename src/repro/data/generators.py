@@ -9,12 +9,18 @@ structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import DataError
 from repro.util.validation import check_in_range, check_positive, check_probability
+
+#: Value-model kinds accepted by :class:`ValueModelConfig`.
+VALUE_MODEL_UNIFORM = "uniform"
+VALUE_MODEL_ZIPF = "zipf"
+VALUE_MODEL_BURST = "burst"
+VALUE_MODELS = (VALUE_MODEL_UNIFORM, VALUE_MODEL_ZIPF, VALUE_MODEL_BURST)
 
 
 def zipf_weights(n: int, exponent: float) -> np.ndarray:
@@ -58,6 +64,85 @@ def sample_pairs(
     clash = senders == receivers
     receivers[clash] = (receivers[clash] + 1) % n_accounts
     return senders.astype(np.int64), receivers.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class ValueModelConfig:
+    """Per-transfer value (and fee) model for synthetic traces.
+
+    Three kinds:
+
+    * ``"uniform"`` — every transfer moves ``scale`` units;
+    * ``"zipf"`` — heavy-tailed transfer values (power-law tail with
+      exponent ``exponent``), the shape real Ethereum value flow has:
+      most transfers are small, a thin tail moves most of the volume;
+    * ``"burst"`` — zipf values plus a flash-crowd window: transfers
+      inside the block window ``[burst_start, burst_start + burst_span)``
+      (fractions of the trace's block range) carry ``burst_multiplier``
+      times the value, modelling an NFT-mint/airdrop surge.
+
+    Values are rounded up to whole units so every generated amount is
+    integer-valued — which keeps the batched executor's scalar-vs-batch
+    equivalence bit-exact (see :mod:`repro.chain.crossshard`).
+    ``fee_fraction > 0`` adds a ``fees`` column of
+    ``floor(value * fee_fraction)``.
+    """
+
+    kind: str = VALUE_MODEL_ZIPF
+    scale: float = 10.0
+    exponent: float = 1.5
+    fee_fraction: float = 0.0
+    burst_start: float = 0.5
+    burst_span: float = 0.1
+    burst_multiplier: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in VALUE_MODELS:
+            raise DataError(
+                f"unknown value model {self.kind!r}; "
+                f"available: {', '.join(VALUE_MODELS)}"
+            )
+        check_positive("scale", self.scale)
+        check_in_range("exponent", self.exponent, 0.1, 10.0)
+        check_in_range("fee_fraction", self.fee_fraction, 0.0, 1.0)
+        check_probability("burst_start", self.burst_start)
+        check_probability("burst_span", self.burst_span)
+        if self.burst_multiplier < 1:
+            raise DataError(
+                f"burst_multiplier must be >= 1, got {self.burst_multiplier}"
+            )
+
+
+def sample_transfer_values(
+    rng: np.random.Generator,
+    blocks: np.ndarray,
+    config: ValueModelConfig,
+    n_blocks: Optional[int] = None,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Sample ``(values, fees)`` columns for transfers at ``blocks``.
+
+    ``fees`` is ``None`` when the model's ``fee_fraction`` is zero, so
+    fee-free traces keep their three/four-column batch layout.
+    """
+    blocks = np.asarray(blocks, dtype=np.int64)
+    n = len(blocks)
+    if config.kind == VALUE_MODEL_UNIFORM:
+        values = np.full(n, np.ceil(config.scale), dtype=np.float64)
+    else:
+        # Pareto tail: most transfers near `scale`, a heavy tail above.
+        values = np.ceil(config.scale * (rng.pareto(config.exponent, size=n) + 1.0))
+    if config.kind == VALUE_MODEL_BURST and n:
+        span_first = int(blocks[0])
+        span_last = int(n_blocks - 1) if n_blocks is not None else int(blocks[-1])
+        span = max(1, span_last - span_first + 1)
+        start = span_first + int(config.burst_start * span)
+        stop = start + max(1, int(config.burst_span * span))
+        in_burst = (blocks >= start) & (blocks < stop)
+        values[in_burst] *= np.ceil(config.burst_multiplier)
+    fees: Optional[np.ndarray] = None
+    if config.fee_fraction > 0.0:
+        fees = np.floor(values * config.fee_fraction)
+    return values, fees
 
 
 @dataclass(frozen=True)

@@ -70,6 +70,20 @@ class DataError(ReproError):
     """Trace loading, generation, or ETL failed."""
 
 
+class MalformedRowError(DataError):
+    """One row of an ETL extract could not be decoded.
+
+    Carries the source file and the 1-based line number so a bad row in
+    a multi-gigabyte extract is findable without re-running the decode.
+    """
+
+    def __init__(self, path: object, line: int, reason: str) -> None:
+        super().__init__(f"{path}:{line}: {reason}")
+        self.path = str(path)
+        self.line = int(line)
+        self.reason = reason
+
+
 class SimulationError(ReproError):
     """The simulation engine was driven into an invalid state."""
 

@@ -22,6 +22,7 @@ from repro.experiments.bench import (
     cell_delta_rows,
     check_against_baseline,
     executor_microbench,
+    ingest_microbench,
     load_baseline,
     reconfig_microbench,
     run_bench,
@@ -35,11 +36,15 @@ from repro.experiments.matrix import (
     ScenarioMatrix,
     TraceSpec,
     default_trace,
+    etl_smoke_matrix,
     paper_tables_matrix,
     realloc_smoke_matrix,
     smoke_matrix,
+    valued_trace,
     with_engine_modes,
+    with_funding,
     with_methods,
+    with_trace_source,
 )
 from repro.experiments.runner import (
     CellOutcome,
@@ -62,9 +67,11 @@ __all__ = [
     "cell_delta_rows",
     "check_against_baseline",
     "default_trace",
+    "etl_smoke_matrix",
     "execute_cell",
     "executor_microbench",
     "grid_row_settings",
+    "ingest_microbench",
     "load_baseline",
     "matrix_table",
     "paper_tables_matrix",
@@ -77,7 +84,10 @@ __all__ = [
     "smoke_matrix",
     "smoke_seconds",
     "table2_matrix",
+    "valued_trace",
     "with_engine_modes",
+    "with_funding",
     "with_methods",
+    "with_trace_source",
     "write_result_json",
 ]

@@ -24,12 +24,20 @@ from repro.allocation.hash_based import HashAllocator
 from repro.allocation.metis_like import MetisLikeAllocator
 from repro.allocation.orbit import OrbitAllocator
 from repro.allocation.txallo import TxAlloAllocator
+from typing import Optional
+
 from repro.chain.params import ProtocolParams
 from repro.chain.state import BACKEND_DENSE, BACKEND_DICT
 from repro.core.mosaic import MosaicAllocator
 from repro.data.ethereum import EthereumTraceConfig
+from repro.data.generators import ValueModelConfig
 from repro.errors import ConfigurationError
-from repro.sim.engine import ORACLE_LOOKAHEAD, SimulationConfig
+from repro.sim.engine import (
+    FUNDING_MODES,
+    FUNDING_UNIFORM,
+    ORACLE_LOOKAHEAD,
+    SimulationConfig,
+)
 from repro.util.rng import derive_seed
 
 #: Engine modes — a first-class grid axis. ``metrics`` is the classic
@@ -60,10 +68,37 @@ ALLOCATOR_BUILDERS: Dict[str, Callable[[int], Allocator]] = {
 
 @dataclass(frozen=True)
 class TraceSpec:
-    """A named, reproducible synthetic trace."""
+    """A named, reproducible trace source.
+
+    Exactly one of two sources backs a spec: a synthetic generator
+    configuration (``config``) or an ethereum-etl CSV on disk
+    (``etl_path`` — decoded through the chunked, bounded-memory
+    :class:`~repro.data.source.CsvTraceSource`). Either way,
+    :meth:`build` materialises the same :class:`Trace` every time, so
+    cells sharing a spec share a cached trace and grids stay
+    deterministic.
+    """
 
     name: str
-    config: EthereumTraceConfig
+    config: Optional[EthereumTraceConfig] = None
+    etl_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.config is None) == (self.etl_path is None):
+            raise ConfigurationError(
+                f"trace spec {self.name!r} needs exactly one of "
+                "config (synthetic) or etl_path (CSV replay)"
+            )
+
+    def build(self) -> "Trace":  # noqa: F821 - runtime import below
+        """Materialise this spec's trace (generator or streamed ETL)."""
+        if self.etl_path is not None:
+            from repro.data.source import CsvTraceSource
+
+            return CsvTraceSource(self.etl_path).materialise()
+        from repro.data.ethereum import generate_ethereum_like_trace
+
+        return generate_ethereum_like_trace(self.config)
 
 
 @dataclass(frozen=True)
@@ -80,6 +115,7 @@ class MatrixCell:
     oracle_mode: str = ORACLE_LOOKAHEAD
     history_fraction: float = 0.9
     engine_mode: str = ENGINE_MODE_METRICS
+    funding: str = FUNDING_UNIFORM
 
     @property
     def scenario_label(self) -> str:
@@ -87,8 +123,9 @@ class MatrixCell:
 
         Seeds derive from this label, *not* from :attr:`label`, so an
         executed cell simulates the bit-identical world of its
-        metrics-mode twin — the engine mode changes what is measured,
-        never the simulated scenario.
+        metrics-mode twin — the engine mode (and the funding mode,
+        which only shapes the substrate's genesis supply) changes what
+        is measured, never the simulated scenario.
         """
         return (
             f"{self.method}/{self.trace.name}"
@@ -97,10 +134,13 @@ class MatrixCell:
 
     @property
     def label(self) -> str:
-        """Stable identifier; executed cells carry a mode suffix."""
-        if self.engine_mode == ENGINE_MODE_METRICS:
-            return self.scenario_label
-        return f"{self.scenario_label}/{self.engine_mode}"
+        """Stable identifier; executed cells carry mode suffixes."""
+        label = self.scenario_label
+        if self.engine_mode != ENGINE_MODE_METRICS:
+            label = f"{label}/{self.engine_mode}"
+        if self.funding != FUNDING_UNIFORM:
+            label = f"{label}/funding-{self.funding}"
+        return label
 
     @property
     def cell_seed(self) -> int:
@@ -127,6 +167,7 @@ class MatrixCell:
                 if self.engine_mode == ENGINE_MODE_EXECUTE_DENSE
                 else BACKEND_DICT
             ),
+            funding=self.funding,
         )
 
     def build_allocator(self) -> Allocator:
@@ -156,6 +197,7 @@ class ScenarioMatrix:
     oracle_mode: str = ORACLE_LOOKAHEAD
     history_fraction: float = 0.9
     engine_modes: Tuple[str, ...] = (ENGINE_MODE_METRICS,)
+    funding: str = FUNDING_UNIFORM
 
     def __post_init__(self) -> None:
         unknown = [m for m in self.methods if m not in ALLOCATOR_BUILDERS]
@@ -169,6 +211,11 @@ class ScenarioMatrix:
             raise ConfigurationError(
                 f"unknown engine modes {unknown_modes}; "
                 f"available: {', '.join(ENGINE_MODES)}"
+            )
+        if self.funding not in FUNDING_MODES:
+            raise ConfigurationError(
+                f"unknown funding mode {self.funding!r}; "
+                f"available: {', '.join(FUNDING_MODES)}"
             )
         if not self.methods or not self.traces:
             raise ConfigurationError("matrix needs >= 1 method and >= 1 trace")
@@ -189,6 +236,7 @@ class ScenarioMatrix:
                 oracle_mode=self.oracle_mode,
                 history_fraction=self.history_fraction,
                 engine_mode=engine_mode,
+                funding=self.funding,
             )
             for trace in self.traces
             for method in self.methods
@@ -302,9 +350,69 @@ def paper_tables_matrix(
     )
 
 
+def valued_trace(
+    name: str = "community-valued",
+    n_accounts: int = 3_000,
+    n_transactions: int = 40_000,
+    n_blocks: int = 2_400,
+    seed: int = 0,
+    value_model: Optional[ValueModelConfig] = None,
+) -> TraceSpec:
+    """The standard synthetic trace with a value model attached.
+
+    The graph structure is bit-identical to :func:`default_trace` at
+    the same parameters (values draw from their own RNG stream); the
+    batch additionally carries ``values`` (and ``fees`` when the model
+    sets a fee fraction) for value-faithful executed cells.
+    """
+    spec = default_trace(name, n_accounts, n_transactions, n_blocks, seed)
+    model = value_model if value_model is not None else ValueModelConfig()
+    return TraceSpec(name=name, config=replace(spec.config, value_model=model))
+
+
+def etl_smoke_matrix(etl_path: str, seed: int = 0) -> ScenarioMatrix:
+    """One streamed value-faithful executed cell for CI.
+
+    The trace comes from an ethereum-etl CSV through the chunked
+    :class:`~repro.data.source.CsvTraceSource` (the streamed decode
+    path), runs in ``execute-dense`` mode, and funds genesis from the
+    file's observed value flow — the complete ingest-to-settlement
+    value pipeline on every push, at smoke size.
+    """
+    return ScenarioMatrix(
+        name="etl-smoke",
+        methods=("mosaic-pilot",),
+        traces=(TraceSpec(name="etl-fixture", etl_path=etl_path),),
+        ks=(4,),
+        tau=40,
+        seed=seed,
+        engine_modes=(ENGINE_MODE_EXECUTE_DENSE,),
+        funding="observed",
+    )
+
+
 def with_methods(matrix: ScenarioMatrix, methods: Tuple[str, ...]) -> ScenarioMatrix:
     """A copy of ``matrix`` restricted/extended to ``methods``."""
     return replace(matrix, methods=tuple(methods))
+
+
+def with_trace_source(
+    matrix: ScenarioMatrix, etl_path: str, name: str = "etl"
+) -> ScenarioMatrix:
+    """A copy of ``matrix`` replaying an ETL CSV instead of its traces.
+
+    This is the ``repro matrix --trace-source`` axis: the grid's
+    methods/parameters stay as declared while every cell draws its
+    transactions (and value columns) from the extract at ``etl_path``.
+    """
+    return replace(
+        matrix, traces=(TraceSpec(name=name, etl_path=str(etl_path)),)
+    )
+
+
+def with_funding(matrix: ScenarioMatrix, funding: str) -> ScenarioMatrix:
+    """A copy of ``matrix`` under another genesis-funding mode."""
+    return replace(matrix, funding=funding)
 
 
 def with_engine_modes(

@@ -25,7 +25,6 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.data.ethereum import generate_ethereum_like_trace
 from repro.data.trace import Trace
 from repro.errors import ExperimentError
 from repro.experiments.matrix import MatrixCell, ScenarioMatrix, TraceSpec
@@ -36,15 +35,15 @@ from repro.sim.recorder import summarize_results
 #: deterministic payload (they legitimately differ run to run).
 TIMING_KEYS = ("mean_execution_time", "mean_unit_time")
 
-#: Per-process trace cache: cells sharing a TraceSpec reuse the
-#: generated trace instead of regenerating it per cell.
+#: Per-process trace cache: cells sharing a TraceSpec reuse the built
+#: trace (generated or ETL-decoded) instead of rebuilding it per cell.
 _TRACE_CACHE: Dict[TraceSpec, Trace] = {}
 
 
 def _trace_for(spec: TraceSpec) -> Trace:
     trace = _TRACE_CACHE.get(spec)
     if trace is None:
-        trace = generate_ethereum_like_trace(spec.config)
+        trace = spec.build()
         _TRACE_CACHE[spec] = trace
     return trace
 
@@ -74,6 +73,10 @@ def execute_cell(cell: MatrixCell) -> Dict[str, object]:
     summary["trace"] = cell.trace.name
     summary["seed"] = cell.cell_seed
     summary["engine_mode"] = cell.engine_mode
+    if cell.funding != "uniform":
+        # Only non-default funding annotates the summary, so digests of
+        # every pre-existing grid stay byte-identical.
+        summary["funding"] = cell.funding
     return summary
 
 

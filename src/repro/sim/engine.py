@@ -56,6 +56,17 @@ from repro.util.validation import check_in_range
 ORACLE_LOOKAHEAD = "lookahead"
 ORACLE_TRAILING = "trailing"
 
+#: Genesis-funding modes for the unified engine. ``uniform`` mints the
+#: same ``initial_balance`` to every account (the legacy default that
+#: keeps executed goldens untouched); ``observed`` derives per-account
+#: balances from the trace's value flow (one vectorised sufficiency
+#: pass, see :func:`repro.chain.economics.observed_funding_balances`),
+#: so a replayed trace settles its recorded economics with zero
+#: overdraft aborts.
+FUNDING_UNIFORM = "uniform"
+FUNDING_OBSERVED = "observed"
+FUNDING_MODES = (FUNDING_UNIFORM, FUNDING_OBSERVED)
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -66,10 +77,13 @@ class SimulationConfig:
     executor and moves account state with reconfiguration.
     ``state_backend`` selects the per-shard state store implementation
     (``"dict"`` or ``"dense"``, see :mod:`repro.chain.state`);
-    ``initial_balance`` is the uniform genesis supply per account and
-    ``relay_delay_blocks`` the receipt relay latency. All four are
-    ignored while ``execute_values`` is off, keeping metrics-only runs
-    (and their goldens) untouched.
+    ``funding`` selects the genesis supply (``"uniform"`` — the legacy
+    default, every account minted ``initial_balance`` — or
+    ``"observed"`` — per-account balances derived from the trace's
+    value flow, the value-faithful replay mode); ``relay_delay_blocks``
+    is the receipt relay latency. All of these are ignored while
+    ``execute_values`` is off, keeping metrics-only runs (and their
+    goldens) untouched.
     """
 
     params: ProtocolParams
@@ -80,6 +94,8 @@ class SimulationConfig:
     state_backend: str = BACKEND_DICT
     initial_balance: float = 100.0
     relay_delay_blocks: int = 1
+    funding: str = FUNDING_UNIFORM
+    funding_headroom: float = 0.0
 
     def __post_init__(self) -> None:
         check_in_range("history_fraction", self.history_fraction, 0.0, 1.0)
@@ -104,6 +120,14 @@ class SimulationConfig:
         if self.relay_delay_blocks < 0:
             raise SimulationError(
                 f"relay_delay_blocks must be >= 0, got {self.relay_delay_blocks}"
+            )
+        if self.funding not in FUNDING_MODES:
+            raise SimulationError(
+                f"funding must be one of {FUNDING_MODES}, got {self.funding!r}"
+            )
+        if self.funding_headroom < 0:
+            raise SimulationError(
+                f"funding_headroom must be >= 0, got {self.funding_headroom}"
             )
 
 
@@ -234,10 +258,13 @@ class ExecutionSubstrate:
 
     Owns a :class:`~repro.chain.ledger.Ledger` (beacon chain + epoch
     reconfigurator) over a :class:`~repro.chain.crossshard.CrossShardExecutor`
-    with per-shard state stores, genesis-funded with a uniform supply.
-    The substrate keeps its *own* mapping object — synchronised to the
-    engine's value-for-value — so the metrics path's object flow (and
-    thus its numbers) is untouched by execution.
+    with per-shard state stores, genesis-funded either with a uniform
+    supply (the legacy default) or with per-account balances derived
+    from the trace's observed value flow (``funding="observed"`` —
+    value-faithful replay). The substrate keeps its *own* mapping
+    object — synchronised to the engine's value-for-value — so the
+    metrics path's object flow (and thus its numbers) is untouched by
+    execution.
     """
 
     def __init__(
@@ -246,6 +273,7 @@ class ExecutionSubstrate:
         # Local imports keep the metrics-only engine free of the chain
         # execution layer (and its import cost) unless the flag is on.
         from repro.chain.crossshard import CrossShardExecutor
+        from repro.chain.economics import observed_funding_balances
         from repro.chain.ledger import Ledger
         from repro.chain.state import StateRegistry
 
@@ -262,14 +290,20 @@ class ExecutionSubstrate:
             relay_delay_blocks=config.relay_delay_blocks,
         )
         self.ledger = Ledger(config.params, self.mapping, executor=self.executor)
-        self.executor.fund_many(
-            np.arange(trace.n_accounts, dtype=np.int64),
-            config.initial_balance,
-        )
-        self.genesis_supply = float(trace.n_accounts) * config.initial_balance
+        accounts = np.arange(trace.n_accounts, dtype=np.int64)
+        if config.funding == FUNDING_OBSERVED:
+            balances = observed_funding_balances(
+                trace.batch, trace.n_accounts, headroom=config.funding_headroom
+            )
+            self.executor.fund_many(accounts, balances)
+            self.genesis_supply = float(np.sum(balances, dtype=np.float64))
+        else:
+            self.executor.fund_many(accounts, config.initial_balance)
+            self.genesis_supply = float(trace.n_accounts) * config.initial_balance
 
     def total_value(self) -> float:
-        """Resident balances plus in-flight receipts (conserved)."""
+        """Resident balances + in-flight receipts + collected fees
+        (conserved against the genesis supply)."""
         return self.executor.total_value()
 
     def place_new_accounts(

@@ -6,7 +6,8 @@ import pytest
 from repro.chain.account import AccountRegistry
 from repro.data.ethereum import EthereumTraceConfig, generate_ethereum_like_trace
 from repro.data.etl import read_transactions_csv, write_transactions_csv
-from repro.errors import DataError
+from repro.data.generators import ValueModelConfig
+from repro.errors import DataError, MalformedRowError
 
 
 def small_config(**overrides):
@@ -158,3 +159,121 @@ class TestEtlRoundtrip:
         write_transactions_csv(path, trace, registry)
         loaded, _ = read_transactions_csv(path)
         assert len(loaded) == 50
+
+    def test_values_and_fees_round_trip_exactly(self, tmp_path):
+        trace = generate_ethereum_like_trace(
+            small_config(
+                n_transactions=400,
+                value_model=ValueModelConfig(fee_fraction=0.03),
+            )
+        )
+        assert trace.batch.values is not None
+        assert trace.batch.fees is not None
+        path = tmp_path / "valued.csv"
+        write_transactions_csv(path, trace)
+        loaded, _ = read_transactions_csv(path)
+        assert np.array_equal(loaded.batch.values, trace.batch.values)
+        assert np.array_equal(loaded.batch.fees, trace.batch.fees)
+
+    def test_valueless_trace_round_trips_valueless(self, tmp_path):
+        """An all-zero value column (what the writer emits for metric
+        traces, and what every pre-value file carries) must read back
+        as *no* value column, so executed replays keep the executor's
+        default transfer amount instead of moving zero."""
+        trace = generate_ethereum_like_trace(small_config(n_transactions=40))
+        path = tmp_path / "plain.csv"
+        write_transactions_csv(path, trace)
+        header = path.read_text().splitlines()[0]
+        assert header == "hash,block_number,from_address,to_address,value"
+        loaded, _ = read_transactions_csv(path)
+        assert loaded.batch.values is None
+        assert loaded.batch.fees is None  # no fee column written
+        from repro.data import CsvTraceSource
+
+        streamed = CsvTraceSource(path).materialise()
+        assert streamed.batch.values is None
+
+
+class TestMalformedRows:
+    HEADER = "hash,block_number,from_address,to_address,value\n"
+    A, B = "0x" + "aa" * 20, "0x" + "bb" * 20
+
+    def test_bad_block_number_carries_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            self.HEADER
+            + f"0x0,1,{self.A},{self.B},0\n"
+            + f"0x1,not-a-number,{self.A},{self.B},0\n"
+        )
+        with pytest.raises(MalformedRowError) as excinfo:
+            read_transactions_csv(path)
+        assert excinfo.value.line == 3
+        assert excinfo.value.path.endswith("bad.csv")
+        assert "block_number" in str(excinfo.value)
+
+    def test_negative_block_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(self.HEADER + f"0x0,-4,{self.A},{self.B},0\n")
+        with pytest.raises(MalformedRowError, match="block_number"):
+            read_transactions_csv(path)
+
+    def test_bad_value_carries_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(self.HEADER + f"0x0,1,{self.A},{self.B},tomato\n")
+        with pytest.raises(MalformedRowError) as excinfo:
+            read_transactions_csv(path)
+        assert excinfo.value.line == 2
+        assert "value" in excinfo.value.reason
+
+    def test_negative_value_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(self.HEADER + f"0x0,1,{self.A},{self.B},-3\n")
+        with pytest.raises(MalformedRowError, match="value"):
+            read_transactions_csv(path)
+
+    def test_bad_fee_carries_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "hash,block_number,from_address,to_address,value,fee\n"
+            f"0x0,1,{self.A},{self.B},2,soup\n"
+        )
+        with pytest.raises(MalformedRowError) as excinfo:
+            read_transactions_csv(path)
+        assert excinfo.value.line == 2
+        assert "fee" in excinfo.value.reason
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        """csv.DictReader skipped blank rows; the decoder must too."""
+        path = tmp_path / "gappy.csv"
+        path.write_text(
+            self.HEADER
+            + f"0x0,1,{self.A},{self.B},2\n"
+            + "\n"
+            + f"0x1,3,{self.B},{self.A},4\n"
+            + "\n"
+        )
+        trace, _ = read_transactions_csv(path)
+        assert len(trace) == 2
+        from repro.data import CsvTraceSource
+
+        streamed = CsvTraceSource(path).materialise()
+        assert len(streamed) == 2
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(self.HEADER + "0x0,1\n")
+        with pytest.raises(MalformedRowError, match="columns"):
+            read_transactions_csv(path)
+
+    def test_malformed_row_is_a_data_error(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(self.HEADER + f"0x0,zzz,{self.A},{self.B},0\n")
+        with pytest.raises(DataError):
+            read_transactions_csv(path)
+
+    def test_header_only_csv_is_an_empty_trace(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text(self.HEADER)
+        trace, registry = read_transactions_csv(path)
+        assert len(trace) == 0
+        assert len(registry) == 0

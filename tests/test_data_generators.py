@@ -5,11 +5,90 @@ import pytest
 
 from repro.data.generators import (
     CommunityConfig,
+    ValueModelConfig,
     community_pair_sampler,
     sample_pairs,
+    sample_transfer_values,
     zipf_weights,
 )
 from repro.errors import DataError
+
+
+class TestValueModels:
+    def test_zipf_values_are_positive_integers(self):
+        rng = np.random.default_rng(0)
+        blocks = np.sort(rng.integers(0, 100, size=5_000))
+        values, fees = sample_transfer_values(
+            rng, blocks, ValueModelConfig(kind="zipf", scale=10.0)
+        )
+        assert len(values) == 5_000
+        assert (values >= 10.0).all()
+        assert np.array_equal(values, np.rint(values))  # integer-valued
+        assert fees is None
+
+    def test_zipf_values_are_heavy_tailed(self):
+        rng = np.random.default_rng(1)
+        blocks = np.zeros(20_000, dtype=np.int64)
+        values, _ = sample_transfer_values(
+            rng, blocks, ValueModelConfig(kind="zipf", exponent=1.2)
+        )
+        top_share = np.sort(values)[-200:].sum() / values.sum()
+        assert top_share > 0.15  # 1% of transfers move >15% of the value
+
+    def test_uniform_values(self):
+        rng = np.random.default_rng(2)
+        values, fees = sample_transfer_values(
+            rng,
+            np.arange(10),
+            ValueModelConfig(kind="uniform", scale=7.0, fee_fraction=0.1),
+        )
+        assert (values == 7.0).all()
+        assert fees is not None
+        assert np.array_equal(fees, np.floor(values * 0.1))
+
+    def test_burst_window_multiplies_values(self):
+        rng = np.random.default_rng(3)
+        n_blocks = 1_000
+        blocks = np.arange(n_blocks, dtype=np.int64)
+        config = ValueModelConfig(
+            kind="burst",
+            scale=1.0,
+            burst_start=0.5,
+            burst_span=0.1,
+            burst_multiplier=8.0,
+        )
+        values, _ = sample_transfer_values(rng, blocks, config, n_blocks=n_blocks)
+        in_burst = (blocks >= 500) & (blocks < 600)
+        assert values[in_burst].mean() > 4 * values[~in_burst].mean()
+
+    def test_fees_are_integer_valued_and_proportional(self):
+        rng = np.random.default_rng(4)
+        values, fees = sample_transfer_values(
+            rng,
+            np.zeros(1_000, dtype=np.int64),
+            ValueModelConfig(fee_fraction=0.05),
+        )
+        assert fees is not None
+        assert np.array_equal(fees, np.rint(fees))
+        assert (fees <= values * 0.05).all()
+
+    def test_rejects_invalid_config(self):
+        with pytest.raises(DataError):
+            ValueModelConfig(kind="lognormal")
+        with pytest.raises(Exception):
+            ValueModelConfig(scale=0.0)
+        with pytest.raises(Exception):
+            ValueModelConfig(fee_fraction=1.5)
+        with pytest.raises(DataError):
+            ValueModelConfig(burst_multiplier=0.5)
+
+    def test_deterministic_per_seed(self):
+        blocks = np.arange(500, dtype=np.int64)
+        config = ValueModelConfig(fee_fraction=0.02)
+        a = sample_transfer_values(np.random.default_rng(9), blocks, config)
+        b = sample_transfer_values(np.random.default_rng(9), blocks, config)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
 
 
 class TestZipfWeights:

@@ -1,0 +1,267 @@
+"""TraceSource suite: chunked ingest and streamed epoch slicing.
+
+The contract under test: a streamed consumer sees *exactly* what a
+materialised consumer sees. Chunk boundaries are an implementation
+detail — randomized chunk sizes must never change the assembled trace,
+the dense account ids, the value/fee columns, or the epoch slicing —
+and buffering must stay proportional to the chunk size, never the
+trace.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.transaction import TransactionBatch
+from repro.data import (
+    CsvTraceSource,
+    EpochStream,
+    EthereumTraceConfig,
+    GeneratorTraceSource,
+    MaterialisedTraceSource,
+    Trace,
+    ValueModelConfig,
+    generate_ethereum_like_trace,
+    read_transactions_csv,
+    stream_epochs,
+    write_transactions_csv,
+)
+from repro.errors import DataError, MalformedRowError
+
+
+def valued_config(**overrides):
+    defaults = dict(
+        n_accounts=300,
+        n_transactions=2_000,
+        n_blocks=300,
+        seed=5,
+        value_model=ValueModelConfig(fee_fraction=0.05),
+    )
+    defaults.update(overrides)
+    return EthereumTraceConfig(**defaults)
+
+
+def assert_batches_equal(a: TransactionBatch, b: TransactionBatch) -> None:
+    assert np.array_equal(a.senders, b.senders)
+    assert np.array_equal(a.receivers, b.receivers)
+    assert np.array_equal(a.blocks, b.blocks)
+    if a.values is None or b.values is None:
+        assert a.values is None and b.values is None
+    else:
+        assert np.array_equal(a.values, b.values)
+    if a.fees is None or b.fees is None:
+        assert a.fees is None and b.fees is None
+    else:
+        assert np.array_equal(a.fees, b.fees)
+
+
+class TestMaterialisedSource:
+    def test_chunks_reassemble_to_the_trace(self):
+        trace = generate_ethereum_like_trace(valued_config())
+        source = MaterialisedTraceSource(trace, chunk_rows=97)
+        chunks = list(source.chunks())
+        assert all(len(c) <= 97 for c in chunks)
+        assert sum(len(c) for c in chunks) == len(trace)
+        assert_batches_equal(TransactionBatch.concat_many(chunks), trace.batch)
+        assert source.resolved_n_accounts() == trace.n_accounts
+
+    def test_materialise_returns_the_same_trace(self):
+        trace = generate_ethereum_like_trace(valued_config())
+        assert MaterialisedTraceSource(trace).materialise() is trace
+        assert Trace.from_source(MaterialisedTraceSource(trace)) is trace
+
+    def test_rejects_bad_chunk_rows(self):
+        trace = generate_ethereum_like_trace(valued_config())
+        with pytest.raises(DataError):
+            MaterialisedTraceSource(trace, chunk_rows=0)
+
+
+class TestGeneratorSource:
+    def test_materialise_matches_direct_generation(self):
+        config = valued_config()
+        direct = generate_ethereum_like_trace(config)
+        source = GeneratorTraceSource(config, chunk_rows=128)
+        assert_batches_equal(source.materialise().batch, direct.batch)
+        assert source.materialise().n_accounts == direct.n_accounts
+
+    def test_generation_is_cached_across_iterations(self):
+        source = GeneratorTraceSource(valued_config(), chunk_rows=512)
+        first = TransactionBatch.concat_many(list(source.chunks()))
+        second = TransactionBatch.concat_many(list(source.chunks()))
+        assert_batches_equal(first, second)
+        assert source.materialise() is source.materialise()
+
+
+class TestCsvSource:
+    def test_streamed_equals_eager_read(self, tmp_path):
+        trace = generate_ethereum_like_trace(valued_config())
+        path = tmp_path / "t.csv"
+        write_transactions_csv(path, trace)
+        eager, registry = read_transactions_csv(path)
+        source = CsvTraceSource(path, chunk_rows=173)
+        streamed = source.materialise()
+        assert_batches_equal(streamed.batch, eager.batch)
+        assert streamed.n_accounts == eager.n_accounts
+        assert len(source.registry) == len(registry)
+
+    def test_peak_buffer_is_chunk_bounded(self, tmp_path):
+        trace = generate_ethereum_like_trace(valued_config())
+        path = tmp_path / "t.csv"
+        write_transactions_csv(path, trace)
+        source = CsvTraceSource(path, chunk_rows=100)
+        source.materialise()
+        assert 0 < source.peak_buffer_rows <= 100
+
+    def test_out_of_order_rows_rejected_with_line(self, tmp_path):
+        a, b = "0x" + "aa" * 20, "0x" + "bb" * 20
+        path = tmp_path / "unsorted.csv"
+        path.write_text(
+            "hash,block_number,from_address,to_address,value\n"
+            f"0x0,5,{a},{b},1\n"
+            f"0x1,2,{b},{a},1\n"
+        )
+        source = CsvTraceSource(path)
+        with pytest.raises(MalformedRowError) as excinfo:
+            list(source.chunks())
+        assert excinfo.value.line == 3
+        assert excinfo.value.path.endswith("unsorted.csv")
+        # The eager reader accepts the same file by sorting.
+        eager, _ = read_transactions_csv(path)
+        assert eager.batch.blocks.tolist() == [2, 5]
+
+    def test_empty_file_and_missing_columns(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(DataError):
+            list(CsvTraceSource(empty).chunks())
+        bad = tmp_path / "bad.csv"
+        bad.write_text("hash,value\n0x0,1\n")
+        with pytest.raises(DataError, match="missing columns"):
+            list(CsvTraceSource(bad).chunks())
+
+    def test_header_only_yields_no_chunks(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("hash,block_number,from_address,to_address,value\n")
+        source = CsvTraceSource(path)
+        assert list(source.chunks()) == []
+        trace = CsvTraceSource(path).materialise()
+        assert len(trace) == 0
+
+    def test_all_zero_value_column_is_absent_in_chunks_too(self, tmp_path):
+        """The zero-column rule holds at chunk level, not just after
+        materialise, so EpochStream and Trace.epochs see identical
+        batches for metric-only files."""
+        trace = generate_ethereum_like_trace(
+            valued_config(value_model=None, n_transactions=300)
+        )
+        path = tmp_path / "plain.csv"
+        write_transactions_csv(path, trace)
+        source = CsvTraceSource(path, chunk_rows=64)
+        chunks = list(source.chunks())
+        assert all(c.values is None for c in chunks)
+        assert CsvTraceSource(path).materialise().batch.values is None
+        eager, _ = read_transactions_csv(path)
+        assert eager.batch.values is None
+        streamed_epochs = list(
+            stream_epochs(CsvTraceSource(path, chunk_rows=64), tau=50)
+        )
+        for got, want in zip(streamed_epochs, eager.epoch_list(50)):
+            assert_batches_equal(got.batch, want.batch)
+
+    @settings(max_examples=20, deadline=None)
+    @given(chunk_rows=st.integers(1, 500), seed=st.integers(0, 20))
+    def test_chunk_size_never_changes_the_trace(
+        self, tmp_path_factory, chunk_rows, seed
+    ):
+        tmp_path = tmp_path_factory.mktemp("csv")
+        trace = generate_ethereum_like_trace(
+            valued_config(n_transactions=400, seed=seed)
+        )
+        path = tmp_path / "t.csv"
+        write_transactions_csv(path, trace)
+        reference, _ = read_transactions_csv(path)
+        streamed = CsvTraceSource(path, chunk_rows=chunk_rows).materialise()
+        assert_batches_equal(streamed.batch, reference.batch)
+
+
+class TestEpochStream:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        chunk_rows=st.integers(1, 700),
+        tau=st.integers(1, 90),
+        seed=st.integers(0, 10),
+        max_epochs=st.one_of(st.none(), st.integers(1, 6)),
+    )
+    def test_stream_equals_materialised_epochs(
+        self, chunk_rows, tau, seed, max_epochs
+    ):
+        trace = generate_ethereum_like_trace(
+            valued_config(n_transactions=1_200, n_blocks=200, seed=seed)
+        )
+        source = MaterialisedTraceSource(trace, chunk_rows=chunk_rows)
+        streamed = list(stream_epochs(source, tau, max_epochs))
+        materialised = trace.epoch_list(tau, max_epochs)
+        assert len(streamed) == len(materialised)
+        for got, want in zip(streamed, materialised):
+            assert got.index == want.index
+            assert got.first_block == want.first_block
+            assert got.last_block == want.last_block
+            assert_batches_equal(got.batch, want.batch)
+
+    def test_buffering_is_epoch_plus_chunk_bounded(self):
+        trace = generate_ethereum_like_trace(
+            valued_config(n_transactions=3_000, n_blocks=300)
+        )
+        tau, chunk_rows = 30, 128
+        max_epoch_rows = max(
+            len(view) for view in trace.epoch_list(tau)
+        )
+        stream = EpochStream(
+            MaterialisedTraceSource(trace, chunk_rows=chunk_rows), tau
+        )
+        total = sum(len(view) for view in stream)
+        assert total == len(trace)
+        assert stream.peak_buffer_rows <= max_epoch_rows + chunk_rows
+
+    def test_max_epochs_stops_pulling_chunks(self):
+        """Once the epoch budget is spent, no further chunk is decoded."""
+        trace = generate_ethereum_like_trace(
+            valued_config(n_transactions=3_000, n_blocks=300)
+        )
+        pulled = []
+
+        class CountingSource(MaterialisedTraceSource):
+            def chunks(self):
+                for chunk in super().chunks():
+                    pulled.append(len(chunk))
+                    yield chunk
+
+        source = CountingSource(trace, chunk_rows=50)
+        epochs = list(stream_epochs(source, tau=10, max_epochs=2))
+        assert [e.index for e in epochs] == [0, 1]
+        assert sum(pulled) < len(trace)  # the tail was never pulled
+
+    def test_empty_source_yields_nothing(self):
+        empty = Trace(TransactionBatch.empty(), n_accounts=1)
+        assert list(stream_epochs(MaterialisedTraceSource(empty), 10)) == []
+
+    def test_rejects_bad_parameters(self):
+        trace = Trace(TransactionBatch.empty(), n_accounts=1)
+        source = MaterialisedTraceSource(trace)
+        with pytest.raises(DataError):
+            EpochStream(source, tau=0)
+        with pytest.raises(DataError):
+            EpochStream(source, tau=5, max_epochs=0)
+
+    def test_csv_source_streams_epochs_end_to_end(self, tmp_path):
+        trace = generate_ethereum_like_trace(valued_config())
+        path = tmp_path / "t.csv"
+        write_transactions_csv(path, trace)
+        eager, _ = read_transactions_csv(path)
+        streamed = list(
+            stream_epochs(CsvTraceSource(path, chunk_rows=211), tau=25)
+        )
+        for got, want in zip(streamed, eager.epoch_list(25)):
+            assert_batches_equal(got.batch, want.batch)
+        assert len(streamed) == len(eager.epoch_list(25))

@@ -18,6 +18,7 @@ import pytest
 from repro.errors import ExperimentError
 from repro.experiments import check_against_baseline, executor_microbench
 from repro.experiments.bench import (
+    ingest_microbench,
     load_baseline,
     reconfig_microbench,
     smoke_seconds,
@@ -32,6 +33,10 @@ MICROBENCH_SCALE = 0.1
 #: CI-sized reconfiguration bench: the snapshot's 1M-account full
 #: repartition at 1/10 of the universe.
 RECONFIG_SCALE = 0.1
+
+#: CI-sized ingest bench: the snapshot's 1M-row CSV decode at 1/10
+#: of the row count.
+INGEST_SCALE = 0.1
 
 
 class TestGateLogic:
@@ -135,6 +140,26 @@ class TestPerfSmokeGate:
             for _ in range(2)
         )
         measured = {"kernel_seconds_dense_1m": seconds}
+        violations = check_against_baseline(measured, baseline, threshold=3.0)
+        assert not violations, "; ".join(violations)
+
+    def test_streamed_ingest_within_3x_of_snapshot(self, tmp_path):
+        """The chunked CSV decoder must not regress per-row.
+
+        Decodes a 1/10-scale extract and compares against the
+        proportionally scaled ``ingest_seconds_streamed_1m`` reference
+        (the 0.25s floor in ``check_against_baseline`` absorbs fixed
+        overhead at this size).
+        """
+        baseline = load_baseline(BASELINE_PATH)
+        if baseline.get("ingest_seconds_streamed_1m") is None:
+            pytest.skip("snapshot predates the ingest entries")
+        seconds = ingest_microbench(
+            n_rows=int(1_000_000 * INGEST_SCALE),
+            mode="streamed",
+            path=tmp_path / "ingest_gate.csv",
+        )
+        measured = {"ingest_seconds_streamed_1m": seconds / INGEST_SCALE}
         violations = check_against_baseline(measured, baseline, threshold=3.0)
         assert not violations, "; ".join(violations)
 
