@@ -1,10 +1,42 @@
-"""Legacy setuptools shim.
+"""Package metadata (setuptools, no PEP 517 build isolation needed).
 
-Allows ``pip install -e . --no-build-isolation --no-use-pep517`` in
-offline environments that lack the ``wheel`` package (PEP 660 editable
-installs need it). All real metadata lives in ``pyproject.toml``.
+Kept as a plain ``setup.py`` so ``pip install -e . --no-build-isolation
+--no-use-pep517`` works in offline environments that lack the ``wheel``
+package (PEP 660 editable installs need it).
+
+The core library needs only numpy. The ``fast`` extra pulls in the
+optional compiled fast paths — numba for the jitted Metis refinement
+kernels (``repro.allocation.metis_like.kernels``) and pyarrow for the
+columnar CSV ingest (``repro.data.arrow``). Both are import-guarded:
+without the extra every knob falls back to the bit-identical
+pure-python reference implementations.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(
+    r'^__version__ = "([^"]+)"', _INIT.read_text(), re.MULTILINE
+).group(1)
+
+setup(
+    name="repro",
+    version=VERSION,
+    description=(
+        "Reproduction of Mosaic: client-driven account allocation in "
+        "sharded blockchains (ICDCS 2025)"
+    ),
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={
+        "fast": ["numba>=0.57", "pyarrow>=14"],
+    },
+    entry_points={
+        "console_scripts": ["repro = repro.cli:main"],
+    },
+)

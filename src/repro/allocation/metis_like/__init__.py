@@ -14,10 +14,20 @@ graph with the classic multilevel scheme:
 No external METIS binary or bindings are used; see DESIGN.md §4.
 """
 
+from repro.allocation.metis_like.kernels import (
+    NUMBA_AVAILABLE,
+    resolve_compiled,
+)
 from repro.allocation.metis_like.partitioner import (
     MetisLikeAllocator,
     PartitionResult,
     partition_graph,
 )
 
-__all__ = ["MetisLikeAllocator", "PartitionResult", "partition_graph"]
+__all__ = [
+    "MetisLikeAllocator",
+    "NUMBA_AVAILABLE",
+    "PartitionResult",
+    "partition_graph",
+    "resolve_compiled",
+]

@@ -107,13 +107,15 @@ def _command_generate(args: argparse.Namespace) -> int:
 def _command_simulate(args: argparse.Namespace) -> int:
     if args.input:
         if args.streamed:
+            from repro.data.arrow import resolve_decoder
             from repro.data.source import CsvTraceSource
 
-            source = CsvTraceSource(args.input)
+            source = CsvTraceSource(args.input, decoder=args.decoder)
             trace = source.materialise()
             print(
                 f"streamed {len(trace):,} transactions from {args.input} "
-                f"(peak buffer {source.peak_buffer_rows:,} rows)"
+                f"({resolve_decoder(args.decoder)} decoder, "
+                f"peak buffer {source.peak_buffer_rows:,} rows)"
             )
         else:
             trace, _registry = read_transactions_csv(args.input)
@@ -290,7 +292,9 @@ def _command_matrix(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-        matrix = etl_smoke_matrix(str(fixture), seed=args.seed)
+        matrix = etl_smoke_matrix(
+            str(fixture), seed=args.seed, decoder=args.decoder
+        )
         if engine_modes != ("metrics",):
             matrix = with_engine_modes(matrix, engine_modes)
     elif args.realloc_smoke:
@@ -336,7 +340,7 @@ def _command_matrix(args: argparse.Namespace) -> int:
     # silently ignored — `--etl-smoke --funding uniform` really runs
     # the legacy uniform supply.
     if trace_source is not None:
-        matrix = with_trace_source(matrix, trace_source)
+        matrix = with_trace_source(matrix, trace_source, decoder=args.decoder)
     if args.funding is not None:
         matrix = with_funding(matrix, args.funding)
     print(
@@ -371,14 +375,37 @@ def _command_matrix(args: argparse.Namespace) -> int:
     return 1 if result.failures else 0
 
 
+def _print_compiled_env() -> None:
+    from repro.allocation.metis_like import kernels
+    from repro.data import arrow
+    from repro.experiments import compiled_env
+
+    env = compiled_env()
+    print(f"metis kernels : {kernels.describe()}")
+    print(f"csv ingest    : {arrow.describe()}")
+    print(
+        "fast extra    : "
+        + (
+            "complete"
+            if env["numba"] and env["pyarrow"]
+            else "incomplete — pip install 'repro[fast]' for the "
+            "compiled paths"
+        )
+    )
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.experiments import cell_delta_rows, run_bench
 
+    if args.env:
+        _print_compiled_env()
+        return 0
     print(
         "running the Table II benchmark workload "
-        f"({args.workers} worker(s)) + executor/reconfig microbenches "
-        "+ smoke grid"
+        f"({args.workers} worker(s)) + executor/reconfig/refine "
+        "microbenches + smoke grid"
     )
+    _print_compiled_env()
     payload = run_bench(path=args.output, workers=args.workers)
     print(f"\nsnapshot written to {args.output}")
     print(f"total_seconds   : {payload['total_seconds']}")
@@ -390,28 +417,42 @@ def _command_bench(args: argparse.Namespace) -> int:
             f"batch vs {payload['reconfig_seconds_object_1m']}s object"
         )
     if "ingest_seconds_streamed_1m" in payload:
-        print(
+        line = (
             f"ingest 1M       : {payload['ingest_seconds_streamed_1m']}s "
             f"streamed vs {payload['ingest_seconds_materialised_1m']}s "
             "materialised"
         )
+        if "ingest_seconds_arrow_1m" in payload:
+            line += f" vs {payload['ingest_seconds_arrow_1m']}s arrow"
+        print(line)
+    if "refine_seconds_python" in payload:
+        line = f"refine          : {payload['refine_seconds_python']}s python"
+        if "refine_seconds_jit" in payload:
+            line += f" vs {payload['refine_seconds_jit']}s jit"
+        print(line)
     if "speedup_vs_reference" in payload:
         print(f"speedup vs prev : {payload['speedup_vs_reference']}x")
     delta_rows = cell_delta_rows(payload)
     if delta_rows:
         # Per-cell deltas vs the previous snapshot make a drifting cell
-        # visible at a glance instead of hiding inside the total.
+        # visible at a glance instead of hiding inside the total; the
+        # spread column says how noisy the cell's own repeats were.
         rows = [
             [
                 label,
                 f"{ref:.3f}s" if ref is not None else "-",
                 f"{now:.3f}s",
                 f"{delta:+.0%}" if delta is not None else "-",
+                f"{spread:.0%}" if spread is not None else "-",
             ]
-            for label, ref, now, delta in delta_rows
+            for label, ref, now, delta, spread in delta_rows
         ]
         print()
-        print(render_table(["Cell", "Reference", "Now", "Delta"], rows))
+        print(
+            render_table(
+                ["Cell", "Reference", "Now", "Delta", "Spread"], rows
+            )
+        )
     failures = int(payload.get("failures", 0))
     if failures:
         print(f"error: {failures} cell(s) failed", file=sys.stderr)
@@ -481,6 +522,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="decode --input through the chunked bounded-memory "
         "CsvTraceSource instead of the eager reader",
     )
+    simulate.add_argument(
+        "--decoder",
+        default="auto",
+        choices=("python", "arrow", "auto"),
+        help="row decoder for --streamed: python reference loop, "
+        "arrow columnar fast path, or auto-detect (both are "
+        "bit-identical)",
+    )
     simulate.set_defaults(handler=_command_simulate)
 
     compare = subparsers.add_parser(
@@ -511,6 +560,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--workers", type=int, default=1, help="process count (1 = sequential)"
+    )
+    bench.add_argument(
+        "--env",
+        action="store_true",
+        help="report which compiled fast paths (numba kernels, arrow "
+        "decoder) are active in this environment, without running "
+        "the benchmark",
     )
     bench.set_defaults(handler=_command_bench)
 
@@ -578,6 +634,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace-source axis: 'synthetic' (default) generates the "
         "grid's trace; a CSV path replays that ethereum-etl extract "
         "through the chunked streamed decoder instead",
+    )
+    matrix.add_argument(
+        "--decoder",
+        default="auto",
+        choices=("python", "arrow", "auto"),
+        help="row decoder for CSV trace sources (--trace-source / "
+        "--etl-smoke): python reference, arrow columnar, or "
+        "auto-detect",
     )
     matrix.add_argument(
         "--funding",

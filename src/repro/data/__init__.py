@@ -16,6 +16,11 @@ from repro.data.etl import (
     ETL_COLUMNS,
     FEE_COLUMN,
 )
+from repro.data.arrow import (
+    DECODERS,
+    PYARROW_AVAILABLE,
+    resolve_decoder,
+)
 from repro.data.source import (
     CsvTraceSource,
     EpochStream,
@@ -44,6 +49,9 @@ __all__ = [
     "MaterialisedTraceSource",
     "GeneratorTraceSource",
     "CsvTraceSource",
+    "DECODERS",
     "EpochStream",
+    "PYARROW_AVAILABLE",
+    "resolve_decoder",
     "stream_epochs",
 ]

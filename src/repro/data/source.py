@@ -30,6 +30,13 @@ import numpy as np
 
 from repro.chain.account import AccountRegistry
 from repro.chain.transaction import TransactionBatch
+from repro.data.arrow import (
+    DECODER_ARROW,
+    DECODERS,
+    ArrowDecodeAnomaly,
+    arrow_chunks,
+    resolve_decoder,
+)
 from repro.data.ethereum import EthereumTraceConfig, generate_ethereum_like_trace
 from repro.data.etl import _RowDecoder
 from repro.data.trace import EpochView, Trace
@@ -169,6 +176,14 @@ class CsvTraceSource(TraceSource):
     the column — :meth:`TransactionBatch.concat_many` re-materialises
     the skipped leading zeros, so the assembled trace is identical to
     the eager read.
+
+    ``decoder`` selects the row-decode implementation: ``"python"`` is
+    the reference :class:`_RowDecoder` loop, ``"arrow"`` the columnar
+    pyarrow fast path (:mod:`repro.data.arrow`), and ``"auto"`` picks
+    arrow exactly when pyarrow is installed. Both produce bit-identical
+    chunk streams, ids, and typed errors; the arrow path falls back to
+    (or replays through) the python path whenever it meets input it
+    cannot decode verbatim, so consumers never observe a difference.
     """
 
     def __init__(
@@ -176,16 +191,70 @@ class CsvTraceSource(TraceSource):
         path: Union[str, Path],
         chunk_rows: int = DEFAULT_CHUNK_ROWS,
         registry: Optional[AccountRegistry] = None,
+        decoder: str = "auto",
     ) -> None:
         if chunk_rows < 1:
             raise DataError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        if decoder not in DECODERS:
+            raise DataError(
+                f"decoder must be one of {DECODERS}, got {decoder!r}"
+            )
         self.path = Path(path)
         self.chunk_rows = int(chunk_rows)
         self.registry = registry if registry is not None else AccountRegistry()
+        self.decoder = decoder
         self.name = self.path.name
         self.peak_buffer_rows = 0
 
     def chunks(self) -> Iterator[TransactionBatch]:
+        if resolve_decoder(self.decoder) != DECODER_ARROW:
+            yield from self._python_chunks()
+            return
+        yielded = False
+        stream = arrow_chunks(self)
+        while True:
+            try:
+                chunk = next(stream)
+            except StopIteration:
+                return
+            except ArrowDecodeAnomaly as anomaly:
+                if not yielded:
+                    # Nothing emitted yet: the reference decoder takes
+                    # over seamlessly — registration is idempotent and
+                    # the arrow path registered a correct prefix in the
+                    # same first-seen order, so ids are unaffected.
+                    yield from self._python_chunks()
+                    return
+                self._raise_reference_error(anomaly)
+            else:
+                yielded = True
+                yield chunk
+
+    def _raise_reference_error(self, anomaly: ArrowDecodeAnomaly) -> None:
+        """Replay the file through the python decoder to surface its error.
+
+        Mid-stream arrow anomalies cannot name a line number; the
+        reference decode (against a throwaway registry) raises the
+        contract's typed error instead. A replay that *succeeds* means
+        the fast path rejected input the reference accepts — reported
+        explicitly rather than silently re-emitting a stream the
+        consumer already partially saw.
+        """
+        replay = CsvTraceSource(
+            self.path,
+            chunk_rows=self.chunk_rows,
+            registry=AccountRegistry(),
+            decoder="python",
+        )
+        for _ in replay.chunks():
+            pass
+        raise DataError(
+            f"{self.path}: arrow decoder aborted mid-stream ({anomaly}) but "
+            "the python decoder accepts this file; re-run with "
+            "decoder='python'"
+        ) from anomaly
+
+    def _python_chunks(self) -> Iterator[TransactionBatch]:
         senders: List[int] = []
         receivers: List[int] = []
         blocks: List[int] = []

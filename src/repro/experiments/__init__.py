@@ -21,10 +21,12 @@ from repro.experiments.aggregate import (
 from repro.experiments.bench import (
     cell_delta_rows,
     check_against_baseline,
+    compiled_env,
     executor_microbench,
     ingest_microbench,
     load_baseline,
     reconfig_microbench,
+    refine_microbench,
     run_bench,
     smoke_seconds,
     table2_matrix,
@@ -66,6 +68,7 @@ __all__ = [
     "baseline_snapshot",
     "cell_delta_rows",
     "check_against_baseline",
+    "compiled_env",
     "default_trace",
     "etl_smoke_matrix",
     "execute_cell",
@@ -77,6 +80,7 @@ __all__ = [
     "paper_tables_matrix",
     "realloc_smoke_matrix",
     "reconfig_microbench",
+    "refine_microbench",
     "run_bench",
     "run_cell",
     "run_matrix",

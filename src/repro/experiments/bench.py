@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
+from statistics import median
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -186,9 +187,11 @@ def ingest_microbench(
     ``mode="materialised"`` is the eager reader
     (:func:`repro.data.etl.read_transactions_csv`, whole-file Python
     lists then one sort), ``mode="streamed"`` the chunked bounded-memory
-    :class:`~repro.data.source.CsvTraceSource` decode. The results feed
-    the snapshot's ``ingest_seconds_{materialised,streamed}_1m`` entries
-    and the CI gate.
+    :class:`~repro.data.source.CsvTraceSource` decode, and
+    ``mode="arrow"`` the same chunked source through the pyarrow
+    columnar decoder (requires pyarrow). The results feed the
+    snapshot's ``ingest_seconds_{materialised,streamed,arrow}_1m``
+    entries and the CI gate.
     """
     import tempfile
 
@@ -196,9 +199,10 @@ def ingest_microbench(
     from repro.data.generators import ValueModelConfig
     from repro.data.source import CsvTraceSource
 
-    if mode not in ("streamed", "materialised"):
+    if mode not in ("streamed", "materialised", "arrow"):
         raise ExperimentError(
-            f"mode must be 'streamed' or 'materialised', got {mode!r}"
+            f"mode must be 'streamed', 'materialised' or 'arrow', "
+            f"got {mode!r}"
         )
     # Valued trace sized from the row count, so the CSV carries real
     # value/fee columns like the extracts the streamed path targets.
@@ -237,47 +241,130 @@ def ingest_microbench(
             pass
     started = time.perf_counter()
     if mode == "streamed":
-        CsvTraceSource(path, chunk_rows=chunk_rows).materialise()
+        CsvTraceSource(
+            path, chunk_rows=chunk_rows, decoder="python"
+        ).materialise()
+    elif mode == "arrow":
+        CsvTraceSource(
+            path, chunk_rows=chunk_rows, decoder="arrow"
+        ).materialise()
     else:
         read_transactions_csv(path)
     return time.perf_counter() - started
 
 
+def refine_microbench(
+    compiled: bool = False,
+    repeats: int = 3,
+    k: int = 16,
+    seed: int = 42,
+) -> float:
+    """Median wall seconds for one full multilevel partition of the
+    benchmark account graph.
+
+    Builds the accumulated account graph of the benchmark trace
+    (untimed — the same graph the ``metis/bench`` matrix cells
+    repartition every epoch), runs one untimed warmup call (absorbing
+    numba compilation when ``compiled``), then times ``repeats``
+    :func:`partition_graph` calls and reports the median. Feeds the
+    snapshot's ``refine_seconds_{python,jit}`` entries and the CI gate.
+    """
+    from repro.allocation.graph import TransactionGraph
+    from repro.allocation.metis_like import partition_graph
+
+    trace = generate_ethereum_like_trace(BENCH_TRACE_CONFIG)
+    graph = TransactionGraph.from_batch(
+        trace.batch, n_accounts=trace.n_accounts
+    )
+    partition_graph(graph, k, seed=seed, compiled_kernels=compiled)
+    timings = []
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        partition_graph(graph, k, seed=seed, compiled_kernels=compiled)
+        timings.append(time.perf_counter() - started)
+    return median(timings)
+
+
+def compiled_env() -> Dict[str, str]:
+    """Which compiled fast paths are active in this interpreter.
+
+    The dict feeds the snapshot's ``compiled`` entry and the
+    ``repro bench --env`` report, so a recorded timing always says
+    whether it was measured with the jitted kernels / arrow decoder or
+    on the pure-python reference paths.
+    """
+    from repro.allocation.metis_like import kernels
+    from repro.data import arrow
+
+    return {
+        "numba": kernels.numba_version(),
+        "pyarrow": arrow.pyarrow_version(),
+        "metis_kernels": "jit" if kernels.NUMBA_AVAILABLE else "python",
+        "csv_decoder": "arrow" if arrow.PYARROW_AVAILABLE else "python",
+    }
+
+
 def cell_delta_rows(
     payload: Dict[str, object]
-) -> List[Tuple[str, Optional[float], float, Optional[float]]]:
-    """Per-cell ``(label, reference_s, measured_s, delta_fraction)`` rows.
+) -> List[
+    Tuple[str, Optional[float], float, Optional[float], Optional[float]]
+]:
+    """Per-cell ``(label, reference_s, measured_s, delta, spread)`` rows.
 
     Pairs a snapshot's ``cell_seconds`` with its ``reference.cells`` so
     ``repro bench`` can print where a speedup or regression actually
     lives instead of one opaque total. Cells without a reference timing
-    carry ``None`` for the reference and delta.
+    carry ``None`` for the reference and delta; ``spread`` is the cell's
+    (max - min) / median across the snapshot's timing repeats (``None``
+    for single-repeat snapshots), so a delta can be read against the
+    cell's own run-to-run noise.
     """
     cells = payload.get("cell_seconds") or {}
     reference = payload.get("reference") or {}
     ref_cells = reference.get("cells") if isinstance(reference, dict) else {}
     if not isinstance(ref_cells, dict):
         ref_cells = {}
-    rows: List[Tuple[str, Optional[float], float, Optional[float]]] = []
+    spreads = payload.get("cell_spread") or {}
+    if not isinstance(spreads, dict):
+        spreads = {}
+    rows: List[
+        Tuple[str, Optional[float], float, Optional[float], Optional[float]]
+    ] = []
     for label in sorted(cells):
         measured = float(cells[label])
+        spread = spreads.get(label)
+        spread = float(spread) if isinstance(spread, (int, float)) else None
         ref = ref_cells.get(label)
         if isinstance(ref, (int, float)) and ref > 0:
-            rows.append(
-                (label, float(ref), measured, (measured - float(ref)) / float(ref))
-            )
+            delta = (measured - float(ref)) / float(ref)
+            rows.append((label, float(ref), measured, delta, spread))
         else:
-            rows.append((label, None, measured, None))
+            rows.append((label, None, measured, None, spread))
     return rows
 
 
-def smoke_seconds(workers: int = 1) -> float:
-    """Wall seconds of the CI smoke grid (``repro matrix --smoke``)."""
+def smoke_seconds(workers: int = 1, repeats: int = 1) -> float:
+    """Wall seconds of the CI smoke grid (``repro matrix --smoke``).
+
+    ``repeats > 1`` reruns the grid and reports the median wall time,
+    which is what the snapshot records and the perf gate measures —
+    scheduler noise on a loaded CI host lands in the tails, and the
+    median keeps the gate margin meaningful.
+    """
     from repro.experiments.matrix import smoke_matrix
 
     matrix = smoke_matrix()
-    result = run_matrix(matrix, workers=workers, strict=True)
-    return result.seconds
+    timings = []
+    for _ in range(max(1, repeats)):
+        result = run_matrix(matrix, workers=workers, strict=True)
+        timings.append(result.seconds)
+    return median(timings)
+
+
+#: Timing repeats per matrix cell in ``run_bench``: the snapshot
+#: records per-cell medians (and spreads) over this many full matrix
+#: runs, so a single descheduled run cannot skew the committed numbers.
+BENCH_REPEATS = 3
 
 
 def run_bench(
@@ -289,9 +376,12 @@ def run_bench(
 
     The trace is generated (untimed) and seeded into the runner's cache
     first, so cell timings measure simulation work, not trace synthesis
-    — the same methodology as the benchmark suite. The previous
-    snapshot's totals become the new snapshot's ``reference``, keeping
-    a chained speedup series across PRs.
+    — the same methodology as the benchmark suite. The matrix runs
+    :data:`BENCH_REPEATS` times; every repeat must produce the same
+    deterministic digest, per-cell timings are medians across repeats
+    and ``cell_spread`` records each cell's (max - min) / median. The
+    previous snapshot's totals become the new snapshot's ``reference``,
+    keeping a chained speedup series across PRs.
     """
     path = Path(path)
     reference: Optional[Dict[str, object]] = None
@@ -310,7 +400,32 @@ def run_bench(
         BENCH_TRACE_SPEC, generate_ethereum_like_trace(BENCH_TRACE_CONFIG)
     )
     matrix = table2_matrix()
-    result = run_matrix(matrix, workers=workers)
+    repeats = [
+        run_matrix(matrix, workers=workers) for _ in range(BENCH_REPEATS)
+    ]
+    result = repeats[0]
+    digests = {r.deterministic_digest() for r in repeats}
+    if len(digests) != 1:
+        raise ExperimentError(
+            f"benchmark matrix is not deterministic across repeats: {digests}"
+        )
+    cell_runs: Dict[str, List[float]] = {}
+    for run in repeats:
+        for outcome in run.outcomes:
+            if outcome.ok:
+                cell_runs.setdefault(outcome.label, []).append(
+                    outcome.seconds
+                )
+    cell_seconds = {
+        label: median(timings) for label, timings in cell_runs.items()
+    }
+    cell_spread = {
+        label: (max(timings) - min(timings)) / median(timings)
+        if median(timings) > 0
+        else 0.0
+        for label, timings in cell_runs.items()
+    }
+    total_seconds = sum(cell_seconds.values())
     kernel_seconds = executor_microbench()
     # Best of two for the 1M-account entries: the first dense run pays
     # one-off page faults for the preallocated state columns, which is
@@ -335,11 +450,25 @@ def run_bench(
     # ordering cannot hand either mode a page-cache advantage.
     ingest_materialised_1m = ingest_microbench(mode="materialised")
     ingest_streamed_1m = ingest_microbench(mode="streamed")
-    smoke = smoke_seconds()
+    env = compiled_env()
+    refine_python = refine_microbench(compiled=False)
+    refine_jit = (
+        refine_microbench(compiled=True)
+        if env["metis_kernels"] == "jit"
+        else None
+    )
+    ingest_arrow_1m = (
+        ingest_microbench(mode="arrow")
+        if env["csv_decoder"] == "arrow"
+        else None
+    )
+    smoke = smoke_seconds(repeats=BENCH_REPEATS)
 
     all_notes = [
         "Table II-equivalent workload: 4 methods x k=16 x eta in {2,5,10}",
         "sequential timings unless workers > 1; digest is worker-invariant",
+        f"cell_seconds are medians over {BENCH_REPEATS} full matrix runs; "
+        "cell_spread is each cell's (max-min)/median across the repeats",
         "kernel_seconds: columnar cross-shard executor microbenchmark",
         "kernel_seconds_{dict,dense}_1m: the same executor workload over "
         "a 1M-account universe, per state-store backend",
@@ -348,13 +477,37 @@ def run_bench(
         "movement), per migration path",
         "ingest_seconds_{materialised,streamed}_1m: decode a 1M-row "
         "valued ethereum-etl CSV into a Trace, eager reader vs chunked "
-        "bounded-memory CsvTraceSource",
-        "smoke_seconds: the 2x2 CI smoke grid",
+        "bounded-memory CsvTraceSource (python reference decoder)",
+        "ingest_seconds_arrow_1m: the same chunked decode through the "
+        "pyarrow columnar fast path (recorded only when pyarrow is "
+        "installed)",
+        "refine_seconds_{python,jit}: one full multilevel partition of "
+        "the benchmark account graph, reference loops vs numba kernels "
+        "(jit recorded only when numba is installed); bit-identical "
+        "assignments either way",
+        f"smoke_seconds: the 2x2 CI smoke grid (median of {BENCH_REPEATS})",
     ]
     if notes:
         all_notes.extend(notes)
     baseline_snapshot(result, path, reference=reference, notes=all_notes)
     payload = json.loads(path.read_text())
+    # Swap the single-run matrix timings for the medians across repeats
+    # and recompute the derived entries from them.
+    payload["cell_seconds"] = {
+        label: round(seconds, 3) for label, seconds in cell_seconds.items()
+    }
+    payload["cell_spread"] = {
+        label: round(spread, 3) for label, spread in cell_spread.items()
+    }
+    payload["total_seconds"] = round(total_seconds, 3)
+    payload["timing_repeats"] = BENCH_REPEATS
+    if reference is not None:
+        ref_total = reference.get("total_seconds")
+        if isinstance(ref_total, (int, float)) and total_seconds > 0:
+            payload["speedup_vs_reference"] = round(
+                float(ref_total) / total_seconds, 2
+            )
+    payload["compiled"] = env
     payload["kernel_seconds"] = round(kernel_seconds, 3)
     payload["kernel_seconds_dict_1m"] = round(kernel_dict_1m, 3)
     payload["kernel_seconds_dense_1m"] = round(kernel_dense_1m, 3)
@@ -362,6 +515,11 @@ def run_bench(
     payload["reconfig_seconds_batch_1m"] = round(reconfig_batch_1m, 3)
     payload["ingest_seconds_materialised_1m"] = round(ingest_materialised_1m, 3)
     payload["ingest_seconds_streamed_1m"] = round(ingest_streamed_1m, 3)
+    payload["refine_seconds_python"] = round(refine_python, 3)
+    if refine_jit is not None:
+        payload["refine_seconds_jit"] = round(refine_jit, 3)
+    if ingest_arrow_1m is not None:
+        payload["ingest_seconds_arrow_1m"] = round(ingest_arrow_1m, 3)
     payload["smoke_seconds"] = round(smoke, 3)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return payload
