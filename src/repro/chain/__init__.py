@@ -15,6 +15,7 @@ from repro.chain.mapping import ShardMapping
 from repro.chain.mempool import Mempool
 from repro.chain.shard import ShardChain
 from repro.chain.beacon import BatchCommitReport, BeaconChain, CommitReport
+from repro.chain.segments import DEFAULT_SEGMENT_ROWS, SegmentedCommitLog
 from repro.chain.migration import MigrationRequest, MigrationRequestBatch
 from repro.chain.miner import Miner, MinerPool, ReshuffleReport
 from repro.chain.epoch import EpochReconfigurator, ReconfigurationReport
@@ -53,6 +54,8 @@ __all__ = [
     "BatchCommitReport",
     "BeaconChain",
     "CommitReport",
+    "SegmentedCommitLog",
+    "DEFAULT_SEGMENT_ROWS",
     "MigrationRequest",
     "MigrationRequestBatch",
     "Miner",

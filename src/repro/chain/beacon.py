@@ -11,14 +11,17 @@ requests with the largest potential improvement win (Section V-A).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.chain.block import GENESIS_HASH, Block
+from pathlib import Path
+
+from repro.chain.block import GENESIS_HASH, Block, BlockHeader
 from repro.chain.kernels import select_migrations_kernel
 from repro.chain.mapping import ShardMapping
 from repro.chain.migration import MigrationRequest, MigrationRequestBatch
+from repro.chain.segments import DEFAULT_SEGMENT_ROWS, SegmentedCommitLog
 from repro.errors import BlockLinkError, MigrationError, ValidationError
 
 
@@ -142,40 +145,117 @@ def prioritize_requests(
 
 
 class BeaconChain:
-    """The beacon chain ``BC`` storing committed migration requests."""
+    """The beacon chain ``BC`` storing committed migration requests.
+
+    Two storage modes share one protocol:
+
+    * **in-memory** (default, ``spill_dir=None``) — every block and its
+      committed payload stays resident. This is the equivalence
+      reference; its behaviour is byte-for-byte the pre-spill chain.
+    * **segment-spilled** (``spill_dir=<path>``) — committed batches
+      append to a height-indexed on-disk
+      :class:`~repro.chain.segments.SegmentedCommitLog` and only block
+      *headers* stay in memory, so an unbounded run's beacon footprint
+      is O(epoch window), not O(run). Commit decisions (and every
+      pure-batch round's block hashes) are identical to in-memory mode;
+      scalar/mixed rounds canonicalise their payload to one columnar
+      batch per block (dropping per-request fee metadata), since a
+      segment stores rows, not objects.
+    """
 
     CHAIN_ID = "beacon"
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        spill_dir: Optional[Union[str, Path]] = None,
+        segment_rows: int = DEFAULT_SEGMENT_ROWS,
+        recover: bool = False,
+    ) -> None:
         self._blocks: List[Block] = []
+        #: Spill mode keeps headers only; payloads live in segments.
+        self._headers: List[BlockHeader] = []
         #: Pending submissions in order; scalar requests and columnar
         #: batches interleave freely.
         self._pending: List[Union[MigrationRequest, MigrationRequestBatch]] = []
         self._committed_log: List[
             Union[MigrationRequest, MigrationRequestBatch]
         ] = []
+        self._committed_count = 0
+        self._spill: Optional[SegmentedCommitLog] = (
+            SegmentedCommitLog(
+                spill_dir, segment_rows=segment_rows, recover=recover
+            )
+            if spill_dir is not None
+            else None
+        )
 
     # -- chain view ----------------------------------------------------------
 
+    @property
+    def spilled(self) -> bool:
+        """True when committed payloads live in on-disk segments."""
+        return self._spill is not None
+
     def __len__(self) -> int:
+        if self._spill is not None:
+            return len(self._headers)
         return len(self._blocks)
+
+    def _block_at(self, height: int) -> Block:
+        """Reconstruct one spilled block (header + segment payload).
+
+        ``Block.__post_init__`` re-derives the payload digest, so a
+        reconstructed block self-checks the segment bytes against the
+        header committed at append time.
+        """
+        header = self._headers[height]
+        batch = self._spill.batch_at(height)
+        return Block(
+            header=header, payload=(batch,) if batch is not None else ()
+        )
 
     @property
     def blocks(self) -> Sequence[Block]:
-        """Read-only view of the beacon blocks."""
+        """Read-only view of the beacon blocks.
+
+        In spill mode every payload is re-read from its segment — O(all
+        committed rows); windowed consumers use
+        :meth:`iter_committed_batches` / :meth:`batches_since` instead.
+        """
+        if self._spill is not None:
+            return tuple(
+                self._block_at(height) for height in range(len(self._headers))
+            )
         return tuple(self._blocks)
 
     @property
     def tip_hash(self) -> str:
+        if self._spill is not None:
+            return (
+                self._headers[-1].block_hash if self._headers else GENESIS_HASH
+            )
         return self._blocks[-1].block_hash if self._blocks else GENESIS_HASH
+
+    @property
+    def committed_count(self) -> int:
+        """Total MRs ever committed — O(1), never re-expands the log."""
+        return self._committed_count
 
     @property
     def committed_requests(self) -> Sequence[MigrationRequest]:
         """Every MR ever committed, in commit order (the set ``MR``).
 
-        Materialised lazily from the committed log (batch-path rounds
-        store columnar batches, not objects).
+        Materialises the **full** log as per-request objects — O(all
+        committed MRs), kept for API compatibility and small chains.
+        Hot paths use :meth:`committed_count` for cardinality and
+        :meth:`iter_committed_batches`/:meth:`batches_since` for
+        windowed access.
         """
+        if self._spill is not None:
+            requests: List[MigrationRequest] = []
+            for batch in self.iter_committed_batches():
+                requests.extend(batch.take(np.arange(len(batch))))
+            return tuple(requests)
         return tuple(_expand_entries(self._committed_log))
 
     @property
@@ -184,14 +264,28 @@ class BeaconChain:
         return tuple(_expand_entries(self._pending))
 
     def verify(self) -> None:
-        """Re-verify the beacon chain's hash links."""
+        """Re-verify the beacon chain's hash links.
+
+        Operates on headers, so spill mode verifies without reading any
+        segment payload back.
+        """
+        headers = (
+            self._headers
+            if self._spill is not None
+            else [block.header for block in self._blocks]
+        )
         parent = GENESIS_HASH
-        for height, block in enumerate(self._blocks):
-            if block.header.height != height:
+        for height, header in enumerate(headers):
+            if header.height != height:
                 raise BlockLinkError(f"height mismatch at {height}")
-            if block.header.parent_hash != parent:
+            if header.parent_hash != parent:
                 raise BlockLinkError(f"broken parent link at height {height}")
-            parent = block.block_hash
+            parent = header.block_hash
+
+    def close(self) -> None:
+        """Release the spill log's file handle (no-op in-memory)."""
+        if self._spill is not None:
+            self._spill.close()
 
     # -- request lifecycle -----------------------------------------------------
 
@@ -271,15 +365,29 @@ class BeaconChain:
             valid.append(request)
 
         committed, rejected = prioritize_requests(valid, capacity)
-        block = Block.build(
-            chain_id=self.CHAIN_ID,
-            height=len(self._blocks),
-            parent_hash=self.tip_hash,
-            payload=committed,
-            epoch=epoch,
-        )
-        self._blocks.append(block)
-        self._committed_log.extend(committed)
+        if self._spill is not None:
+            # Spill mode canonicalises the payload columnar: segments
+            # store rows, so the block commits to the same batch that
+            # lands on disk (per-request fees are not carried).
+            committed_batch = (
+                MigrationRequestBatch.from_requests(committed)
+                if committed
+                else MigrationRequestBatch.empty(epoch=epoch)
+            )
+            self._append_block(
+                epoch, committed_batch, store_batch=committed_batch
+            )
+        else:
+            block = Block.build(
+                chain_id=self.CHAIN_ID,
+                height=len(self._blocks),
+                parent_hash=self.tip_hash,
+                payload=committed,
+                epoch=epoch,
+            )
+            self._blocks.append(block)
+            self._committed_log.extend(committed)
+        self._committed_count += len(committed)
         return CommitReport(
             epoch=epoch,
             proposed=len(proposed),
@@ -317,22 +425,46 @@ class BeaconChain:
             capacity,
         )
         committed_batch = combined.take_batch(committed_idx)
-        block = Block.build(
-            chain_id=self.CHAIN_ID,
-            height=len(self._blocks),
-            parent_hash=self.tip_hash,
-            payload=[committed_batch] if len(committed_batch) else [],
-            epoch=epoch,
-        )
-        self._blocks.append(block)
-        if len(committed_batch):
-            self._committed_log.append(committed_batch)
+        if self._spill is not None:
+            self._append_block(
+                epoch, committed_batch, store_batch=committed_batch
+            )
+        else:
+            block = Block.build(
+                chain_id=self.CHAIN_ID,
+                height=len(self._blocks),
+                parent_hash=self.tip_hash,
+                payload=[committed_batch] if len(committed_batch) else [],
+                epoch=epoch,
+            )
+            self._blocks.append(block)
+            if len(committed_batch):
+                self._committed_log.append(committed_batch)
+        self._committed_count += len(committed_batch)
         return BatchCommitReport(
             epoch=epoch,
             proposed=len(combined),
             committed_batch=committed_batch,
             rejected_batch=combined.take_batch(rejected_idx),
         )
+
+    def _append_block(
+        self,
+        epoch: int,
+        committed_batch: MigrationRequestBatch,
+        store_batch: MigrationRequestBatch,
+    ) -> None:
+        """Spill-mode block append: keep the header, spill the payload."""
+        block = Block.build(
+            chain_id=self.CHAIN_ID,
+            height=len(self._headers),
+            parent_hash=self.tip_hash,
+            payload=[committed_batch] if len(committed_batch) else [],
+            epoch=epoch,
+        )
+        self._headers.append(block.header)
+        if len(store_batch):
+            self._spill.append(block.header.height, store_batch)
 
     # -- miner-side synchronisation ---------------------------------------------
 
@@ -344,10 +476,55 @@ class BeaconChain:
         Batch payloads are materialised to objects — the batched
         reconfigurator uses :meth:`batches_since` instead.
         """
-        requests: List[MigrationRequest] = []
+        if self._spill is not None:
+            requests: List[MigrationRequest] = []
+            for batch in self.iter_committed_batches(block_height):
+                requests.extend(batch.take(np.arange(len(batch))))
+            return requests
+        requests = []
         for block in self._blocks[max(0, block_height):]:
             requests.extend(_expand_entries(block.payload))
         return requests
+
+    def _block_payload_batch(self, block: Block) -> MigrationRequestBatch:
+        """One block's committed payload as a single columnar batch."""
+        block_batches: List[MigrationRequestBatch] = []
+        block_objects: List[MigrationRequest] = []
+        for item in block.payload:
+            if isinstance(item, MigrationRequestBatch):
+                block_batches.append(item)
+            elif isinstance(item, MigrationRequest):
+                block_objects.append(item)
+        if block_objects:
+            block_batches.append(
+                MigrationRequestBatch.from_requests(block_objects)
+            )
+        if len(block_batches) == 1:
+            return block_batches[0]
+        return MigrationRequestBatch.concat(
+            block_batches, epoch=block.header.epoch
+        )
+
+    def iter_committed_batches(
+        self, block_height: int = 0
+    ) -> Iterator[MigrationRequestBatch]:
+        """Lazily yield per-block committed batches from ``block_height``.
+
+        The windowed replacement for :attr:`committed_requests`: one
+        non-empty batch per block, in block order, holding a single
+        block's rows at a time. In spill mode the rows stream straight
+        off the segment files.
+        """
+        if self._spill is not None:
+            for _height, batch in self._spill.iter_batches(
+                max(0, block_height)
+            ):
+                yield batch
+            return
+        for block in self._blocks[max(0, block_height):]:
+            batch = self._block_payload_batch(block)
+            if len(batch):
+                yield batch
 
     def batches_since(self, block_height: int) -> List[MigrationRequestBatch]:
         """Per-block committed MRs as columnar batches, in block order.
@@ -356,29 +533,10 @@ class BeaconChain:
         so callers that must preserve cross-block ordering — the same
         account can legitimately move twice across two epochs' blocks —
         can apply them block by block without materialising objects.
+        Materialises only the requested height window; unbounded-run
+        consumers with a sync height never touch the full log.
         """
-        batches: List[MigrationRequestBatch] = []
-        for block in self._blocks[max(0, block_height):]:
-            block_batches: List[MigrationRequestBatch] = []
-            block_objects: List[MigrationRequest] = []
-            for item in block.payload:
-                if isinstance(item, MigrationRequestBatch):
-                    block_batches.append(item)
-                elif isinstance(item, MigrationRequest):
-                    block_objects.append(item)
-            if block_objects:
-                block_batches.append(
-                    MigrationRequestBatch.from_requests(block_objects)
-                )
-            if len(block_batches) == 1:
-                batch = block_batches[0]
-            else:
-                batch = MigrationRequestBatch.concat(
-                    block_batches, epoch=block.header.epoch
-                )
-            if len(batch):
-                batches.append(batch)
-        return batches
+        return list(self.iter_committed_batches(block_height))
 
     def apply_to_mapping(
         self, mapping: ShardMapping, since_height: int = 0
@@ -386,9 +544,10 @@ class BeaconChain:
         """Apply committed MRs to ``mapping`` in place; return count applied.
 
         Vectorised per committed block through
-        :func:`apply_batch_to_mapping`.
+        :func:`apply_batch_to_mapping`; streams the height window one
+        block at a time instead of materialising the batch list.
         """
         return sum(
             apply_batch_to_mapping(batch, mapping)
-            for batch in self.batches_since(since_height)
+            for batch in self.iter_committed_batches(since_height)
         )

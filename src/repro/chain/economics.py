@@ -33,6 +33,23 @@ from repro.chain.transaction import TransactionBatch
 from repro.errors import ConfigurationError, ValidationError
 
 
+#: Canonical accumulation granularity for observed funding. Float
+#: addition is non-associative, so the *order* partial sums combine in
+#: is part of the funding contract: both the eager function and the
+#: streaming accumulator sum fixed 65 536-row slice partials in row
+#: order, which is what makes a streamed sizing pass bit-identical to
+#: the materialised computation regardless of source chunk sizes.
+FUNDING_CHUNK_ROWS = 65_536
+
+
+def _funding_chunk_partial(chunk: TransactionBatch) -> np.ndarray:
+    """Outflow-per-sender partial for one canonical chunk."""
+    outflow = chunk.amounts(default=1.0)
+    if chunk.fees is not None:
+        outflow = outflow + chunk.fees
+    return np.bincount(chunk.senders, weights=outflow)
+
+
 def observed_funding_balances(
     batch: TransactionBatch,
     n_accounts: int,
@@ -54,6 +71,11 @@ def observed_funding_balances(
     Batches without a ``values`` column fund each send at the
     executor's default transfer amount of 1.0, so metric traces stay
     replayable under observed funding.
+
+    Accumulation is canonically chunked (:data:`FUNDING_CHUNK_ROWS`):
+    partial sums are combined in fixed 65 536-row slices so
+    :class:`ObservedFundingAccumulator` — fed the same rows in any
+    chunking — produces the same bits.
     """
     if n_accounts < 0:
         raise ValidationError(f"n_accounts must be >= 0, got {n_accounts}")
@@ -64,15 +86,129 @@ def observed_funding_balances(
             f"batch references account {batch.max_account_id()} but the "
             f"universe only covers {n_accounts} accounts"
         )
-    outflow = batch.amounts(default=1.0)
-    if batch.fees is not None:
-        outflow = outflow + batch.fees
-    balances = np.bincount(
-        batch.senders, weights=outflow, minlength=n_accounts
-    ).astype(np.float64)
+    balances = np.zeros(n_accounts, dtype=np.float64)
+    for start in range(0, len(batch), FUNDING_CHUNK_ROWS):
+        partial = _funding_chunk_partial(
+            batch[start : start + FUNDING_CHUNK_ROWS]
+        )
+        balances[: len(partial)] += partial
     if headroom:
         balances *= 1.0 + headroom
     return balances
+
+
+class ObservedFundingAccumulator:
+    """Streaming twin of :func:`observed_funding_balances`.
+
+    Feed it source chunks in row order (:meth:`add`), then
+    :meth:`finalise` with the resolved universe size — the result is
+    bit-identical to the eager function over the materialised
+    concatenation of those chunks, for *any* incoming chunk sizes.
+    Two mechanisms make that hold:
+
+    * rows buffer to exact :data:`FUNDING_CHUNK_ROWS` boundaries before
+      a partial is computed, reproducing the eager function's canonical
+      partial-sum order;
+    * the value column activates lazily in streamed CSV decode (chunks
+      are valueless until the first nonzero value), and whether a row's
+      weight is ``1.0 + fee`` (no value column in the final trace) or
+      ``value-or-0.0 + fee`` (column present) is unknowable until the
+      stream resolves it — so *two* hypothesis accumulators run until
+      the first valued chunk kills the no-values one. Activation is
+      monotone, so the surviving hypothesis matches what
+      ``TransactionBatch.concat_many`` materialises.
+    """
+
+    def __init__(self, headroom: float = 0.0) -> None:
+        if headroom < 0:
+            raise ValidationError(f"headroom must be >= 0, got {headroom}")
+        self.headroom = float(headroom)
+        self._pending: List[TransactionBatch] = []
+        self._pending_rows = 0
+        self._activated = False
+        # H1: the trace never carries values (weight = 1.0 + fee).
+        self._h1: "np.ndarray | None" = np.zeros(0, dtype=np.float64)
+        # H2: the trace carries values (weight = value-or-0.0 + fee).
+        self._h2 = np.zeros(0, dtype=np.float64)
+        self._max_id = -1
+        self._rows = 0
+        self._finalised = False
+
+    @property
+    def rows(self) -> int:
+        """Total rows fed so far (the sizing pass's row count)."""
+        return self._rows
+
+    @property
+    def max_account_id(self) -> int:
+        """Largest account id seen so far (-1 when none)."""
+        return self._max_id
+
+    def add(self, chunk: TransactionBatch) -> None:
+        """Feed the next chunk of the row stream."""
+        if self._finalised:
+            raise ValidationError("funding accumulator already finalised")
+        if len(chunk) == 0:
+            return
+        self._rows += len(chunk)
+        self._max_id = max(self._max_id, chunk.max_account_id())
+        if chunk.values is not None and not self._activated:
+            self._activated = True
+            self._h1 = None
+        self._pending.append(chunk)
+        self._pending_rows += len(chunk)
+        while self._pending_rows >= FUNDING_CHUNK_ROWS:
+            buffered = TransactionBatch.concat_many(self._pending)
+            self._consume(buffered[:FUNDING_CHUNK_ROWS])
+            rest = buffered[FUNDING_CHUNK_ROWS:]
+            self._pending = [rest] if len(rest) else []
+            self._pending_rows = len(rest)
+
+    def _consume(self, chunk: TransactionBatch) -> None:
+        fees = chunk.fees
+        if self._h1 is not None:
+            self._h1 = self._accumulate(self._h1, _funding_chunk_partial(chunk))
+        values = (
+            chunk.values
+            if chunk.values is not None
+            else np.zeros(len(chunk), dtype=np.float64)
+        )
+        weights = values + fees if fees is not None else values
+        partial = np.bincount(chunk.senders, weights=weights)
+        self._h2 = self._accumulate(self._h2, partial)
+
+    @staticmethod
+    def _accumulate(acc: np.ndarray, partial: np.ndarray) -> np.ndarray:
+        if len(partial) > len(acc):
+            grown = np.zeros(len(partial), dtype=np.float64)
+            grown[: len(acc)] = acc
+            acc = grown
+        acc[: len(partial)] += partial
+        return acc
+
+    def finalise(self, n_accounts: int) -> np.ndarray:
+        """Flush the buffer and return the length-``n_accounts`` balances."""
+        if self._finalised:
+            raise ValidationError("funding accumulator already finalised")
+        if n_accounts < 0:
+            raise ValidationError(f"n_accounts must be >= 0, got {n_accounts}")
+        if self._max_id >= n_accounts:
+            raise ValidationError(
+                f"batch references account {self._max_id} but the "
+                f"universe only covers {n_accounts} accounts"
+            )
+        if self._pending:
+            self._consume(TransactionBatch.concat_many(self._pending))
+            self._pending = []
+            self._pending_rows = 0
+        self._finalised = True
+        acc = self._h2 if self._activated else self._h1
+        assert acc is not None
+        balances = np.zeros(n_accounts, dtype=np.float64)
+        balances[: len(acc)] += acc
+        if self.headroom:
+            balances *= 1.0 + self.headroom
+        return balances
 
 
 @dataclass(frozen=True)

@@ -70,6 +70,7 @@ class Ledger:
         mapping: ShardMapping,
         miners_per_shard: int = 0,
         executor: Optional[CrossShardExecutor] = None,
+        beacon: Optional[BeaconChain] = None,
     ) -> None:
         if mapping.k != params.k:
             raise SimulationError(
@@ -82,7 +83,9 @@ class Ledger:
         self.params = params
         self.mapping = mapping
         self.shards: List[ShardChain] = [ShardChain(i) for i in range(params.k)]
-        self.beacon = BeaconChain()
+        # Callers that need a segment-spilled committed log pass their
+        # own BeaconChain(spill_dir=...); the default stays in-memory.
+        self.beacon = beacon if beacon is not None else BeaconChain()
         self.mempool = Mempool()
         self.executor = executor
         rng_factory = RngFactory(params.seed)

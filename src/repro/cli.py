@@ -105,25 +105,6 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
-    if args.input:
-        if args.streamed:
-            from repro.data.arrow import resolve_decoder
-            from repro.data.source import CsvTraceSource
-
-            source = CsvTraceSource(args.input, decoder=args.decoder)
-            trace = source.materialise()
-            print(
-                f"streamed {len(trace):,} transactions from {args.input} "
-                f"({resolve_decoder(args.decoder)} decoder, "
-                f"peak buffer {source.peak_buffer_rows:,} rows)"
-            )
-        else:
-            trace, _registry = read_transactions_csv(args.input)
-            print(f"loaded {len(trace):,} transactions from {args.input}")
-    else:
-        trace = generate_ethereum_like_trace(_trace_config(args))
-        print(f"generated {len(trace):,} synthetic transactions")
-
     factory = DEFAULT_METHODS.get(args.method)
     if factory is None:
         print(
@@ -131,6 +112,9 @@ def _command_simulate(args: argparse.Namespace) -> int:
             f"available: {sorted(DEFAULT_METHODS)}",
             file=sys.stderr,
         )
+        return 2
+    if args.follow and not args.input:
+        print("error: --follow requires --input", file=sys.stderr)
         return 2
     params = ProtocolParams(
         k=args.shards, eta=args.eta, tau=args.tau, beta=args.beta, seed=args.seed
@@ -140,8 +124,70 @@ def _command_simulate(args: argparse.Namespace) -> int:
         execute_values=args.execute,
         state_backend=args.state_backend,
         funding=args.funding,
+        history_epochs=args.history_epochs,
+        beacon_spill_dir=args.beacon_spill,
     )
-    result = Simulation(trace, factory(), config).run()
+
+    if args.follow:
+        from repro.data.source import FollowCsvTraceSource
+        from repro.sim.engine import StreamingSimulation
+
+        source = FollowCsvTraceSource(
+            args.input,
+            poll_interval=args.follow_poll,
+            idle_timeout=args.follow_idle,
+        )
+        print(
+            f"following {args.input} (poll {args.follow_poll}s, "
+            f"idle timeout {args.follow_idle}s) — ctrl-c to stop"
+        )
+
+        def _live(record) -> None:
+            print(
+                f"epoch {record.epoch}: {record.transactions:,} tx, "
+                f"cross-shard {record.cross_shard_ratio:.2%}, "
+                f"{record.migrations} migration(s)"
+            )
+
+        result = StreamingSimulation(
+            source, factory(), config, on_record=_live
+        ).run()
+    elif args.windowed:
+        from repro.sim.engine import StreamingSimulation
+
+        if args.input:
+            from repro.data.source import CsvTraceSource
+
+            source = CsvTraceSource(args.input, decoder=args.decoder)
+            print(f"windowed replay of {args.input} (chunked decode)")
+        else:
+            from repro.data.source import GeneratorTraceSource
+
+            source = GeneratorTraceSource(_trace_config(args))
+            print("windowed replay of the synthetic trace")
+        result = StreamingSimulation(source, factory(), config).run()
+    else:
+        if args.input:
+            if args.streamed:
+                from repro.data.arrow import resolve_decoder
+                from repro.data.source import CsvTraceSource
+
+                source = CsvTraceSource(args.input, decoder=args.decoder)
+                trace = source.materialise()
+                print(
+                    f"streamed {len(trace):,} transactions from {args.input} "
+                    f"({resolve_decoder(args.decoder)} decoder, "
+                    f"peak buffer {source.peak_buffer_rows:,} rows)"
+                )
+            else:
+                trace, _registry = read_transactions_csv(args.input)
+                print(
+                    f"loaded {len(trace):,} transactions from {args.input}"
+                )
+        else:
+            trace = generate_ethereum_like_trace(_trace_config(args))
+            print(f"generated {len(trace):,} synthetic transactions")
+        result = Simulation(trace, factory(), config).run()
     summary = summarize_results(result)
     rows = [
         ["epochs", summary["epochs"]],
@@ -235,6 +281,7 @@ def _command_matrix(args: argparse.Namespace) -> int:
         with_engine_modes,
         with_funding,
         with_trace_source,
+        with_windowed,
         write_result_json,
     )
 
@@ -343,6 +390,15 @@ def _command_matrix(args: argparse.Namespace) -> int:
         matrix = with_trace_source(matrix, trace_source, decoder=args.decoder)
     if args.funding is not None:
         matrix = with_funding(matrix, args.funding)
+    if args.windowed or args.history_epochs is not None:
+        # --windowed alone keeps every label (and the digest) identical
+        # to the materialised grid: equal digests ARE the CI
+        # streamed-vs-materialised equivalence check.
+        matrix = with_windowed(
+            matrix,
+            windowed=args.windowed,
+            history_epochs=args.history_epochs,
+        )
     print(
         f"matrix {matrix.name!r}: {len(matrix)} cells, "
         f"{args.workers} worker(s)"
@@ -430,13 +486,20 @@ def _command_bench(args: argparse.Namespace) -> int:
         if "refine_seconds_jit" in payload:
             line += f" vs {payload['refine_seconds_jit']}s jit"
         print(line)
+    if "peak_rss_mb_windowed_1m" in payload:
+        print(
+            f"peak memory 1M  : {payload['peak_rss_mb_windowed_1m']}MB "
+            f"windowed vs {payload['peak_rss_mb_materialised_1m']}MB "
+            "materialised"
+        )
     if "speedup_vs_reference" in payload:
         print(f"speedup vs prev : {payload['speedup_vs_reference']}x")
     delta_rows = cell_delta_rows(payload)
     if delta_rows:
         # Per-cell deltas vs the previous snapshot make a drifting cell
         # visible at a glance instead of hiding inside the total; the
-        # spread column says how noisy the cell's own repeats were.
+        # spread column says how noisy the cell's own repeats were, and
+        # Peak MB where each cell's memory actually goes.
         rows = [
             [
                 label,
@@ -444,13 +507,15 @@ def _command_bench(args: argparse.Namespace) -> int:
                 f"{now:.3f}s",
                 f"{delta:+.0%}" if delta is not None else "-",
                 f"{spread:.0%}" if spread is not None else "-",
+                f"{peak:.1f}" if peak is not None else "-",
             ]
-            for label, ref, now, delta, spread in delta_rows
+            for label, ref, now, delta, spread, peak in delta_rows
         ]
         print()
         print(
             render_table(
-                ["Cell", "Reference", "Now", "Delta", "Spread"], rows
+                ["Cell", "Reference", "Now", "Delta", "Spread", "Peak MB"],
+                rows,
             )
         )
     failures = int(payload.get("failures", 0))
@@ -529,6 +594,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="row decoder for --streamed: python reference loop, "
         "arrow columnar fast path, or auto-detect (both are "
         "bit-identical)",
+    )
+    simulate.add_argument(
+        "--windowed",
+        action="store_true",
+        help="run the O(window) streaming engine instead of "
+        "materialising the trace (bit-identical results)",
+    )
+    simulate.add_argument(
+        "--history-epochs",
+        type=int,
+        default=None,
+        help="place the history/evaluation split an absolute number of "
+        "epochs after the first block instead of at a fraction of "
+        "the rows (required for --follow)",
+    )
+    simulate.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail a growing ethereum-etl CSV (--input) through the "
+        "unbounded streaming engine, printing metrics per epoch; "
+        "requires --history-epochs, metrics-only",
+    )
+    simulate.add_argument(
+        "--follow-poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="poll interval while waiting for new rows in --follow",
+    )
+    simulate.add_argument(
+        "--follow-idle",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="end a --follow run after this long with no new rows",
+    )
+    simulate.add_argument(
+        "--beacon-spill",
+        default=None,
+        metavar="DIR",
+        help="spill the beacon chain's committed migration log to "
+        "height-indexed segment files in DIR (bounded memory for "
+        "long --execute runs)",
     )
     simulate.set_defaults(handler=_command_simulate)
 
@@ -642,6 +750,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="row decoder for CSV trace sources (--trace-source / "
         "--etl-smoke): python reference, arrow columnar, or "
         "auto-detect",
+    )
+    matrix.add_argument(
+        "--windowed",
+        action="store_true",
+        help="run every cell through the O(window) streaming engine "
+        "over the spec's chunked source; labels and the digest are "
+        "unchanged, so comparing digests against a materialised run "
+        "is the equivalence check",
+    )
+    matrix.add_argument(
+        "--history-epochs",
+        type=int,
+        default=None,
+        help="place each cell's history/evaluation split an absolute "
+        "number of epochs after the first block instead of at a "
+        "fraction of the rows",
     )
     matrix.add_argument(
         "--funding",

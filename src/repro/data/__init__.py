@@ -22,8 +22,10 @@ from repro.data.arrow import (
     resolve_decoder,
 )
 from repro.data.source import (
+    ChunkIteratorSource,
     CsvTraceSource,
     EpochStream,
+    FollowCsvTraceSource,
     GeneratorTraceSource,
     MaterialisedTraceSource,
     TraceSource,
@@ -48,7 +50,9 @@ __all__ = [
     "TraceSource",
     "MaterialisedTraceSource",
     "GeneratorTraceSource",
+    "ChunkIteratorSource",
     "CsvTraceSource",
+    "FollowCsvTraceSource",
     "DECODERS",
     "EpochStream",
     "PYARROW_AVAILABLE",

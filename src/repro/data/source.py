@@ -23,8 +23,10 @@ peak buffering is proportional to ``chunk_rows``, never to the trace.
 from __future__ import annotations
 
 import csv
+import io
+import time
 from pathlib import Path
-from typing import Iterator, List, Optional, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -60,12 +62,26 @@ class TraceSource:
     name: str = "source"
     #: High-water mark of decoded rows buffered at once (set by chunks()).
     peak_buffer_rows: int = 0
+    #: True for open-ended sources (e.g. a tailed file) whose chunk
+    #: stream has no predetermined end — consumers must not run a
+    #: sizing pass over them.
+    unbounded: bool = False
 
     def chunks(self) -> Iterator[TransactionBatch]:
         raise NotImplementedError
 
     def resolved_n_accounts(self) -> Optional[int]:
         """Universe size; valid after :meth:`chunks` was consumed."""
+        return None
+
+    def size_hint(self) -> Optional[Tuple[int, int]]:
+        """``(total_rows, n_accounts)`` when known *up front*, else None.
+
+        The count-prefixed fast path: sources that already know their
+        length (a materialised trace, a cached generator) return it here
+        so the streaming engine can skip its sizing pass; a CSV decoder
+        only learns both after a full read and returns None.
+        """
         return None
 
     def materialise(self) -> Trace:
@@ -102,6 +118,9 @@ class MaterialisedTraceSource(TraceSource):
 
     def resolved_n_accounts(self) -> Optional[int]:
         return self.trace.n_accounts
+
+    def size_hint(self) -> Optional[Tuple[int, int]]:
+        return len(self.trace), self.trace.n_accounts
 
     def materialise(self) -> Trace:
         return self.trace
@@ -144,6 +163,10 @@ class GeneratorTraceSource(TraceSource):
 
     def resolved_n_accounts(self) -> Optional[int]:
         return self._generated().n_accounts
+
+    def size_hint(self) -> Optional[Tuple[int, int]]:
+        trace = self._generated()
+        return len(trace), trace.n_accounts
 
     def materialise(self) -> Trace:
         return self._generated()
@@ -301,6 +324,198 @@ class CsvTraceSource(TraceSource):
                         f"block {block} out of order after {last_block} "
                         "(streamed decode requires block-ordered rows; "
                         "use read_transactions_csv for unsorted files)",
+                    )
+                last_block = block
+                senders.append(sender)
+                receivers.append(receiver)
+                blocks.append(block)
+                if has_values:
+                    values.append(value)
+                    if value and not values_active:
+                        values_active = True
+                if has_fees:
+                    fees.append(fee)
+                if len(senders) >= self.chunk_rows:
+                    self.peak_buffer_rows = max(
+                        self.peak_buffer_rows, len(senders)
+                    )
+                    yield flush(decoder)
+            self.peak_buffer_rows = max(self.peak_buffer_rows, len(senders))
+            if senders:
+                yield flush(decoder)
+
+    def resolved_n_accounts(self) -> Optional[int]:
+        return len(self.registry) or None
+
+
+class ChunkIteratorSource(TraceSource):
+    """One-shot source over an already-started chunk iterator.
+
+    The streaming engine's two-pass protocol consumes a source's
+    history prefix chunk by chunk and hands the *remainder* of the live
+    iterator to :class:`EpochStream` through this adapter;
+    ``n_accounts`` carries the full-universe size resolved during the
+    sizing pass (the iterator itself can no longer answer that for the
+    rows already consumed).
+    """
+
+    def __init__(
+        self,
+        chunks_iter: Iterator[TransactionBatch],
+        n_accounts: Optional[int] = None,
+        name: str = "chunk-iterator",
+    ) -> None:
+        self._iter = chunks_iter
+        self._n_accounts = None if n_accounts is None else int(n_accounts)
+        self._consumed = False
+        self.name = name
+
+    def chunks(self) -> Iterator[TransactionBatch]:
+        if self._consumed:
+            raise DataError(
+                f"{self.name}: a chunk-iterator source is one-shot and "
+                "was already consumed"
+            )
+        self._consumed = True
+        return self._iter
+
+    def resolved_n_accounts(self) -> Optional[int]:
+        return self._n_accounts
+
+
+class FollowCsvTraceSource(TraceSource):
+    """Tail a growing ethereum-etl CSV: ``tail -f`` as a trace source.
+
+    Rows decode exactly as in :class:`CsvTraceSource` (same
+    :class:`_RowDecoder`, same skip/typed-error semantics, same lazy
+    value-column activation, same block-order enforcement) but
+    end-of-file is not end-of-trace: on EOF the source flushes whatever
+    rows are buffered as a chunk, sleeps ``poll_interval`` seconds, and
+    re-reads — epochs appear downstream roughly one poll after the
+    writer appends them. A partially-written last line (no trailing
+    newline yet) is left in place until a later poll completes it. The
+    stream ends when no new complete row arrives for ``idle_timeout``
+    seconds; an unterminated final line is decoded at that point
+    (writers should terminate the file with a newline).
+
+    ``unbounded = True``: no consumer may run a sizing pass over this
+    source, so the streaming engine requires ``history_epochs`` (the
+    absolute history split) and metrics-only execution for it.
+    """
+
+    unbounded = True
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        registry: Optional[AccountRegistry] = None,
+        poll_interval: float = 0.2,
+        idle_timeout: float = 10.0,
+    ) -> None:
+        if chunk_rows < 1:
+            raise DataError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        if poll_interval <= 0:
+            raise DataError(
+                f"poll_interval must be > 0, got {poll_interval}"
+            )
+        if idle_timeout <= 0:
+            raise DataError(f"idle_timeout must be > 0, got {idle_timeout}")
+        self.path = Path(path)
+        self.chunk_rows = int(chunk_rows)
+        self.registry = registry if registry is not None else AccountRegistry()
+        self.poll_interval = float(poll_interval)
+        self.idle_timeout = float(idle_timeout)
+        self.name = f"follow:{self.path.name}"
+        self.peak_buffer_rows = 0
+
+    def _follow_lines(self, handle: io.BufferedReader) -> Iterator[Optional[str]]:
+        """Yield complete lines as they appear; ``None`` marks a quiet poll.
+
+        A ``None`` is the flush hint: the file had no new complete line,
+        so the consumer should surface whatever it buffered before this
+        generator sleeps. Returns once the file has been quiet for
+        ``idle_timeout`` seconds, yielding an unterminated final line
+        (if any) just before stopping.
+        """
+        waited = 0.0
+        while True:
+            pos = handle.tell()
+            raw = handle.readline()
+            if raw.endswith(b"\n"):
+                waited = 0.0
+                yield raw.decode("utf-8")
+                continue
+            # EOF, or a line the writer has not finished yet: rewind so
+            # the next poll re-reads it whole.
+            handle.seek(pos)
+            if waited >= self.idle_timeout:
+                if raw:
+                    handle.seek(pos + len(raw))
+                    yield raw.decode("utf-8")
+                return
+            yield None
+            time.sleep(self.poll_interval)
+            waited += self.poll_interval
+
+    def chunks(self) -> Iterator[TransactionBatch]:
+        senders: List[int] = []
+        receivers: List[int] = []
+        blocks: List[int] = []
+        values: List[float] = []
+        fees: List[float] = []
+        values_active = False
+
+        def flush(decoder: _RowDecoder) -> TransactionBatch:
+            batch = TransactionBatch(
+                np.asarray(senders, dtype=np.int64),
+                np.asarray(receivers, dtype=np.int64),
+                np.asarray(blocks, dtype=np.int64),
+                np.asarray(values, dtype=np.float64)
+                if values_active
+                else None,
+                np.asarray(fees, dtype=np.float64) if decoder.has_fees else None,
+            )
+            senders.clear()
+            receivers.clear()
+            blocks.clear()
+            values.clear()
+            fees.clear()
+            return batch
+
+        with self.path.open("rb") as handle:
+            lines = self._follow_lines(handle)
+            fieldnames: Optional[List[str]] = None
+            for item in lines:
+                if item is None:
+                    continue
+                fieldnames = next(csv.reader([item]), None)
+                break
+            decoder = _RowDecoder(self.path, fieldnames, self.registry)
+            has_values = decoder.has_values
+            has_fees = decoder.has_fees
+            last_block = -1
+            line_no = 2
+            for item in lines:
+                if item is None:
+                    if senders:
+                        self.peak_buffer_rows = max(
+                            self.peak_buffer_rows, len(senders)
+                        )
+                        yield flush(decoder)
+                    continue
+                row = next(csv.reader([item]), [])
+                decoded = decoder.decode(line_no, row)
+                line_no += 1
+                if decoded is None:
+                    continue
+                sender, receiver, block, value, fee = decoded
+                if block < last_block:
+                    raise MalformedRowError(
+                        self.path,
+                        line_no - 1,
+                        f"block {block} out of order after {last_block} "
+                        "(a followed file must append in block order)",
                     )
                 last_block = block
                 senders.append(sender)

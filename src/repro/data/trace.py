@@ -119,6 +119,30 @@ class Trace:
         tail = Trace(self.batch[cut:], self.n_accounts)
         return head, tail
 
+    def split_epochs(self, tau: int, n_epochs: int) -> Tuple["Trace", "Trace"]:
+        """Split into (head, tail) at an absolute epoch count.
+
+        The head is the block-sorted prefix covering the first
+        ``n_epochs`` ``tau``-block epochs — every row with
+        ``block < first_block + n_epochs * tau`` — and the tail is the
+        rest. Unlike :meth:`split` this needs no total row count, which
+        is what lets the streaming engine place the same history split
+        without materialising the trace; ``n_epochs=0`` yields an empty
+        head.
+        """
+        if tau < 1:
+            raise DataError(f"tau must be >= 1, got {tau}")
+        if n_epochs < 0:
+            raise DataError(f"n_epochs must be >= 0, got {n_epochs}")
+        n = len(self.batch)
+        if n == 0:
+            return self, Trace(TransactionBatch.empty(), self.n_accounts)
+        boundary = int(self.batch.blocks[0]) + n_epochs * tau
+        cut = int(np.searchsorted(self.batch.blocks, boundary, side="left"))
+        head = Trace(self.batch[:cut], self.n_accounts)
+        tail = Trace(self.batch[cut:], self.n_accounts)
+        return head, tail
+
     def epochs(self, tau: int, max_epochs: Optional[int] = None) -> Iterator[EpochView]:
         """Yield consecutive ``tau``-block epochs of this trace."""
         if tau < 1:

@@ -44,6 +44,22 @@ class CapacityExceededError(ChainError):
     """A block or beacon commitment exceeded the shard capacity ``lambda``."""
 
 
+class SegmentIntegrityError(ChainError):
+    """An on-disk beacon segment is truncated or corrupt.
+
+    Carries the segment path and the byte offset of the last intact
+    record boundary, so a crash-truncated tail can be located (and
+    repaired by reopening the log with ``recover=True``) without
+    re-scanning the file by hand.
+    """
+
+    def __init__(self, path: object, offset: int, reason: str) -> None:
+        super().__init__(f"{path} at byte {offset}: {reason}")
+        self.path = str(path)
+        self.offset = int(offset)
+        self.reason = reason
+
+
 class MigrationError(ReproError):
     """A migration request is malformed or cannot be applied."""
 

@@ -25,6 +25,7 @@ from repro.experiments.bench import (
     executor_microbench,
     ingest_microbench,
     load_baseline,
+    memory_microbench,
     reconfig_microbench,
     refine_microbench,
     run_bench,
@@ -47,6 +48,7 @@ from repro.experiments.matrix import (
     with_funding,
     with_methods,
     with_trace_source,
+    with_windowed,
 )
 from repro.experiments.runner import (
     CellOutcome,
@@ -77,6 +79,7 @@ __all__ = [
     "ingest_microbench",
     "load_baseline",
     "matrix_table",
+    "memory_microbench",
     "paper_tables_matrix",
     "realloc_smoke_matrix",
     "reconfig_microbench",
@@ -93,5 +96,6 @@ __all__ = [
     "with_funding",
     "with_methods",
     "with_trace_source",
+    "with_windowed",
     "write_result_json",
 ]

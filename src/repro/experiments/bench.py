@@ -172,6 +172,48 @@ def reconfig_microbench(
     return time.perf_counter() - started
 
 
+def _valued_extract(
+    n_rows: int, path: Optional[Union[str, Path]] = None
+) -> Path:
+    """Write (or reuse) the benchmark's valued ``n_rows`` CSV extract.
+
+    Sized from the row count so the file carries real value/fee columns
+    like the ethereum-etl extracts the streamed paths target. When
+    ``path`` is omitted the file is cached in the system temp dir under
+    a config-keyed name: keyed on the generating config, not just the
+    row count, so a stale file from another code version (different
+    schema or value model) is never silently reused. An explicit path
+    is always (re)written, since its contents could be anything.
+    """
+    import hashlib
+    import tempfile
+
+    from repro.data.etl import write_transactions_csv
+    from repro.data.generators import ValueModelConfig
+
+    config = EthereumTraceConfig(
+        n_transactions=n_rows,
+        n_accounts=max(10, n_rows // 10),
+        n_blocks=max(1, n_rows // 50),
+        hub_fraction=0.005,
+        hub_transaction_share=0.15,
+        seed=7,
+        value_model=ValueModelConfig(fee_fraction=0.01),
+    )
+    if path is None:
+        config_key = hashlib.sha256(repr(config).encode()).hexdigest()[:12]
+        path = (
+            Path(tempfile.gettempdir())
+            / f"repro_ingest_bench_{n_rows}_{config_key}.csv"
+        )
+        if path.exists():
+            return path
+    else:
+        path = Path(path)
+    write_transactions_csv(path, generate_ethereum_like_trace(config))
+    return path
+
+
 def ingest_microbench(
     n_rows: int = 1_000_000,
     mode: str = "streamed",
@@ -193,10 +235,7 @@ def ingest_microbench(
     snapshot's ``ingest_seconds_{materialised,streamed,arrow}_1m``
     entries and the CI gate.
     """
-    import tempfile
-
-    from repro.data.etl import read_transactions_csv, write_transactions_csv
-    from repro.data.generators import ValueModelConfig
+    from repro.data.etl import read_transactions_csv
     from repro.data.source import CsvTraceSource
 
     if mode not in ("streamed", "materialised", "arrow"):
@@ -204,36 +243,7 @@ def ingest_microbench(
             f"mode must be 'streamed', 'materialised' or 'arrow', "
             f"got {mode!r}"
         )
-    # Valued trace sized from the row count, so the CSV carries real
-    # value/fee columns like the extracts the streamed path targets.
-    config = EthereumTraceConfig(
-        n_transactions=n_rows,
-        n_accounts=max(10, n_rows // 10),
-        n_blocks=max(1, n_rows // 50),
-        hub_fraction=0.005,
-        hub_transaction_share=0.15,
-        seed=7,
-        value_model=ValueModelConfig(fee_fraction=0.01),
-    )
-    if path is None:
-        # Key the cached CSV on the generating config, not just the row
-        # count, so a stale file from another code version (different
-        # schema or value model) is never silently reused. Only this
-        # config-keyed default cache is reusable — an explicit path is
-        # always (re)written, since its contents could be anything.
-        import hashlib
-
-        config_key = hashlib.sha256(repr(config).encode()).hexdigest()[:12]
-        path = (
-            Path(tempfile.gettempdir())
-            / f"repro_ingest_bench_{n_rows}_{config_key}.csv"
-        )
-        reusable = path.exists()
-    else:
-        path = Path(path)
-        reusable = False
-    if not reusable:
-        write_transactions_csv(path, generate_ethereum_like_trace(config))
+    path = _valued_extract(n_rows, path)
     # Untimed warm read: both modes measure decode work against a warm
     # page cache, so timing order cannot bias the comparison.
     with path.open("rb") as handle:
@@ -251,6 +261,71 @@ def ingest_microbench(
     else:
         read_transactions_csv(path)
     return time.perf_counter() - started
+
+
+def memory_microbench(
+    n_rows: int = 1_000_000,
+    mode: str = "windowed",
+    chunk_rows: int = 65_536,
+    history_epochs: int = 4,
+    path: Optional[Union[str, Path]] = None,
+) -> float:
+    """Peak traced allocation (MB) for a metrics run over ``n_rows`` rows.
+
+    Both modes run the same hash-random metrics simulation over the
+    benchmark's valued CSV extract and report tracemalloc's peak:
+
+    * ``mode="windowed"`` drives :class:`StreamingSimulation` over the
+      chunked :class:`~repro.data.source.CsvTraceSource` — the engine
+      holds the ``history_epochs`` prefix plus a two-epoch window, so
+      the peak is O(window + accounts), independent of the total row
+      count;
+    * ``mode="materialised"`` is the twin run: eager decode into a full
+      :class:`Trace`, then ``Simulation.run`` — O(total rows).
+
+    The pair feeds the snapshot's
+    ``peak_rss_mb_{windowed,materialised}_1m`` entries; the sublinearity
+    gate in ``tests/test_perf_gate.py`` rests on the gap between them.
+    Peaks are traced *allocations* (tracemalloc), not process RSS — a
+    stable, interpreter-independent proxy for the same quantity.
+    """
+    import tracemalloc
+
+    from repro.allocation.hash_based import HashAllocator
+    from repro.chain.params import ProtocolParams
+    from repro.data.source import CsvTraceSource
+    from repro.sim.engine import (
+        Simulation,
+        SimulationConfig,
+        StreamingSimulation,
+    )
+
+    if mode not in ("windowed", "materialised"):
+        raise ExperimentError(
+            f"mode must be 'windowed' or 'materialised', got {mode!r}"
+        )
+    csv_path = _valued_extract(n_rows, path)
+    # tau sized for ~40 evaluation epochs at any row count, so the
+    # window the streaming engine holds shrinks relative to the file as
+    # n_rows grows — exactly the regime the O(window) claim is about.
+    n_blocks = max(1, n_rows // 50)
+    tau = max(1, n_blocks // 40)
+    config = SimulationConfig(
+        params=ProtocolParams(k=8, tau=tau, seed=7),
+        history_epochs=history_epochs,
+    )
+    source = CsvTraceSource(csv_path, chunk_rows=chunk_rows, decoder="python")
+    tracemalloc.start()
+    try:
+        if mode == "windowed":
+            StreamingSimulation(source, HashAllocator(), config).run()
+        else:
+            trace = source.materialise()
+            Simulation(trace, HashAllocator(), config).run()
+        peak_bytes = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return peak_bytes / (1024 * 1024)
 
 
 def refine_microbench(
@@ -307,9 +382,16 @@ def compiled_env() -> Dict[str, str]:
 def cell_delta_rows(
     payload: Dict[str, object]
 ) -> List[
-    Tuple[str, Optional[float], float, Optional[float], Optional[float]]
+    Tuple[
+        str,
+        Optional[float],
+        float,
+        Optional[float],
+        Optional[float],
+        Optional[float],
+    ]
 ]:
-    """Per-cell ``(label, reference_s, measured_s, delta, spread)`` rows.
+    """Per-cell ``(label, reference_s, measured_s, delta, spread, peak_mb)``.
 
     Pairs a snapshot's ``cell_seconds`` with its ``reference.cells`` so
     ``repro bench`` can print where a speedup or regression actually
@@ -317,7 +399,9 @@ def cell_delta_rows(
     carry ``None`` for the reference and delta; ``spread`` is the cell's
     (max - min) / median across the snapshot's timing repeats (``None``
     for single-repeat snapshots), so a delta can be read against the
-    cell's own run-to-run noise.
+    cell's own run-to-run noise; ``peak_mb`` is the cell's peak traced
+    allocation from the snapshot's ``cell_peak_mb`` (``None`` for
+    snapshots that predate memory tracking).
     """
     cells = payload.get("cell_seconds") or {}
     reference = payload.get("reference") or {}
@@ -327,19 +411,31 @@ def cell_delta_rows(
     spreads = payload.get("cell_spread") or {}
     if not isinstance(spreads, dict):
         spreads = {}
+    peaks = payload.get("cell_peak_mb") or {}
+    if not isinstance(peaks, dict):
+        peaks = {}
     rows: List[
-        Tuple[str, Optional[float], float, Optional[float], Optional[float]]
+        Tuple[
+            str,
+            Optional[float],
+            float,
+            Optional[float],
+            Optional[float],
+            Optional[float],
+        ]
     ] = []
     for label in sorted(cells):
         measured = float(cells[label])
         spread = spreads.get(label)
         spread = float(spread) if isinstance(spread, (int, float)) else None
+        peak = peaks.get(label)
+        peak = float(peak) if isinstance(peak, (int, float)) else None
         ref = ref_cells.get(label)
         if isinstance(ref, (int, float)) and ref > 0:
             delta = (measured - float(ref)) / float(ref)
-            rows.append((label, float(ref), measured, delta, spread))
+            rows.append((label, float(ref), measured, delta, spread, peak))
         else:
-            rows.append((label, None, measured, None, spread))
+            rows.append((label, None, measured, None, spread, peak))
     return rows
 
 
@@ -463,6 +559,22 @@ def run_bench(
         else None
     )
     smoke = smoke_seconds(repeats=BENCH_REPEATS)
+    # One extra matrix pass with memory tracking, outside the timing
+    # repeats: tracemalloc slows cells noticeably, so peaks must never
+    # share a run with the recorded timings. The digest check proves
+    # tracking didn't perturb the results.
+    memory_run = run_matrix(matrix, workers=workers, track_memory=True)
+    if memory_run.deterministic_digest() != next(iter(digests)):
+        raise ExperimentError(
+            "memory-tracked matrix run diverged from the timed runs"
+        )
+    cell_peak_mb = {
+        outcome.label: outcome.peak_mb
+        for outcome in memory_run.outcomes
+        if outcome.ok and outcome.peak_mb is not None
+    }
+    peak_windowed_1m = memory_microbench(mode="windowed")
+    peak_materialised_1m = memory_microbench(mode="materialised")
 
     all_notes = [
         "Table II-equivalent workload: 4 methods x k=16 x eta in {2,5,10}",
@@ -486,6 +598,13 @@ def run_bench(
         "(jit recorded only when numba is installed); bit-identical "
         "assignments either way",
         f"smoke_seconds: the 2x2 CI smoke grid (median of {BENCH_REPEATS})",
+        "cell_peak_mb: per-cell peak traced allocation (MB), measured on "
+        "one extra untimed matrix pass so tracemalloc never skews the "
+        "recorded timings",
+        "peak_rss_mb_{windowed,materialised}_1m: peak traced MB for a "
+        "hash-random metrics run over the 1M-row valued extract — "
+        "windowed StreamingSimulation over the chunked CsvTraceSource "
+        "vs eager materialise + Simulation",
     ]
     if notes:
         all_notes.extend(notes)
@@ -521,6 +640,11 @@ def run_bench(
     if ingest_arrow_1m is not None:
         payload["ingest_seconds_arrow_1m"] = round(ingest_arrow_1m, 3)
     payload["smoke_seconds"] = round(smoke, 3)
+    payload["cell_peak_mb"] = {
+        label: round(peak, 1) for label, peak in cell_peak_mb.items()
+    }
+    payload["peak_rss_mb_windowed_1m"] = round(peak_windowed_1m, 1)
+    payload["peak_rss_mb_materialised_1m"] = round(peak_materialised_1m, 1)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return payload
 

@@ -120,6 +120,21 @@ class TraceSpec:
 
         return generate_ethereum_like_trace(self.config)
 
+    def build_source(self) -> "TraceSource":  # noqa: F821 - runtime import
+        """This spec as a chunked :class:`~repro.data.source.TraceSource`.
+
+        Windowed cells stream from this instead of materialising
+        :meth:`build`'s trace; both views decode/generate the same rows,
+        so a cell's results are bit-identical either way.
+        """
+        if self.etl_path is not None:
+            from repro.data.source import CsvTraceSource
+
+            return CsvTraceSource(self.etl_path, decoder=self.decoder)
+        from repro.data.source import GeneratorTraceSource
+
+        return GeneratorTraceSource(self.config)
+
 
 @dataclass(frozen=True)
 class MatrixCell:
@@ -133,9 +148,16 @@ class MatrixCell:
     tau: int
     matrix_seed: int
     oracle_mode: str = ORACLE_LOOKAHEAD
-    history_fraction: float = 0.9
+    history_fraction: Optional[float] = None
+    history_epochs: Optional[int] = None
     engine_mode: str = ENGINE_MODE_METRICS
     funding: str = FUNDING_UNIFORM
+    #: Run through the windowed streaming engine instead of
+    #: materialising the trace. Deliberately *not* part of the label:
+    #: a windowed run simulates the bit-identical scenario, so digest
+    #: equality between a windowed and a materialised sweep of the same
+    #: grid is the CI equivalence assertion.
+    windowed: bool = False
 
     @property
     def scenario_label(self) -> str:
@@ -145,12 +167,18 @@ class MatrixCell:
         executed cell simulates the bit-identical world of its
         metrics-mode twin — the engine mode (and the funding mode,
         which only shapes the substrate's genesis supply) changes what
-        is measured, never the simulated scenario.
+        is measured, never the simulated scenario. An absolute history
+        split (``history_epochs``) *does* change the scenario, so it
+        annotates the label when set; the default fractional split
+        keeps every pre-existing label byte-identical.
         """
-        return (
+        label = (
             f"{self.method}/{self.trace.name}"
             f"/k{self.k}/eta{self.eta:g}/beta{self.beta:g}/tau{self.tau}"
         )
+        if self.history_epochs is not None:
+            label = f"{label}/hist{self.history_epochs}"
+        return label
 
     @property
     def label(self) -> str:
@@ -180,6 +208,7 @@ class MatrixCell:
         return SimulationConfig(
             params=self.protocol_params(),
             history_fraction=self.history_fraction,
+            history_epochs=self.history_epochs,
             oracle_mode=self.oracle_mode,
             execute_values=self.engine_mode != ENGINE_MODE_METRICS,
             state_backend=(
@@ -215,11 +244,18 @@ class ScenarioMatrix:
     tau: int = 30
     seed: int = 0
     oracle_mode: str = ORACLE_LOOKAHEAD
-    history_fraction: float = 0.9
+    history_fraction: Optional[float] = None
+    history_epochs: Optional[int] = None
     engine_modes: Tuple[str, ...] = (ENGINE_MODE_METRICS,)
     funding: str = FUNDING_UNIFORM
+    windowed: bool = False
 
     def __post_init__(self) -> None:
+        if self.history_fraction is not None and self.history_epochs is not None:
+            raise ConfigurationError(
+                f"matrix {self.name!r}: history_fraction and history_epochs "
+                "are mutually exclusive; set at most one"
+            )
         unknown = [m for m in self.methods if m not in ALLOCATOR_BUILDERS]
         if unknown:
             raise ConfigurationError(
@@ -255,8 +291,10 @@ class ScenarioMatrix:
                 matrix_seed=self.seed,
                 oracle_mode=self.oracle_mode,
                 history_fraction=self.history_fraction,
+                history_epochs=self.history_epochs,
                 engine_mode=engine_mode,
                 funding=self.funding,
+                windowed=self.windowed,
             )
             for trace in self.traces
             for method in self.methods
@@ -452,3 +490,23 @@ def with_engine_modes(
 ) -> ScenarioMatrix:
     """A copy of ``matrix`` running under ``engine_modes`` instead."""
     return replace(matrix, engine_modes=tuple(engine_modes))
+
+
+def with_windowed(
+    matrix: ScenarioMatrix,
+    windowed: bool = True,
+    history_epochs: Optional[int] = None,
+) -> ScenarioMatrix:
+    """A copy of ``matrix`` run through the windowed streaming engine.
+
+    Cell labels (and therefore seeds and the deterministic digest) are
+    unchanged unless ``history_epochs`` moves the history split — so
+    comparing this copy's digest against the original's is the
+    streamed-vs-materialised equivalence check.
+    """
+    updated = replace(matrix, windowed=windowed)
+    if history_epochs is not None:
+        updated = replace(
+            updated, history_epochs=history_epochs, history_fraction=None
+        )
+    return updated

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional
 from repro.data.trace import Trace
 from repro.errors import ExperimentError
 from repro.experiments.matrix import MatrixCell, ScenarioMatrix, TraceSpec
-from repro.sim.engine import Simulation, SimulationResult
+from repro.sim.engine import Simulation, SimulationResult, StreamingSimulation
 from repro.sim.recorder import summarize_results
 
 #: Summary keys that are wall-clock measurements, excluded from the
@@ -39,6 +39,12 @@ TIMING_KEYS = ("mean_execution_time", "mean_unit_time")
 #: trace (generated or ETL-decoded) instead of rebuilding it per cell.
 _TRACE_CACHE: Dict[TraceSpec, Trace] = {}
 
+#: Per-process source cache for windowed cells. A shared
+#: GeneratorTraceSource keeps the synthetic trace generated once per
+#: process; a shared CsvTraceSource keeps one account registry
+#: (registration is idempotent, so re-streaming assigns the same ids).
+_SOURCE_CACHE: Dict[TraceSpec, object] = {}
+
 
 def _trace_for(spec: TraceSpec) -> Trace:
     trace = _TRACE_CACHE.get(spec)
@@ -46,6 +52,14 @@ def _trace_for(spec: TraceSpec) -> Trace:
         trace = spec.build()
         _TRACE_CACHE[spec] = trace
     return trace
+
+
+def _source_for(spec: TraceSpec):
+    source = _SOURCE_CACHE.get(spec)
+    if source is None:
+        source = spec.build_source()
+        _SOURCE_CACHE[spec] = source
+    return source
 
 
 def seed_trace_cache(spec: TraceSpec, trace: Trace) -> None:
@@ -58,10 +72,18 @@ def run_cell(cell: MatrixCell) -> SimulationResult:
 
     This is the single execution path shared by the sequential runner,
     the process-pool workers and the benchmark suite's simulation cache.
+    Windowed cells run through :class:`StreamingSimulation` over the
+    spec's chunked source instead of a materialised trace; results are
+    bit-identical (the digest-equality CI check rests on this).
     """
-    trace = _trace_for(cell.trace)
     allocator = cell.build_allocator()
-    result = Simulation(trace, allocator, cell.simulation_config()).run()
+    config = cell.simulation_config()
+    if cell.windowed:
+        source = _source_for(cell.trace)
+        result = StreamingSimulation(source, allocator, config).run()
+    else:
+        trace = _trace_for(cell.trace)
+        result = Simulation(trace, allocator, config).run()
     result.allocator_name = cell.method
     return result
 
@@ -89,6 +111,10 @@ class CellOutcome:
     summary: Optional[Dict[str, object]] = None
     error: Optional[str] = None
     seconds: float = 0.0
+    #: Peak traced allocation (MB) while the cell ran; None unless the
+    #: sweep tracked memory. A measurement, not a result — excluded
+    #: from the deterministic payload like the timing keys.
+    peak_mb: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -139,15 +165,29 @@ class MatrixResult:
 
 def _execute_cell_guarded(indexed_cell) -> CellOutcome:
     """Worker entry point: never raises, always returns an outcome."""
-    index, cell = indexed_cell
+    index, cell = indexed_cell[0], indexed_cell[1]
+    track_memory = indexed_cell[2] if len(indexed_cell) > 2 else False
     started = time.perf_counter()
     try:
-        summary = execute_cell(cell)
+        if track_memory:
+            import tracemalloc
+
+            tracemalloc.start()
+            try:
+                summary = execute_cell(cell)
+                _, peak_bytes = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            peak_mb = peak_bytes / (1024 * 1024)
+        else:
+            summary = execute_cell(cell)
+            peak_mb = None
         return CellOutcome(
             index=index,
             label=cell.label,
             summary=summary,
             seconds=time.perf_counter() - started,
+            peak_mb=peak_mb,
         )
     except Exception as error:  # noqa: BLE001 - contained by design
         tail = traceback.format_exc().strip().splitlines()[-1]
@@ -163,6 +203,7 @@ def run_matrix(
     matrix: ScenarioMatrix,
     workers: int = 1,
     strict: bool = False,
+    track_memory: bool = False,
 ) -> MatrixResult:
     """Execute every cell of ``matrix``; return outcomes in grid order.
 
@@ -173,17 +214,23 @@ def run_matrix(
             deterministic payload is bit-identical either way.
         strict: raise :class:`ExperimentError` after the sweep when any
             cell failed (the error lists every failed cell).
+        track_memory: measure each cell's peak traced allocation
+            (``CellOutcome.peak_mb``) via tracemalloc. Tracing slows
+            cells down noticeably, so it's opt-in and never affects the
+            deterministic payload.
     """
     cells = matrix.cells()
     started = time.perf_counter()
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
     if workers <= 1:
         for index, cell in enumerate(cells):
-            outcomes[index] = _execute_cell_guarded((index, cell))
+            outcomes[index] = _execute_cell_guarded((index, cell, track_memory))
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_execute_cell_guarded, (index, cell)): (index, cell)
+                pool.submit(
+                    _execute_cell_guarded, (index, cell, track_memory)
+                ): (index, cell)
                 for index, cell in enumerate(cells)
             }
             for future, (index, cell) in futures.items():

@@ -10,6 +10,7 @@ from repro.sim.engine import (
     Simulation,
     SimulationConfig,
     SimulationResult,
+    StreamingSimulation,
     EpochRecord,
 )
 from repro.sim.recorder import ResultRecorder, summarize_results
@@ -35,6 +36,7 @@ __all__ = [
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
+    "StreamingSimulation",
     "EpochRecord",
     "ResultRecorder",
     "summarize_results",

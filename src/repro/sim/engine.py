@@ -39,7 +39,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import fsum
-from typing import List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
@@ -48,10 +56,13 @@ from repro.chain.mapping import ShardMapping
 from repro.chain.params import ProtocolParams
 from repro.chain.state import BACKEND_DICT, STATE_BACKENDS
 from repro.chain.transaction import TransactionBatch
-from repro.data.trace import Trace
+from repro.data.trace import EpochView, Trace
 from repro.errors import SimulationError
 from repro.sim.metrics import epoch_metrics
 from repro.util.validation import check_in_range
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.source import TraceSource
 
 ORACLE_LOOKAHEAD = "lookahead"
 ORACLE_TRAILING = "trailing"
@@ -81,13 +92,24 @@ class SimulationConfig:
     default, every account minted ``initial_balance`` — or
     ``"observed"`` — per-account balances derived from the trace's
     value flow, the value-faithful replay mode); ``relay_delay_blocks``
-    is the receipt relay latency. All of these are ignored while
-    ``execute_values`` is off, keeping metrics-only runs (and their
-    goldens) untouched.
+    is the receipt relay latency; ``beacon_spill_dir`` spills the
+    beacon chain's committed-MR log to on-disk segments
+    (:class:`~repro.chain.segments.SegmentedCommitLog`) instead of
+    holding every committed batch in memory. All of these are ignored
+    while ``execute_values`` is off, keeping metrics-only runs (and
+    their goldens) untouched.
+
+    The history split is placed either *relatively* —
+    ``history_fraction`` of the rows, default 0.9, which needs the
+    total row count — or *absolutely* — the first ``history_epochs``
+    ``tau``-block epochs, which doesn't, and is therefore what
+    unbounded (``--follow``) streaming runs require. Setting both is a
+    configuration error.
     """
 
     params: ProtocolParams
-    history_fraction: float = 0.9
+    history_fraction: Optional[float] = None
+    history_epochs: Optional[int] = None
     max_epochs: Optional[int] = None
     oracle_mode: str = ORACLE_LOOKAHEAD
     execute_values: bool = False
@@ -96,9 +118,32 @@ class SimulationConfig:
     relay_delay_blocks: int = 1
     funding: str = FUNDING_UNIFORM
     funding_headroom: float = 0.0
+    beacon_spill_dir: Optional[str] = None
+
+    #: Fraction used when neither split knob is set.
+    DEFAULT_HISTORY_FRACTION = 0.9
+
+    @property
+    def resolved_history_fraction(self) -> float:
+        """The effective fraction (0.9 default); unused in epochs mode."""
+        if self.history_fraction is None:
+            return self.DEFAULT_HISTORY_FRACTION
+        return self.history_fraction
 
     def __post_init__(self) -> None:
-        check_in_range("history_fraction", self.history_fraction, 0.0, 1.0)
+        if self.history_fraction is not None and self.history_epochs is not None:
+            raise SimulationError(
+                "history_fraction and history_epochs are mutually "
+                "exclusive ways to place the same split; set at most one"
+            )
+        if self.history_fraction is not None:
+            check_in_range(
+                "history_fraction", self.history_fraction, 0.0, 1.0
+            )
+        if self.history_epochs is not None and self.history_epochs < 0:
+            raise SimulationError(
+                f"history_epochs must be >= 0, got {self.history_epochs}"
+            )
         if self.oracle_mode not in (ORACLE_LOOKAHEAD, ORACLE_TRAILING):
             raise SimulationError(
                 f"oracle_mode must be '{ORACLE_LOOKAHEAD}' or "
@@ -259,47 +304,64 @@ class ExecutionSubstrate:
     Owns a :class:`~repro.chain.ledger.Ledger` (beacon chain + epoch
     reconfigurator) over a :class:`~repro.chain.crossshard.CrossShardExecutor`
     with per-shard state stores, genesis-funded either with a uniform
-    supply (the legacy default) or with per-account balances derived
-    from the trace's observed value flow (``funding="observed"`` —
-    value-faithful replay). The substrate keeps its *own* mapping
-    object — synchronised to the engine's value-for-value — so the
-    metrics path's object flow (and thus its numbers) is untouched by
-    execution.
+    supply (the legacy default) or with caller-supplied per-account
+    balances (``funding_balances`` — the engine derives them from the
+    trace's observed value flow in ``funding="observed"`` mode, eagerly
+    or through the streaming accumulator). The substrate keeps its
+    *own* mapping object — synchronised to the engine's
+    value-for-value — so the metrics path's object flow (and thus its
+    numbers) is untouched by execution. It needs only the universe
+    *size*, never a materialised trace, which is what lets the windowed
+    streaming engine drive it.
     """
 
     def __init__(
-        self, trace: Trace, mapping: ShardMapping, config: SimulationConfig
+        self,
+        n_accounts: int,
+        mapping: ShardMapping,
+        config: SimulationConfig,
+        funding_balances: Optional[np.ndarray] = None,
     ) -> None:
         # Local imports keep the metrics-only engine free of the chain
         # execution layer (and its import cost) unless the flag is on.
         from repro.chain.crossshard import CrossShardExecutor
-        from repro.chain.economics import observed_funding_balances
         from repro.chain.ledger import Ledger
         from repro.chain.state import StateRegistry
 
+        if config.funding == FUNDING_OBSERVED and funding_balances is None:
+            raise SimulationError(
+                "funding='observed' requires funding_balances (the engine "
+                "derives them from the trace before building the substrate)"
+            )
         self.config = config
         self.mapping = mapping.copy()
         self.registry = StateRegistry(
             config.params.k,
             backend=config.state_backend,
-            n_accounts=trace.n_accounts,
+            n_accounts=n_accounts,
         )
         self.executor = CrossShardExecutor(
             self.registry,
             self.mapping,
             relay_delay_blocks=config.relay_delay_blocks,
         )
-        self.ledger = Ledger(config.params, self.mapping, executor=self.executor)
-        accounts = np.arange(trace.n_accounts, dtype=np.int64)
-        if config.funding == FUNDING_OBSERVED:
-            balances = observed_funding_balances(
-                trace.batch, trace.n_accounts, headroom=config.funding_headroom
+        beacon = None
+        if config.beacon_spill_dir is not None:
+            from repro.chain.beacon import BeaconChain
+
+            beacon = BeaconChain(spill_dir=config.beacon_spill_dir)
+        self.ledger = Ledger(
+            config.params, self.mapping, executor=self.executor, beacon=beacon
+        )
+        accounts = np.arange(n_accounts, dtype=np.int64)
+        if funding_balances is not None:
+            self.executor.fund_many(accounts, funding_balances)
+            self.genesis_supply = float(
+                np.sum(funding_balances, dtype=np.float64)
             )
-            self.executor.fund_many(accounts, balances)
-            self.genesis_supply = float(np.sum(balances, dtype=np.float64))
         else:
             self.executor.fund_many(accounts, config.initial_balance)
-            self.genesis_supply = float(trace.n_accounts) * config.initial_balance
+            self.genesis_supply = float(n_accounts) * config.initial_balance
 
     def total_value(self) -> float:
         """Resident balances + in-flight receipts + collected fees
@@ -351,6 +413,164 @@ class ExecutionSubstrate:
         self.ledger.reconfigure()
 
 
+@dataclass
+class _LoopState:
+    """Mutable engine state threaded through the windowed epoch loop."""
+
+    mapping: ShardMapping
+    seen: np.ndarray
+
+
+def _run_epoch_loop(
+    views: "Iterable[EpochView]",
+    state: _LoopState,
+    allocator: Allocator,
+    config: SimulationConfig,
+    substrate: Optional[ExecutionSubstrate],
+    result: SimulationResult,
+    on_record: Optional[Callable[[EpochRecord], None]] = None,
+    allow_growth: bool = False,
+) -> None:
+    """The windowed evaluation loop shared by both engine front ends.
+
+    Consumes epoch views from any iterable — a :class:`Trace.epochs`
+    generator or an :class:`~repro.data.source.EpochStream` — holding
+    exactly two views at a time (current + lookahead), so memory is
+    O(window) regardless of horizon. The per-epoch protocol is
+    byte-for-byte the historic materialised loop: empty views are
+    skipped for processing but still occupy lookahead positions, and
+    the lookahead mempool is the *next view's batch object*, empty or
+    not, exactly as ``epoch_views[position + 1].batch`` used to be.
+
+    ``allow_growth`` (unbounded follow runs only) extends ``phi`` and
+    the seen-set when a window references accounts beyond the current
+    universe; gap ids (allocated but never yet transacting) fill to
+    shard 0, and their real placement happens through the normal
+    new-account rule when they first appear.
+    """
+    params = config.params
+    empty = TransactionBatch.empty()
+
+    iterator = iter(views)
+    current = next(iterator, None)
+    nxt = next(iterator, None) if current is not None else None
+
+    while current is not None:
+        view = current
+        batch = view.batch
+        if len(batch) == 0:
+            current, nxt = nxt, next(iterator, None)
+            continue
+        if config.oracle_mode == ORACLE_LOOKAHEAD:
+            mempool = nxt.batch if nxt is not None else empty
+        else:
+            mempool = batch
+
+        if allow_growth:
+            needed = max(batch.max_account_id(), mempool.max_account_id()) + 1
+            have = state.mapping.n_accounts
+            if needed > have:
+                fill = np.zeros(needed - have, dtype=np.int64)
+                state.mapping.grow(needed, fill)
+                grown_seen = np.zeros(needed, dtype=bool)
+                grown_seen[:have] = state.seen
+                state.seen = grown_seen
+
+        capacity = params.derive_capacity(len(batch))
+        mapping = state.mapping
+        seen = state.seen
+
+        # 1. Place accounts never seen before.
+        touched = batch.touched_accounts()
+        new_ids = touched[~seen[touched]]
+        if len(new_ids):
+            placement_context = UpdateContext(
+                epoch=view.index,
+                params=params,
+                committed=empty,
+                mempool=batch,
+                capacity=capacity,
+            )
+            placements = allocator.place_new_accounts(
+                new_ids, mapping, placement_context
+            )
+            mapping.assign_many(new_ids, placements)
+            seen[new_ids] = True
+            if substrate is not None:
+                substrate.place_new_accounts(new_ids, placements)
+
+        # 2. Metrics under the previous epoch's allocation.
+        ratio, deviation, norm_throughput, _ = epoch_metrics(
+            batch, mapping, params.eta, capacity
+        )
+
+        # 2b. Value execution under the same allocation (unified
+        # engine): the substrate's mapping equals the engine's at
+        # this point, so classification matches the metrics above.
+        execution = (
+            substrate.execute_epoch(batch)
+            if substrate is not None
+            else _EpochExecution()
+        )
+
+        # 3. Allocator update for the next epoch.
+        context = UpdateContext(
+            epoch=view.index,
+            params=params,
+            committed=batch,
+            mempool=mempool,
+            capacity=capacity,
+        )
+        update = allocator.update(mapping, context)
+        if update.mapping.k != params.k:
+            raise SimulationError("allocator changed k during update")
+        if substrate is not None:
+            substrate.reconfigure(view.index, update.mapping)
+        state.mapping = update.mapping
+
+        record = EpochRecord(
+            epoch=view.index,
+            transactions=len(batch),
+            cross_shard_ratio=ratio,
+            workload_deviation=deviation,
+            normalized_throughput=norm_throughput,
+            execution_time=update.execution_time,
+            unit_time=update.unit_time,
+            input_bytes=update.input_bytes,
+            migrations=update.migrations,
+            proposed_migrations=update.proposed_migrations,
+            new_accounts=len(new_ids),
+            executed_transactions=execution.executed_transactions,
+            settled_volume=execution.settled_volume,
+            in_flight_receipts=execution.in_flight_receipts,
+            overdraft_aborts=execution.overdraft_aborts,
+        )
+        result.records.append(record)
+        if on_record is not None:
+            on_record(record)
+        current, nxt = nxt, next(iterator, None)
+
+
+def _initial_mapping(
+    allocator: Allocator,
+    history: Trace,
+    params: ProtocolParams,
+    n_accounts: int,
+) -> ShardMapping:
+    """Initialise the allocator over the history and validate the result."""
+    mapping = allocator.initialize(history, params)
+    if mapping.k != params.k:
+        raise SimulationError(
+            f"allocator produced k={mapping.k}, expected {params.k}"
+        )
+    if mapping.n_accounts < n_accounts:
+        raise SimulationError(
+            "allocator's initial mapping must cover the account universe "
+            f"({mapping.n_accounts} < {n_accounts})"
+        )
+    return mapping
+
+
 class Simulation:
     """Drives one allocator over one trace under one configuration."""
 
@@ -369,24 +589,41 @@ class Simulation:
         self.substrate: Optional[ExecutionSubstrate] = None
 
     def run(self) -> SimulationResult:
-        """Execute the full evaluation protocol; return the result."""
-        params = self.config.params
-        history, evaluation = self.trace.split(self.config.history_fraction)
+        """Execute the full evaluation protocol; return the result.
 
-        mapping = self.allocator.initialize(history, params)
-        if mapping.k != params.k:
-            raise SimulationError(
-                f"allocator produced k={mapping.k}, expected {params.k}"
+        The evaluation segment feeds the windowed epoch loop straight
+        from the :meth:`Trace.epochs` generator — epochs are never
+        materialised as a list, so the loop's working set is two epoch
+        views even on a materialised trace.
+        """
+        params = self.config.params
+        if self.config.history_epochs is not None:
+            history, evaluation = self.trace.split_epochs(
+                params.tau, self.config.history_epochs
             )
-        if mapping.n_accounts < self.trace.n_accounts:
-            raise SimulationError(
-                "allocator's initial mapping must cover the account universe "
-                f"({mapping.n_accounts} < {self.trace.n_accounts})"
+        else:
+            history, evaluation = self.trace.split(
+                self.config.resolved_history_fraction
             )
+
+        mapping = _initial_mapping(
+            self.allocator, history, params, self.trace.n_accounts
+        )
 
         substrate: Optional[ExecutionSubstrate] = None
         if self.config.execute_values:
-            substrate = ExecutionSubstrate(self.trace, mapping, self.config)
+            funding = None
+            if self.config.funding == FUNDING_OBSERVED:
+                from repro.chain.economics import observed_funding_balances
+
+                funding = observed_funding_balances(
+                    self.trace.batch,
+                    self.trace.n_accounts,
+                    headroom=self.config.funding_headroom,
+                )
+            substrate = ExecutionSubstrate(
+                self.trace.n_accounts, mapping, self.config, funding
+            )
             self.substrate = substrate
 
         seen = np.zeros(self.trace.n_accounts, dtype=bool)
@@ -397,88 +634,314 @@ class Simulation:
             params=params,
             execute_values=self.config.execute_values,
         )
-        epoch_views = evaluation.epoch_list(params.tau, self.config.max_epochs)
-        empty = TransactionBatch.empty()
+        state = _LoopState(mapping=mapping, seen=seen)
+        _run_epoch_loop(
+            evaluation.epochs(params.tau, self.config.max_epochs),
+            state,
+            self.allocator,
+            self.config,
+            substrate,
+            result,
+        )
+        return result
 
-        for position, view in enumerate(epoch_views):
-            batch = view.batch
-            if len(batch) == 0:
-                continue
-            capacity = params.derive_capacity(len(batch))
 
-            # 1. Place accounts never seen before.
-            touched = batch.touched_accounts()
-            new_ids = touched[~seen[touched]]
-            if len(new_ids):
-                placement_context = UpdateContext(
-                    epoch=view.index,
-                    params=params,
-                    committed=empty,
-                    mempool=batch,
-                    capacity=capacity,
-                )
-                placements = self.allocator.place_new_accounts(
-                    new_ids, mapping, placement_context
-                )
-                mapping.assign_many(new_ids, placements)
-                seen[new_ids] = True
-                if substrate is not None:
-                    substrate.place_new_accounts(new_ids, placements)
+def _normalised_chunks(
+    chunks: "Iterator[TransactionBatch]", values_present: bool
+) -> "Iterator[TransactionBatch]":
+    """Re-materialise lazily-skipped zero values on a chunk stream.
 
-            # 2. Metrics under the previous epoch's allocation.
-            ratio, deviation, norm_throughput, _ = epoch_metrics(
-                batch, mapping, params.eta, capacity
+    Streamed CSV decode activates the value column only at the first
+    nonzero value, so chunks before that point are valueless even when
+    the materialised trace carries the column (with literal zeros).
+    When the sizing pass resolved that values exist, this wrapper
+    restores the column on every chunk — making the second pass's
+    history and epoch batches column-identical to the materialised
+    split, which executed replays require (a valueless batch transfers
+    the default amount, not 0.0).
+    """
+    for chunk in chunks:
+        if values_present and chunk.values is None and len(chunk):
+            chunk = TransactionBatch(
+                chunk.senders,
+                chunk.receivers,
+                chunk.blocks,
+                np.zeros(len(chunk), dtype=np.float64),
+                chunk.fees,
+            )
+        yield chunk
+
+
+def _consume_history_fraction(
+    chunks: "Iterator[TransactionBatch]", cut: int
+) -> "Tuple[List[TransactionBatch], Optional[TransactionBatch]]":
+    """Take ``Trace.split``'s head off a chunk stream, chunk by chunk.
+
+    Returns the history chunks plus the first leftover slice (None when
+    the stream was exhausted or nothing was consumed). Replicates the
+    materialised split exactly: rows up to ``cut``, then forward to the
+    next block boundary — rows equal to the boundary block form a
+    sorted prefix of the remainder, consumed via ``searchsorted``.
+    """
+    history: List[TransactionBatch] = []
+    if cut <= 0:
+        return history, None
+    taken = 0
+    for chunk in chunks:
+        n = len(chunk)
+        if n == 0:
+            continue
+        if taken + n < cut:
+            history.append(chunk)
+            taken += n
+            continue
+        split_at = cut - taken
+        boundary = int(chunk.blocks[split_at - 1])
+        stop = int(np.searchsorted(chunk.blocks, boundary, side="right"))
+        history.append(chunk[:stop])
+        if stop < n:
+            return history, chunk[stop:]
+        for chunk2 in chunks:
+            stop2 = int(np.searchsorted(chunk2.blocks, boundary, side="right"))
+            if stop2:
+                history.append(chunk2[:stop2])
+            if stop2 < len(chunk2):
+                return history, chunk2[stop2:]
+        return history, None
+    return history, None
+
+
+def _consume_history_epochs(
+    chunks: "Iterator[TransactionBatch]", tau: int, n_epochs: int
+) -> "Tuple[List[TransactionBatch], Optional[TransactionBatch]]":
+    """Take ``Trace.split_epochs``'s head off a chunk stream.
+
+    The head is every row with ``block < first_block + n_epochs * tau``
+    — an absolute boundary needing no total row count, which is what
+    unbounded sources require.
+    """
+    history: List[TransactionBatch] = []
+    boundary: Optional[int] = None
+    for chunk in chunks:
+        if len(chunk) == 0:
+            continue
+        if boundary is None:
+            boundary = int(chunk.blocks[0]) + n_epochs * tau
+        stop = int(np.searchsorted(chunk.blocks, boundary, side="left"))
+        if stop:
+            history.append(chunk[:stop])
+        if stop < len(chunk):
+            return history, chunk[stop:]
+    return history, None
+
+
+class StreamingSimulation:
+    """The windowed engine front end: runs the protocol off a source.
+
+    Drives the exact evaluation protocol of :class:`Simulation` without
+    ever materialising the trace, consuming epochs from
+    :class:`~repro.data.source.EpochStream` one window at a time. Three
+    ingest protocols, picked automatically:
+
+    * **count-prefixed fast path** — the source knows its length up
+      front (:meth:`~repro.data.source.TraceSource.size_hint`): one
+      streaming pass, history split placed from the known count;
+    * **two-pass** — length unknown (CSV): a sizing pass counts rows,
+      resolves the account universe, and (in observed-funding mode)
+      accumulates genesis balances bit-identically to the eager
+      computation; the second pass re-streams through the history split
+      into the epoch loop;
+    * **unbounded** — the source never ends
+      (:class:`~repro.data.source.FollowCsvTraceSource`): no sizing
+      pass is possible, so the run requires the absolute
+      ``history_epochs`` split and metrics-only execution; the account
+      universe grows as new ids appear.
+
+    Equivalence with ``Simulation(trace.materialise(), ...)`` is
+    bit-exact — same epoch records, mapping trajectory, and (executed
+    mode) settlement order — and pinned by ``tests/test_streaming_engine.py``.
+    ``on_record`` fires after each epoch record (live progress for
+    ``--follow``).
+    """
+
+    def __init__(
+        self,
+        source: "TraceSource",
+        allocator: Allocator,
+        config: SimulationConfig,
+        on_record: Optional[Callable[[EpochRecord], None]] = None,
+    ) -> None:
+        self.source = source
+        self.allocator = allocator
+        self.config = config
+        self.on_record = on_record
+        self.substrate: Optional[ExecutionSubstrate] = None
+
+    def run(self) -> SimulationResult:
+        """Stream the full evaluation protocol; return the result."""
+        if getattr(self.source, "unbounded", False):
+            return self._run_unbounded()
+        return self._run_bounded()
+
+    # -- bounded sources (fast path / two-pass) ---------------------------------
+
+    def _run_bounded(self) -> SimulationResult:
+        from itertools import chain as iter_chain
+
+        from repro.data.source import ChunkIteratorSource, EpochStream
+
+        config = self.config
+        params = config.params
+        need_funding = (
+            config.execute_values and config.funding == FUNDING_OBSERVED
+        )
+        hint = self.source.size_hint()
+        funding: Optional[np.ndarray] = None
+        values_present = False
+
+        if hint is not None and not need_funding:
+            total_rows, n_accounts = hint
+        else:
+            # Sizing pass: count rows, resolve the account universe,
+            # and accumulate observed funding in canonical chunk order.
+            from repro.chain.economics import ObservedFundingAccumulator
+
+            accumulator = ObservedFundingAccumulator(
+                headroom=config.funding_headroom
+            )
+            for chunk in self.source.chunks():
+                accumulator.add(chunk)
+                if chunk.values is not None:
+                    values_present = True
+            total_rows = accumulator.rows
+            resolved = self.source.resolved_n_accounts()
+            if resolved is None:
+                resolved = accumulator.max_account_id + 1
+            n_accounts = max(int(resolved), 0)
+            if need_funding:
+                funding = accumulator.finalise(n_accounts)
+
+        chunks = iter(self.source.chunks())
+        if values_present:
+            chunks = _normalised_chunks(chunks, values_present=True)
+        if config.history_epochs is not None:
+            history_chunks, leftover = _consume_history_epochs(
+                chunks, params.tau, config.history_epochs
+            )
+        else:
+            cut = int(round(total_rows * config.resolved_history_fraction))
+            cut = max(0, min(total_rows, cut))
+            history_chunks, leftover = _consume_history_fraction(chunks, cut)
+
+        history_batch = (
+            TransactionBatch.concat_many(history_chunks)
+            if history_chunks
+            else TransactionBatch.empty()
+        )
+        history = Trace(history_batch, n_accounts=n_accounts)
+        mapping = _initial_mapping(self.allocator, history, params, n_accounts)
+
+        substrate: Optional[ExecutionSubstrate] = None
+        if config.execute_values:
+            substrate = ExecutionSubstrate(n_accounts, mapping, config, funding)
+            self.substrate = substrate
+
+        seen = np.zeros(n_accounts, dtype=bool)
+        seen[history.active_accounts()] = True
+
+        remainder = iter_chain(
+            [leftover] if leftover is not None else [], chunks
+        )
+        evaluation = EpochStream(
+            ChunkIteratorSource(
+                remainder, n_accounts=n_accounts, name=self.source.name
+            ),
+            params.tau,
+            config.max_epochs,
+        )
+
+        result = SimulationResult(
+            allocator_name=self.allocator.name,
+            params=params,
+            execute_values=config.execute_values,
+        )
+        state = _LoopState(mapping=mapping, seen=seen)
+        _run_epoch_loop(
+            evaluation,
+            state,
+            self.allocator,
+            config,
+            substrate,
+            result,
+            on_record=self.on_record,
+        )
+        return result
+
+    # -- unbounded sources (follow mode) ----------------------------------------
+
+    def _run_unbounded(self) -> SimulationResult:
+        from itertools import chain as iter_chain
+
+        from repro.data.source import ChunkIteratorSource, EpochStream
+
+        config = self.config
+        params = config.params
+        if config.history_epochs is None:
+            raise SimulationError(
+                f"source {self.source.name!r} is unbounded: a fractional "
+                "history split needs the total row count; set "
+                "history_epochs to place the split absolutely"
+            )
+        if config.execute_values:
+            raise SimulationError(
+                f"source {self.source.name!r} is unbounded: value "
+                "execution needs genesis funding over a closed account "
+                "universe; follow runs are metrics-only"
             )
 
-            # 2b. Value execution under the same allocation (unified
-            # engine): the substrate's mapping equals the engine's at
-            # this point, so classification matches the metrics above.
-            execution = (
-                substrate.execute_epoch(batch)
-                if substrate is not None
-                else _EpochExecution()
-            )
+        chunks = iter(self.source.chunks())
+        history_chunks, leftover = _consume_history_epochs(
+            chunks, params.tau, config.history_epochs
+        )
+        history_batch = (
+            TransactionBatch.concat_many(history_chunks)
+            if history_chunks
+            else TransactionBatch.empty()
+        )
+        # The universe is whatever history has shown so far; the loop
+        # grows it as later windows reference new ids.
+        history = Trace(history_batch)
+        n_accounts = history.n_accounts
+        mapping = _initial_mapping(self.allocator, history, params, n_accounts)
 
-            # 3. Allocator update for the next epoch.
-            if self.config.oracle_mode == ORACLE_LOOKAHEAD:
-                mempool = (
-                    epoch_views[position + 1].batch
-                    if position + 1 < len(epoch_views)
-                    else empty
-                )
-            else:
-                mempool = batch
-            context = UpdateContext(
-                epoch=view.index,
-                params=params,
-                committed=batch,
-                mempool=mempool,
-                capacity=capacity,
-            )
-            update = self.allocator.update(mapping, context)
-            if update.mapping.k != params.k:
-                raise SimulationError("allocator changed k during update")
-            if substrate is not None:
-                substrate.reconfigure(view.index, update.mapping)
-            mapping = update.mapping
+        seen = np.zeros(mapping.n_accounts, dtype=bool)
+        seen[history.active_accounts()] = True
 
-            result.records.append(
-                EpochRecord(
-                    epoch=view.index,
-                    transactions=len(batch),
-                    cross_shard_ratio=ratio,
-                    workload_deviation=deviation,
-                    normalized_throughput=norm_throughput,
-                    execution_time=update.execution_time,
-                    unit_time=update.unit_time,
-                    input_bytes=update.input_bytes,
-                    migrations=update.migrations,
-                    proposed_migrations=update.proposed_migrations,
-                    new_accounts=len(new_ids),
-                    executed_transactions=execution.executed_transactions,
-                    settled_volume=execution.settled_volume,
-                    in_flight_receipts=execution.in_flight_receipts,
-                    overdraft_aborts=execution.overdraft_aborts,
-                )
-            )
+        remainder = iter_chain(
+            [leftover] if leftover is not None else [], chunks
+        )
+        evaluation = EpochStream(
+            ChunkIteratorSource(
+                remainder, n_accounts=n_accounts, name=self.source.name
+            ),
+            params.tau,
+            config.max_epochs,
+        )
+
+        result = SimulationResult(
+            allocator_name=self.allocator.name,
+            params=params,
+            execute_values=False,
+        )
+        state = _LoopState(mapping=mapping, seen=seen)
+        _run_epoch_loop(
+            evaluation,
+            state,
+            self.allocator,
+            config,
+            None,
+            result,
+            on_record=self.on_record,
+            allow_growth=True,
+        )
         return result

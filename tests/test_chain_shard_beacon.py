@@ -156,6 +156,7 @@ class TestBeaconChain:
         for epoch in range(3):
             beacon.submit(mr(epoch + 1))
             beacon.commit_epoch(epoch=epoch)
+        assert beacon.committed_count == 3
         assert len(beacon.committed_requests) == 3
 
     def test_pending_cleared_after_commit(self):

@@ -164,4 +164,4 @@ class TestLedgerIntegration:
         ledger.beacon.verify()
         for chain in ledger.shards:
             chain.verify()
-        assert len(ledger.beacon.committed_requests) == committed_total
+        assert ledger.beacon.committed_count == committed_total

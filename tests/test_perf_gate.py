@@ -22,6 +22,7 @@ from repro.experiments import check_against_baseline, executor_microbench
 from repro.experiments.bench import (
     ingest_microbench,
     load_baseline,
+    memory_microbench,
     reconfig_microbench,
     refine_microbench,
     smoke_seconds,
@@ -40,6 +41,13 @@ RECONFIG_SCALE = 0.1
 #: CI-sized ingest bench: the snapshot's 1M-row CSV decode at 1/10
 #: of the row count.
 INGEST_SCALE = 0.1
+
+#: CI-sized memory bench: the snapshot's 1M-row windowed-vs-materialised
+#: comparison at 400k rows — large enough that the O(total-rows)
+#: materialised peak clearly dominates the windowed engine's
+#: O(window + accounts) floor (at 100-200k rows fixed overheads still
+#: mask the gap), small enough for a CI lane.
+MEMORY_SCALE = 0.4
 
 
 class TestGateLogic:
@@ -121,6 +129,29 @@ class TestCommittedSnapshot:
         assert 5.0 * refine_jit <= refine_python, (
             f"jitted refine ({refine_jit}s) lost its 5x margin over the "
             f"python loops ({refine_python}s)"
+        )
+
+    def test_snapshot_windowed_memory_within_budget_and_sublinear(self):
+        """The 1M-row windowed run must stay in its memory budget.
+
+        Two claims: the windowed engine's peak is bounded (128 MB is
+        ~4x the recorded value, absorbing allocator drift), and it is
+        clearly sublinear against the materialised twin — at 1M rows
+        the full-trace peak must cost at least 1.6x the windowed one.
+        """
+        baseline = load_baseline(BASELINE_PATH)
+        windowed = baseline.get("peak_rss_mb_windowed_1m")
+        materialised = baseline.get("peak_rss_mb_materialised_1m")
+        if windowed is None or materialised is None:
+            pytest.skip("snapshot predates the memory entries")
+        assert isinstance(windowed, (int, float)) and windowed > 0
+        assert isinstance(materialised, (int, float)) and materialised > 0
+        assert windowed <= 128, (
+            f"1M-row windowed peak ({windowed}MB) blew the 128MB budget"
+        )
+        assert 1.6 * windowed <= materialised, (
+            f"windowed peak ({windowed}MB) is not sublinear vs the "
+            f"materialised run ({materialised}MB) at 1M rows"
         )
 
     def test_snapshot_arrow_ingest_holds_3x_over_streamed(self):
@@ -243,6 +274,26 @@ class TestPerfSmokeGate:
         measured = {"ingest_seconds_streamed_1m": seconds / INGEST_SCALE}
         violations = check_against_baseline(measured, baseline, threshold=3.0)
         assert not violations, "; ".join(violations)
+
+    def test_live_windowed_memory_sublinear(self):
+        """The windowed engine must actually hold O(window) memory.
+
+        Runs both modes of the memory microbench at 400k rows (reusing
+        the config-keyed cached CSV, shared between the two modes) and
+        requires the windowed peak to undercut the materialised one
+        with margin. tracemalloc peaks are allocation counts, not
+        timings, so this gate is essentially jitter-free.
+        """
+        baseline = load_baseline(BASELINE_PATH)
+        if baseline.get("peak_rss_mb_windowed_1m") is None:
+            pytest.skip("snapshot predates the memory entries")
+        n_rows = int(1_000_000 * MEMORY_SCALE)
+        windowed = memory_microbench(n_rows=n_rows, mode="windowed")
+        materialised = memory_microbench(n_rows=n_rows, mode="materialised")
+        assert windowed <= 0.85 * materialised, (
+            f"windowed peak ({windowed:.1f}MB) is not below 85% of the "
+            f"materialised peak ({materialised:.1f}MB) at 400k rows"
+        )
 
     def test_batched_reconfig_within_3x_of_snapshot(self):
         """The batch reconfiguration path must not de-vectorise.

@@ -1,0 +1,336 @@
+"""The windowed streaming engine's equivalence and protocol tests.
+
+The contract under test: ``StreamingSimulation(source, ...)`` produces
+**bit-identical** epoch records to ``Simulation(materialised trace,
+...)`` for every bounded source kind and engine mode — the windowed
+engine is a memory-shape change, never a results change. The unbounded
+(follow) protocol additionally pins its typed preconditions and its
+determinism across live-tail and static replays.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.allocation.hash_based import HashAllocator
+from repro.allocation.metis_like import MetisLikeAllocator
+from repro.chain.params import ProtocolParams
+from repro.data.ethereum import (
+    EthereumTraceConfig,
+    generate_ethereum_like_trace,
+)
+from repro.data.etl import write_transactions_csv
+from repro.data.generators import ValueModelConfig
+from repro.data.source import (
+    ChunkIteratorSource,
+    CsvTraceSource,
+    FollowCsvTraceSource,
+    GeneratorTraceSource,
+    MaterialisedTraceSource,
+)
+from repro.errors import DataError, SimulationError
+from repro.sim.engine import Simulation, SimulationConfig, StreamingSimulation
+
+#: Every deterministic EpochRecord field — everything but the two
+#: wall-clock measurements (execution_time, unit_time).
+RECORD_FIELDS = (
+    "epoch",
+    "transactions",
+    "cross_shard_ratio",
+    "workload_deviation",
+    "normalized_throughput",
+    "input_bytes",
+    "migrations",
+    "proposed_migrations",
+    "new_accounts",
+    "executed_transactions",
+    "settled_volume",
+    "in_flight_receipts",
+    "overdraft_aborts",
+)
+
+PLAIN_CONFIG = EthereumTraceConfig(
+    n_accounts=400, n_transactions=5_000, n_blocks=400, seed=23
+)
+VALUED_CONFIG = EthereumTraceConfig(
+    n_accounts=400,
+    n_transactions=5_000,
+    n_blocks=400,
+    seed=23,
+    value_model=ValueModelConfig(fee_fraction=0.02),
+)
+
+
+def params(**overrides):
+    defaults = dict(k=4, eta=2.0, tau=40, seed=7)
+    defaults.update(overrides)
+    return ProtocolParams(**defaults)
+
+
+def assert_identical_records(streamed, materialised):
+    """Bit-exact equality on every deterministic record field."""
+    assert streamed.records, "run produced no epochs"
+    assert len(streamed.records) == len(materialised.records)
+    for left, right in zip(streamed.records, materialised.records):
+        for name in RECORD_FIELDS:
+            assert getattr(left, name) == getattr(right, name), (
+                name,
+                left.epoch,
+            )
+
+
+class TestWindowedEquivalence:
+    def test_materialised_source_size_hint_fast_path(self):
+        trace = generate_ethereum_like_trace(PLAIN_CONFIG)
+        config = SimulationConfig(params=params())
+        streamed = StreamingSimulation(
+            MaterialisedTraceSource(trace, chunk_rows=701),
+            HashAllocator(),
+            config,
+        ).run()
+        materialised = Simulation(trace, HashAllocator(), config).run()
+        assert_identical_records(streamed, materialised)
+
+    def test_generator_source(self):
+        config = SimulationConfig(params=params())
+        streamed = StreamingSimulation(
+            GeneratorTraceSource(PLAIN_CONFIG, chunk_rows=613),
+            MetisLikeAllocator(seed=7),
+            config,
+        ).run()
+        materialised = Simulation(
+            generate_ethereum_like_trace(PLAIN_CONFIG),
+            MetisLikeAllocator(seed=7),
+            config,
+        ).run()
+        assert_identical_records(streamed, materialised)
+
+    def test_csv_two_pass_protocol(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_transactions_csv(path, generate_ethereum_like_trace(PLAIN_CONFIG))
+        config = SimulationConfig(params=params())
+        streamed = StreamingSimulation(
+            CsvTraceSource(path, chunk_rows=599, decoder="python"),
+            HashAllocator(),
+            config,
+        ).run()
+        # The reference materialises the *same* source kind: CSV account
+        # ids are registry-assigned in first-seen order, so only another
+        # decode of the same file shares the id space.
+        materialised = Simulation(
+            CsvTraceSource(path, chunk_rows=599, decoder="python").materialise(),
+            HashAllocator(),
+            config,
+        ).run()
+        assert_identical_records(streamed, materialised)
+
+    def test_history_epochs_split(self):
+        trace = generate_ethereum_like_trace(PLAIN_CONFIG)
+        config = SimulationConfig(params=params(), history_epochs=3)
+        streamed = StreamingSimulation(
+            MaterialisedTraceSource(trace, chunk_rows=701),
+            HashAllocator(),
+            config,
+        ).run()
+        materialised = Simulation(trace, HashAllocator(), config).run()
+        assert_identical_records(streamed, materialised)
+        # The absolute split actually moved: 3 history epochs leave more
+        # evaluation epochs than the default 90% fraction does.
+        default_run = Simulation(
+            trace, HashAllocator(), SimulationConfig(params=params())
+        ).run()
+        assert len(materialised.records) > len(default_run.records)
+
+    def test_executed_observed_funding_over_csv(self, tmp_path):
+        path = tmp_path / "valued.csv"
+        write_transactions_csv(
+            path, generate_ethereum_like_trace(VALUED_CONFIG)
+        )
+        config = SimulationConfig(
+            params=params(),
+            execute_values=True,
+            funding="observed",
+        )
+        streamed = StreamingSimulation(
+            CsvTraceSource(path, chunk_rows=599, decoder="python"),
+            HashAllocator(),
+            config,
+        ).run()
+        materialised = Simulation(
+            CsvTraceSource(path, chunk_rows=599, decoder="python").materialise(),
+            HashAllocator(),
+            config,
+        ).run()
+        assert any(r.executed_transactions for r in streamed.records)
+        assert_identical_records(streamed, materialised)
+
+    def test_executed_run_with_zero_value_prefix(self, tmp_path):
+        """Lazy value activation mid-file must not change executed bits.
+
+        The chunked decoder keeps the value column inactive until the
+        first nonzero value, so pre-activation chunks are valueless;
+        the engine's second pass re-materialises explicit zero columns
+        (a valueless batch would otherwise transfer the 1.0 default).
+        """
+        trace = generate_ethereum_like_trace(VALUED_CONFIG)
+        cut = int(len(trace) * 0.6)
+        trace.batch.values[:cut] = 0.0
+        path = tmp_path / "zero_prefix.csv"
+        write_transactions_csv(path, trace)
+        config = SimulationConfig(
+            params=params(),
+            execute_values=True,
+            funding="observed",
+        )
+        streamed = StreamingSimulation(
+            CsvTraceSource(path, chunk_rows=599, decoder="python"),
+            HashAllocator(),
+            config,
+        ).run()
+        materialised = Simulation(
+            CsvTraceSource(path, chunk_rows=599, decoder="python").materialise(),
+            HashAllocator(),
+            config,
+        ).run()
+        assert_identical_records(streamed, materialised)
+
+    def test_beacon_spill_matches_in_memory_run(self, tmp_path):
+        trace = generate_ethereum_like_trace(PLAIN_CONFIG)
+        base = dict(params=params(), execute_values=True)
+        spilled = Simulation(
+            trace,
+            MetisLikeAllocator(seed=7),
+            SimulationConfig(beacon_spill_dir=str(tmp_path), **base),
+        ).run()
+        in_memory = Simulation(
+            trace, MetisLikeAllocator(seed=7), SimulationConfig(**base)
+        ).run()
+        assert_identical_records(spilled, in_memory)
+        assert any(r.migrations for r in spilled.records)
+        assert list(tmp_path.glob("seg-*.mrlog")), "no segments spilled"
+
+
+class TestHistoryKnobs:
+    def test_fraction_and_epochs_are_mutually_exclusive(self):
+        with pytest.raises(SimulationError, match="mutually exclusive"):
+            SimulationConfig(
+                params=params(), history_fraction=0.5, history_epochs=2
+            )
+
+    def test_negative_history_epochs_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(params=params(), history_epochs=-1)
+
+    def test_default_fraction_applies_when_neither_set(self):
+        config = SimulationConfig(params=params())
+        assert config.resolved_history_fraction == pytest.approx(0.9)
+
+
+class TestUnboundedProtocol:
+    def _static_csv(self, tmp_path, config=PLAIN_CONFIG):
+        path = tmp_path / "follow.csv"
+        write_transactions_csv(path, generate_ethereum_like_trace(config))
+        return path
+
+    def _follow_source(self, path, idle_timeout=0.4):
+        return FollowCsvTraceSource(
+            path, chunk_rows=599, poll_interval=0.02, idle_timeout=idle_timeout
+        )
+
+    def test_requires_history_epochs(self, tmp_path):
+        path = self._static_csv(tmp_path)
+        with pytest.raises(SimulationError, match="history_epochs"):
+            StreamingSimulation(
+                self._follow_source(path),
+                HashAllocator(),
+                SimulationConfig(params=params()),
+            ).run()
+
+    def test_rejects_execute_values(self, tmp_path):
+        path = self._static_csv(tmp_path)
+        with pytest.raises(SimulationError, match="metrics-only"):
+            StreamingSimulation(
+                self._follow_source(path),
+                HashAllocator(),
+                SimulationConfig(
+                    params=params(), history_epochs=2, execute_values=True
+                ),
+            ).run()
+
+    def test_follow_over_static_file(self, tmp_path):
+        path = self._static_csv(tmp_path)
+        seen = []
+        result = StreamingSimulation(
+            self._follow_source(path),
+            HashAllocator(),
+            SimulationConfig(params=params(), history_epochs=2),
+            on_record=seen.append,
+        ).run()
+        assert result.records
+        assert [r.epoch for r in seen] == [r.epoch for r in result.records]
+
+    def test_live_tail_matches_static_replay(self, tmp_path):
+        """Rows appended mid-run commit identically to a static replay."""
+        complete = self._static_csv(tmp_path)
+        lines = complete.read_text().splitlines(keepends=True)
+        half = len(lines) // 2
+        growing = tmp_path / "growing.csv"
+        growing.write_text("".join(lines[:half]))
+
+        def writer():
+            with growing.open("a") as handle:
+                for start in range(half, len(lines), 400):
+                    time.sleep(0.05)
+                    handle.write("".join(lines[start : start + 400]))
+                    handle.flush()
+
+        thread = threading.Thread(target=writer)
+        config = SimulationConfig(params=params(), history_epochs=2)
+        thread.start()
+        try:
+            live = StreamingSimulation(
+                self._follow_source(growing, idle_timeout=1.5),
+                HashAllocator(),
+                config,
+            ).run()
+        finally:
+            thread.join()
+        static = StreamingSimulation(
+            self._follow_source(growing),
+            HashAllocator(),
+            config,
+        ).run()
+        assert_identical_records(live, static)
+
+
+class TestSourceProtocol:
+    def test_size_hints(self, tmp_path):
+        trace = generate_ethereum_like_trace(PLAIN_CONFIG)
+        assert MaterialisedTraceSource(trace).size_hint() == (
+            len(trace),
+            trace.n_accounts,
+        )
+        generated = GeneratorTraceSource(PLAIN_CONFIG)
+        assert generated.size_hint() == (len(trace), trace.n_accounts)
+        path = tmp_path / "hint.csv"
+        write_transactions_csv(path, trace)
+        # A CSV cannot know its row count without a pass: no hint.
+        assert CsvTraceSource(path).size_hint() is None
+
+    def test_chunk_iterator_source_is_one_shot(self):
+        trace = generate_ethereum_like_trace(PLAIN_CONFIG)
+        inner = MaterialisedTraceSource(trace, chunk_rows=701)
+        adapter = ChunkIteratorSource(inner.chunks(), trace.n_accounts)
+        assert sum(len(c) for c in adapter.chunks()) == len(trace)
+        with pytest.raises(DataError, match="one-shot"):
+            list(adapter.chunks())
+
+    def test_follow_source_validates_intervals(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("hash,from_address,to_address,block_number\n")
+        with pytest.raises(DataError):
+            FollowCsvTraceSource(path, poll_interval=0.0)
+        with pytest.raises(DataError):
+            FollowCsvTraceSource(path, idle_timeout=0.0)
