@@ -21,6 +21,18 @@ from repro.chain.miner import Miner, MinerPool, ReshuffleReport
 from repro.chain.epoch import EpochReconfigurator, ReconfigurationReport
 from repro.chain.ledger import Ledger, EpochStats
 from repro.chain.network import OverheadModel, OverheadEstimate, TX_RECORD_BYTES
+from repro.chain.netsim import (
+    NETWORK_IDEAL,
+    NETWORK_SPEC_NAMES,
+    LinkOutage,
+    MessageBus,
+    NetworkModel,
+    NetworkSpec,
+    Partition,
+    ReceiptTransport,
+    RetryPolicy,
+    network_spec,
+)
 from repro.chain.state import (
     AccountState,
     DenseShardStateStore,
@@ -68,6 +80,16 @@ __all__ = [
     "OverheadModel",
     "OverheadEstimate",
     "TX_RECORD_BYTES",
+    "NETWORK_IDEAL",
+    "NETWORK_SPEC_NAMES",
+    "LinkOutage",
+    "MessageBus",
+    "NetworkModel",
+    "NetworkSpec",
+    "Partition",
+    "ReceiptTransport",
+    "RetryPolicy",
+    "network_spec",
     "AccountState",
     "DenseShardStateStore",
     "ResidencyIndex",

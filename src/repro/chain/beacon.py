@@ -100,6 +100,20 @@ def apply_batch_to_mapping(
     return len(accounts)
 
 
+def mr_announcement_bytes(request_count: int) -> float:
+    """Wire size of one beacon MR-batch announcement to one shard.
+
+    Miners learn committed migrations by syncing the beacon chain; on
+    the simulated message plane that sync is modelled as one
+    announcement per shard per reconfiguration, carrying the epoch's
+    committed MR records (the same ``MR_RECORD_BYTES`` unit the Table VI
+    overhead model charges for beacon replication).
+    """
+    from repro.chain.network import MR_RECORD_BYTES
+
+    return float(max(int(request_count), 0) * MR_RECORD_BYTES)
+
+
 def _expand_entries(
     entries: Sequence[object],
 ) -> List[MigrationRequest]:

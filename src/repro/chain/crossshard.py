@@ -39,6 +39,18 @@ reference by one ulp on adversarial amounts). Conservation of total
 balance — no value created or destroyed, in-flight receipts included —
 is the key invariant, property-tested in
 ``tests/test_chain_crossshard.py``.
+
+Receipt relay optionally routes through the simulated message plane
+(:mod:`repro.chain.netsim`): with ``network=None`` receipts append to
+the ledger directly with ``due_block = block + relay_delay_blocks``
+(the reference path above); with a
+:class:`~repro.chain.netsim.NetworkModel` they ride a
+:class:`~repro.chain.netsim.MessageBus`, settlement keys off
+*delivered* blocks, redelivered copies settle idempotently (receipt-id
+dedup), and receipts whose delivery deadline passes are aborted with a
+sender refund — all still conservation-exact (undelivered value counts
+as in-flight). The ``ideal`` model is bit-identical to the direct path
+by construction.
 """
 
 from __future__ import annotations
@@ -50,6 +62,7 @@ import numpy as np
 
 from repro.chain.kernels import classify_kernel
 from repro.chain.mapping import ShardMapping
+from repro.chain.netsim import NetworkModel, ReceiptTransport
 from repro.chain.receipts import ReceiptBatch, ReceiptLedger
 from repro.chain.state import StateRegistry
 from repro.chain.transaction import Transaction, TransactionBatch
@@ -92,6 +105,13 @@ class ExecutionReport:
     settled_value: float = 0.0
     #: Fees collected from successful transfers in this block.
     fees_collected: float = 0.0
+    #: Expired receipts aborted in this block (value returned to the
+    #: sender) and the value refunded — only ever nonzero when receipts
+    #: ride a lossy simulated network.
+    refunds_settled: int = 0
+    refunded_value: float = 0.0
+    #: Redelivered receipt copies discarded by the idempotent settle.
+    duplicates_deduped: int = 0
     relay_latencies: List[int] = field(default_factory=list)
 
     @property
@@ -116,6 +136,7 @@ class CrossShardExecutor:
         mapping: ShardMapping,
         relay_delay_blocks: int = 1,
         batched: bool = True,
+        network: Optional[NetworkModel] = None,
     ) -> None:
         if registry.k != mapping.k:
             raise ValidationError(
@@ -130,6 +151,13 @@ class CrossShardExecutor:
         self.relay_delay_blocks = relay_delay_blocks
         self.batched = batched
         self._ledger = ReceiptLedger()
+        #: Receipts ride the simulated message plane when a network
+        #: model is attached; ``None`` keeps the direct-append path.
+        self._transport = (
+            ReceiptTransport(network, relay_delay_blocks)
+            if network is not None
+            else None
+        )
         self._next_tx_id = 0
         #: Fees debited from senders on successful transfers. Fees
         #: leave circulating balances but not the system: they count
@@ -176,6 +204,11 @@ class CrossShardExecutor:
         return self._ledger
 
     @property
+    def network_transport(self) -> Optional[ReceiptTransport]:
+        """The receipt transport, when receipts ride a simulated network."""
+        return self._transport
+
+    @property
     def pending_receipts(self) -> Tuple[Receipt, ...]:
         """Receipts issued but not yet deposited, in settlement order.
 
@@ -197,9 +230,20 @@ class CrossShardExecutor:
         )
 
     def in_flight_value(self) -> float:
-        """Value locked in receipts — a running total, updated at issue
-        and settle time rather than recomputed per call."""
-        return self._ledger.total_amount
+        """Value locked in receipts — ledger total plus value still on
+        the wire (undelivered, unexpired messages) when receipts ride a
+        simulated network."""
+        total = self._ledger.total_amount
+        if self._transport is not None:
+            total += self._transport.pending_value()
+        return total
+
+    def in_flight_count(self) -> int:
+        """Pending receipts: awaiting settlement or still on the wire."""
+        count = len(self._ledger)
+        if self._transport is not None:
+            count += self._transport.pending_count()
+        return count
 
     def total_value(self) -> float:
         """Resident balances + in-flight receipts + fees — conserved."""
@@ -274,7 +318,24 @@ class CrossShardExecutor:
         issue time, but if the receiver migrated while the receipt was
         in flight, the deposit follows it to the shard now holding the
         account instead of stranding value on the stale shard.
+
+        With a network transport attached, the bus is drained first:
+        newly *delivered* receipts join the ledger keyed by their
+        delivery block (so they settle in this pass), and expired ones
+        abort with a refund to the sender — also via the current
+        mapping, since the sender may have migrated since the withdraw.
         """
+        if self._transport is not None and not self._transport.is_ideal:
+            before_dups = self._transport.duplicates_deduped
+            refunds = self._transport.poll(block, self._ledger)
+            report.duplicates_deduped += (
+                self._transport.duplicates_deduped - before_dups
+            )
+            for _tx_id, sender, amount in refunds:
+                shard = self.mapping.shard_of(sender)
+                self.registry.store_of(shard).credit(sender, amount)
+                report.refunds_settled += 1
+                report.refunded_value += amount
         due = self._ledger.pop_due(block)
         if len(due) == 0:
             return
@@ -289,6 +350,34 @@ class CrossShardExecutor:
         report.relay_latencies.extend(
             (block - due.issued_blocks).tolist()
         )
+
+    def _issue_receipts(
+        self,
+        block: int,
+        tx_ids: np.ndarray,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        amounts: np.ndarray,
+        source_shards: np.ndarray,
+        target_shards: np.ndarray,
+    ) -> None:
+        """Emit one block's withdraw receipts — ledger or message bus."""
+        if self._transport is None:
+            self._ledger.append_batch(
+                tx_ids=tx_ids,
+                senders=senders,
+                receivers=receivers,
+                amounts=amounts,
+                source_shards=source_shards,
+                target_shards=target_shards,
+                issued_block=block,
+                due_block=block + self.relay_delay_blocks,
+            )
+        else:
+            self._transport.issue(
+                self._ledger, block, tx_ids, senders, receivers, amounts,
+                source_shards, target_shards,
+            )
 
     # -- the block committer --------------------------------------------------------
 
@@ -439,15 +528,14 @@ class CrossShardExecutor:
         ordinal = np.cumsum(success) - 1
         cross_ok = success & ~intra
         if cross_ok.any():
-            self._ledger.append_batch(
+            self._issue_receipts(
+                block,
                 tx_ids=self._next_tx_id + ordinal[cross_ok],
                 senders=senders[cross_ok],
                 receivers=receivers[cross_ok],
                 amounts=amounts[cross_ok],
                 source_shards=sender_shards[cross_ok],
                 target_shards=receiver_shards[cross_ok],
-                issued_block=block,
-                due_block=block + self.relay_delay_blocks,
             )
         self._next_tx_id += m
         if fees is not None and m:
@@ -504,15 +592,14 @@ class CrossShardExecutor:
             self._next_tx_id += 1
         if receipt_rows:
             columns = list(zip(*receipt_rows))
-            self._ledger.append_batch(
+            self._issue_receipts(
+                block,
                 tx_ids=np.asarray(columns[0], dtype=np.int64),
                 senders=np.asarray(columns[1], dtype=np.int64),
                 receivers=np.asarray(columns[2], dtype=np.int64),
                 amounts=np.asarray(columns[3], dtype=np.float64),
                 source_shards=np.asarray(columns[4], dtype=np.int64),
                 target_shards=np.asarray(columns[5], dtype=np.int64),
-                issued_block=block,
-                due_block=block + self.relay_delay_blocks,
             )
 
     def execute_batch(
@@ -565,8 +652,16 @@ class CrossShardExecutor:
         return reports
 
     def settle_all(self, from_block: int) -> ExecutionReport:
-        """Force-settle every pending receipt (end-of-epoch flush)."""
+        """Force-settle every pending receipt (end-of-epoch flush).
+
+        With a network transport the horizon extends to the last block
+        at which the bus can still deliver or expire a message, so the
+        flush also resolves everything on the wire (delivering what it
+        can, refunding the rest).
+        """
         horizon = from_block + self.relay_delay_blocks
+        if self._transport is not None:
+            horizon = max(horizon, self._transport.horizon())
         return self.execute_block(horizon, [])
 
     # -- migration interaction -------------------------------------------------------

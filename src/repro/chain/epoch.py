@@ -21,9 +21,10 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
-from repro.chain.beacon import BeaconChain, apply_batch_to_mapping
+from repro.chain.beacon import BeaconChain, apply_batch_to_mapping, mr_announcement_bytes
 from repro.chain.mapping import ShardMapping
 from repro.chain.miner import MinerPool, ReshuffleReport
+from repro.chain.netsim import BEACON_SHARD, MSG_BEACON_ANNOUNCE, MessageBus
 from repro.chain.network import MR_RECORD_BYTES
 from repro.errors import SimulationError
 
@@ -73,6 +74,7 @@ class EpochReconfigurator:
         executor: Optional["CrossShardExecutor"] = None,
         batched: bool = True,
         compact_slack: Optional[float] = None,
+        bus: Optional[MessageBus] = None,
     ) -> None:
         if compact_slack is not None and compact_slack < 0:
             raise SimulationError(
@@ -81,6 +83,11 @@ class EpochReconfigurator:
         self._beacon = beacon
         self._miner_pool = miner_pool
         self._executor = executor
+        #: When the substrate routes messages through the simulated
+        #: network, each reconfiguration announces the epoch's committed
+        #: MR batches to every shard over this bus (the beacon sync the
+        #: analytic model only charges bytes for).
+        self._bus = bus
         self._synced_height = 0
         #: ``batched=False`` selects the per-request reference path
         #: (same observable behaviour, used by the equivalence tests).
@@ -165,6 +172,17 @@ class EpochReconfigurator:
                     )
                 )
         beacon_sync_bytes = float(request_count * MR_RECORD_BYTES)
+        if self._bus is not None and request_count:
+            announcement = mr_announcement_bytes(request_count)
+            at_block = self._bus.clock
+            for shard in range(mapping.k):
+                self._bus.send(
+                    MSG_BEACON_ANNOUNCE,
+                    src=BEACON_SHARD,
+                    dst=shard,
+                    block=at_block,
+                    size_bytes=announcement,
+                )
 
         reshuffle_report: Optional[ReshuffleReport] = None
         state_sync_bytes = 0.0

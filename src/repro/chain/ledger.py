@@ -94,8 +94,14 @@ class Ledger:
             if miners_per_shard > 0
             else None
         )
+        # Reconfiguration announces committed MR batches over the
+        # executor's message bus when receipts ride a simulated network.
+        transport = executor.network_transport if executor is not None else None
         self.reconfigurator = EpochReconfigurator(
-            self.beacon, self.miner_pool, executor
+            self.beacon,
+            self.miner_pool,
+            executor,
+            bus=transport.bus if transport is not None else None,
         )
         self._epoch = 0
         self._total_committed = 0

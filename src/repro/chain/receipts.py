@@ -16,7 +16,7 @@ batched rewrites of the executor cannot silently reorder credits.
 
 from __future__ import annotations
 
-from typing import NamedTuple, Tuple
+from typing import NamedTuple, Tuple, Union
 
 import numpy as np
 
@@ -108,10 +108,17 @@ class ReceiptLedger:
         amounts: np.ndarray,
         source_shards: np.ndarray,
         target_shards: np.ndarray,
-        issued_block: int,
+        issued_block: Union[int, np.ndarray],
         due_block: int,
     ) -> None:
-        """Issue a block's worth of receipts (one shared issue/due block)."""
+        """Issue a batch of receipts sharing one due block.
+
+        ``issued_block`` is a scalar on the direct path (receipts issued
+        and appended in the same block) but may be a per-row array when
+        the network transport appends a delivered group — messages that
+        left different blocks and landed together, whose shared due
+        block is the *delivery* block.
+        """
         count = len(tx_ids)
         if count == 0:
             return

@@ -126,6 +126,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
         funding=args.funding,
         history_epochs=args.history_epochs,
         beacon_spill_dir=args.beacon_spill,
+        network=args.network,
     )
 
     if args.follow:
@@ -136,6 +137,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
             args.input,
             poll_interval=args.follow_poll,
             idle_timeout=args.follow_idle,
+            decoder=args.decoder,
         )
         print(
             f"following {args.input} (poll {args.follow_poll}s, "
@@ -225,6 +227,26 @@ def _command_simulate(args: argparse.Namespace) -> int:
                 ],
             ]
         )
+    if "network" in summary:
+        rows.extend(
+            [
+                ["network model", summary["network"]],
+                ["messages delivered", summary["total_delivered_messages"]],
+                ["messages dropped", summary["total_dropped_messages"]],
+                ["retransmissions", summary["total_retransmissions"]],
+                ["timeout refunds", summary["total_timeout_refunds"]],
+                [
+                    "confirmation latency",
+                    f"{float(summary['mean_confirmation_latency_blocks']):.1f}"
+                    " blocks",
+                ],
+                [
+                    "receipt staleness p99",
+                    f"{float(summary['max_receipt_staleness_p99']):.1f}"
+                    " blocks",
+                ],
+            ]
+        )
     print()
     print(render_table(["Metric", "Value"], rows))
     return 0
@@ -268,6 +290,69 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_network_smoke(seed: int, workers: int) -> int:
+    """The CI degraded-WAN assertion: run the lossy cell twice.
+
+    Passes only when (a) every cell succeeds, (b) the lossy network
+    actually dropped messages and forced retransmissions, (c) value was
+    conserved exactly despite drops/duplicates/timeout-refunds, and
+    (d) the deterministic digest is identical across both runs — the
+    seeded fault injection is reproducible, not merely plausible.
+    """
+    from repro.experiments import network_smoke_matrix, run_matrix
+
+    matrix = network_smoke_matrix(seed=seed)
+    print(
+        f"network smoke {matrix.name!r}: {len(matrix)} cell(s) under the "
+        "lossy WAN model, run twice for digest stability"
+    )
+    first = run_matrix(matrix, workers=workers)
+    second = run_matrix(matrix, workers=workers)
+    failures = [*first.failures, *second.failures]
+    if failures:
+        for failure in failures:
+            print(f"error: {failure.error}", file=sys.stderr)
+        return 1
+    ok = True
+    digest_a = first.deterministic_digest()
+    digest_b = second.deterministic_digest()
+    if digest_a != digest_b:
+        print(
+            "error: lossy-network digest unstable across repeats: "
+            f"{digest_a[:16]} != {digest_b[:16]}",
+            file=sys.stderr,
+        )
+        ok = False
+    for summary in first.summaries:
+        label = summary["cell"]
+        retransmissions = int(summary.get("total_retransmissions", 0))
+        dropped = int(summary.get("total_dropped_messages", 0))
+        drift = float(summary.get("max_conservation_drift", 0.0))
+        refunds = int(summary.get("total_timeout_refunds", 0))
+        print(
+            f"  {label}: dropped {dropped}, retransmitted "
+            f"{retransmissions}, refunded {refunds}, "
+            f"conservation drift {drift:.2e}"
+        )
+        if retransmissions <= 0:
+            print(
+                f"error: cell {label!r} saw no retransmissions — the "
+                "lossy model is not exercising the retry path",
+                file=sys.stderr,
+            )
+            ok = False
+        if drift > 1e-6:
+            print(
+                f"error: cell {label!r} leaked value under loss: "
+                f"conservation drift {drift}",
+                file=sys.stderr,
+            )
+            ok = False
+    if ok:
+        print(f"network smoke OK — digest {digest_a[:16]} (stable)")
+    return 0 if ok else 1
+
+
 def _command_matrix(args: argparse.Namespace) -> int:
     from repro.experiments import (
         ScenarioMatrix,
@@ -280,10 +365,14 @@ def _command_matrix(args: argparse.Namespace) -> int:
         smoke_matrix,
         with_engine_modes,
         with_funding,
+        with_network,
         with_trace_source,
         with_windowed,
         write_result_json,
     )
+
+    if args.network_smoke:
+        return _run_network_smoke(seed=args.seed, workers=args.workers)
 
     valid_metrics = (
         "mean_normalized_throughput",
@@ -390,6 +479,8 @@ def _command_matrix(args: argparse.Namespace) -> int:
         matrix = with_trace_source(matrix, trace_source, decoder=args.decoder)
     if args.funding is not None:
         matrix = with_funding(matrix, args.funding)
+    if args.network != "ideal":
+        matrix = with_network(matrix, args.network)
     if args.windowed or args.history_epochs is not None:
         # --windowed alone keeps every label (and the digest) identical
         # to the materialised grid: equal digests ARE the CI
@@ -582,6 +673,14 @@ def build_parser() -> argparse.ArgumentParser:
         "or value-faithful balances derived from the trace's value flow",
     )
     simulate.add_argument(
+        "--network",
+        default="ideal",
+        choices=("ideal", "lan", "wan", "lossy"),
+        help="message network for --execute: ideal (direct calls, "
+        "bit-identical to the pre-network engine), lan, wan, or the "
+        "degraded lossy WAN with drops/partitions/duplicates",
+    )
+    simulate.add_argument(
         "--streamed",
         action="store_true",
         help="decode --input through the chunked bounded-memory "
@@ -725,6 +824,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the reallocation-heavy executed CI cell (metis in "
         "execute-dense mode, exercising the batched beacon/"
         "reconfiguration path)",
+    )
+    matrix.add_argument(
+        "--network-smoke",
+        action="store_true",
+        help="run the degraded-WAN executed CI cell twice and assert "
+        "nonzero retransmissions, exact value conservation, and a "
+        "stable deterministic digest across the repeats",
+    )
+    matrix.add_argument(
+        "--network",
+        default="ideal",
+        choices=("ideal", "lan", "wan", "lossy"),
+        help="network model for executed cells: ideal (direct calls; "
+        "labels and digests unchanged), lan, wan, or the lossy "
+        "degraded WAN (requires executing --engine-modes)",
     )
     matrix.add_argument(
         "--etl-smoke",

@@ -26,6 +26,7 @@ from repro.experiments.bench import (
     ingest_microbench,
     load_baseline,
     memory_microbench,
+    netsim_microbench,
     reconfig_microbench,
     refine_microbench,
     run_bench,
@@ -40,6 +41,7 @@ from repro.experiments.matrix import (
     TraceSpec,
     default_trace,
     etl_smoke_matrix,
+    network_smoke_matrix,
     paper_tables_matrix,
     realloc_smoke_matrix,
     smoke_matrix,
@@ -47,6 +49,7 @@ from repro.experiments.matrix import (
     with_engine_modes,
     with_funding,
     with_methods,
+    with_network,
     with_trace_source,
     with_windowed,
 )
@@ -80,6 +83,8 @@ __all__ = [
     "load_baseline",
     "matrix_table",
     "memory_microbench",
+    "netsim_microbench",
+    "network_smoke_matrix",
     "paper_tables_matrix",
     "realloc_smoke_matrix",
     "reconfig_microbench",
@@ -95,6 +100,7 @@ __all__ = [
     "with_engine_modes",
     "with_funding",
     "with_methods",
+    "with_network",
     "with_trace_source",
     "with_windowed",
     "write_result_json",

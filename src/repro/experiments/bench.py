@@ -101,6 +101,66 @@ def executor_microbench(
     return time.perf_counter() - started
 
 
+def netsim_microbench(
+    mode: str = "direct",
+    n_accounts: int = 20_000,
+    k: int = 16,
+    n_transfers: int = 100_000,
+    n_blocks: int = 400,
+    seed: int = 0,
+    repeats: int = 3,
+) -> float:
+    """Median wall seconds for the executor workload under a message bus.
+
+    Runs the same block-ordered cross-shard transfer batch (execute +
+    full settlement) three ways: ``mode="direct"`` bypasses the network
+    layer entirely (``network=None``), ``mode="ideal"`` routes every
+    receipt through the null :class:`~repro.chain.netsim.NetworkModel`
+    (counters only, no event heap — contractually bit-identical to the
+    direct path), and ``mode="wan"`` through the seeded degraded-WAN
+    preset (latency, drops, duplicates, retransmissions, refunds). The
+    workload is rebuilt untimed before each of ``repeats`` timed runs;
+    the median feeds the snapshot's ``netsim_seconds_{direct,ideal,wan}``
+    entries and the derived ``netsim_overhead_{ideal,wan}`` ratios the
+    perf gate budgets (the ideal bus must stay within 1.1x of direct).
+    """
+    from repro.chain.crossshard import CrossShardExecutor
+    from repro.chain.mapping import ShardMapping
+    from repro.chain.netsim import NetworkModel
+    from repro.chain.state import StateRegistry
+    from repro.chain.transaction import TransactionBatch
+
+    if mode not in ("direct", "ideal", "wan"):
+        raise ExperimentError(
+            f"mode must be 'direct', 'ideal' or 'wan', got {mode!r}"
+        )
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, k, size=n_accounts)
+    batch = TransactionBatch(
+        rng.integers(0, n_accounts, size=n_transfers),
+        rng.integers(0, n_accounts, size=n_transfers),
+        np.sort(rng.integers(0, n_blocks, size=n_transfers)),
+        rng.integers(1, 5, size=n_transfers).astype(np.float64),
+    )
+    timings = []
+    for _ in range(max(1, repeats)):
+        network = (
+            None if mode == "direct" else NetworkModel(mode, seed=seed)
+        )
+        executor = CrossShardExecutor(
+            StateRegistry(k=k),
+            ShardMapping(assignment.copy(), k=k),
+            relay_delay_blocks=1,
+            network=network,
+        )
+        executor.fund_many(np.arange(n_accounts, dtype=np.int64), 1_000.0)
+        started = time.perf_counter()
+        executor.execute_batch(batch)
+        executor.settle_all(n_blocks)
+        timings.append(time.perf_counter() - started)
+    return median(timings)
+
+
 def reconfig_microbench(
     n_accounts: int = 1_000_000,
     k: int = 16,
@@ -558,6 +618,11 @@ def run_bench(
         if env["csv_decoder"] == "arrow"
         else None
     )
+    # The netsim trio shares one workload; each mode is a median of 3
+    # fresh-executor runs, so the overhead ratios compare like to like.
+    netsim_direct = netsim_microbench(mode="direct")
+    netsim_ideal = netsim_microbench(mode="ideal")
+    netsim_wan = netsim_microbench(mode="wan")
     smoke = smoke_seconds(repeats=BENCH_REPEATS)
     # One extra matrix pass with memory tracking, outside the timing
     # repeats: tracemalloc slows cells noticeably, so peaks must never
@@ -597,6 +662,10 @@ def run_bench(
         "the benchmark account graph, reference loops vs numba kernels "
         "(jit recorded only when numba is installed); bit-identical "
         "assignments either way",
+        "netsim_seconds_{direct,ideal,wan}: the executor workload with "
+        "no network layer vs the ideal null bus vs the degraded-WAN "
+        "model (median of 3); netsim_overhead_{ideal,wan} are the "
+        "ratios against direct — the gate budgets ideal at <= 1.1x",
         f"smoke_seconds: the 2x2 CI smoke grid (median of {BENCH_REPEATS})",
         "cell_peak_mb: per-cell peak traced allocation (MB), measured on "
         "one extra untimed matrix pass so tracemalloc never skews the "
@@ -639,6 +708,11 @@ def run_bench(
         payload["refine_seconds_jit"] = round(refine_jit, 3)
     if ingest_arrow_1m is not None:
         payload["ingest_seconds_arrow_1m"] = round(ingest_arrow_1m, 3)
+    payload["netsim_seconds_direct"] = round(netsim_direct, 3)
+    payload["netsim_seconds_ideal"] = round(netsim_ideal, 3)
+    payload["netsim_seconds_wan"] = round(netsim_wan, 3)
+    payload["netsim_overhead_ideal"] = round(netsim_ideal / netsim_direct, 3)
+    payload["netsim_overhead_wan"] = round(netsim_wan / netsim_direct, 3)
     payload["smoke_seconds"] = round(smoke, 3)
     payload["cell_peak_mb"] = {
         label: round(peak, 1) for label, peak in cell_peak_mb.items()

@@ -26,6 +26,7 @@ from repro.allocation.orbit import OrbitAllocator
 from repro.allocation.txallo import TxAlloAllocator
 from typing import Optional
 
+from repro.chain.netsim import NETWORK_IDEAL, NETWORK_SPEC_NAMES
 from repro.chain.params import ProtocolParams
 from repro.chain.state import BACKEND_DENSE, BACKEND_DICT
 from repro.core.mosaic import MosaicAllocator
@@ -152,6 +153,11 @@ class MatrixCell:
     history_epochs: Optional[int] = None
     engine_mode: str = ENGINE_MODE_METRICS
     funding: str = FUNDING_UNIFORM
+    #: Network model receipts/announcements ride (``"ideal"`` is the
+    #: direct-call null model and — like the engine mode — is not part
+    #: of the scenario label: a lossy cell simulates the bit-identical
+    #: scenario of its ideal twin, the network only perturbs delivery).
+    network: str = NETWORK_IDEAL
     #: Run through the windowed streaming engine instead of
     #: materialising the trace. Deliberately *not* part of the label:
     #: a windowed run simulates the bit-identical scenario, so digest
@@ -188,6 +194,8 @@ class MatrixCell:
             label = f"{label}/{self.engine_mode}"
         if self.funding != FUNDING_UNIFORM:
             label = f"{label}/funding-{self.funding}"
+        if self.network != NETWORK_IDEAL:
+            label = f"{label}/net-{self.network}"
         return label
 
     @property
@@ -217,6 +225,7 @@ class MatrixCell:
                 else BACKEND_DICT
             ),
             funding=self.funding,
+            network=self.network,
         )
 
     def build_allocator(self) -> Allocator:
@@ -248,6 +257,7 @@ class ScenarioMatrix:
     history_epochs: Optional[int] = None
     engine_modes: Tuple[str, ...] = (ENGINE_MODE_METRICS,)
     funding: str = FUNDING_UNIFORM
+    network: str = NETWORK_IDEAL
     windowed: bool = False
 
     def __post_init__(self) -> None:
@@ -273,6 +283,19 @@ class ScenarioMatrix:
                 f"unknown funding mode {self.funding!r}; "
                 f"available: {', '.join(FUNDING_MODES)}"
             )
+        if self.network not in NETWORK_SPEC_NAMES:
+            raise ConfigurationError(
+                f"unknown network model {self.network!r}; "
+                f"available: {', '.join(NETWORK_SPEC_NAMES)}"
+            )
+        if self.network != NETWORK_IDEAL and any(
+            mode == ENGINE_MODE_METRICS for mode in self.engine_modes
+        ):
+            raise ConfigurationError(
+                f"matrix {self.name!r}: network {self.network!r} needs "
+                "value execution; restrict engine_modes to executing "
+                "modes (the metrics-only loop moves no messages)"
+            )
         if not self.methods or not self.traces:
             raise ConfigurationError("matrix needs >= 1 method and >= 1 trace")
         if not self.ks or not self.etas or not self.betas or not self.engine_modes:
@@ -294,6 +317,7 @@ class ScenarioMatrix:
                 history_epochs=self.history_epochs,
                 engine_mode=engine_mode,
                 funding=self.funding,
+                network=self.network,
                 windowed=self.windowed,
             )
             for trace in self.traces
@@ -385,6 +409,37 @@ def realloc_smoke_matrix(seed: int = 0) -> ScenarioMatrix:
         tau=40,
         seed=seed,
         engine_modes=("execute-dense",),
+    )
+
+
+def network_smoke_matrix(seed: int = 0) -> ScenarioMatrix:
+    """One degraded-WAN executed cell for CI.
+
+    The ``lossy`` model drops ~12% of receipts, duplicates and reorders
+    the rest, and periodically severs shard links outright — so this
+    cell exercises the full failure surface on every push: bounded
+    retransmission with backoff, duplicate-settlement dedup, timeout
+    aborts with sender refunds, and delivered-block settlement. The CLI
+    asserts nonzero retransmissions, exact value conservation, and a
+    repeat-run digest match on top of it.
+    """
+    return ScenarioMatrix(
+        name="network-smoke",
+        methods=("metis",),
+        traces=(
+            default_trace(
+                "smoke-trace",
+                n_accounts=600,
+                n_transactions=6_000,
+                n_blocks=400,
+                seed=7,
+            ),
+        ),
+        ks=(4,),
+        tau=40,
+        seed=seed,
+        engine_modes=(ENGINE_MODE_EXECUTE_DENSE,),
+        network="lossy",
     )
 
 
@@ -483,6 +538,17 @@ def with_trace_source(
 def with_funding(matrix: ScenarioMatrix, funding: str) -> ScenarioMatrix:
     """A copy of ``matrix`` under another genesis-funding mode."""
     return replace(matrix, funding=funding)
+
+
+def with_network(matrix: ScenarioMatrix, network: str) -> ScenarioMatrix:
+    """A copy of ``matrix`` routing messages through ``network``.
+
+    Non-ideal models require executing engine modes (validated at
+    construction); cell labels gain a ``/net-{name}`` suffix while
+    scenario labels — and therefore seeds — are shared with the ideal
+    twin, so a lossy cell perturbs delivery of the identical workload.
+    """
+    return replace(matrix, network=network)
 
 
 def with_engine_modes(

@@ -78,6 +78,10 @@ FUNDING_UNIFORM = "uniform"
 FUNDING_OBSERVED = "observed"
 FUNDING_MODES = (FUNDING_UNIFORM, FUNDING_OBSERVED)
 
+#: The null network model: receipts settle on the exact relay schedule,
+#: bit-identical to the pre-netsim direct-call path (the default).
+NETWORK_IDEAL = "ideal"
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -119,6 +123,12 @@ class SimulationConfig:
     funding: str = FUNDING_UNIFORM
     funding_headroom: float = 0.0
     beacon_spill_dir: Optional[str] = None
+    #: Which simulated network receipts ride (see
+    #: :mod:`repro.chain.netsim`): ``"ideal"`` (default, bit-identical
+    #: to the direct path), ``"lan"``, ``"wan"`` or ``"lossy"``. A
+    #: non-ideal network requires ``execute_values`` — there is no
+    #: message plane to degrade in a metrics-only run.
+    network: str = NETWORK_IDEAL
 
     #: Fraction used when neither split knob is set.
     DEFAULT_HISTORY_FRACTION = 0.9
@@ -174,6 +184,18 @@ class SimulationConfig:
             raise SimulationError(
                 f"funding_headroom must be >= 0, got {self.funding_headroom}"
             )
+        from repro.chain.netsim import NETWORK_SPEC_NAMES
+
+        if self.network not in NETWORK_SPEC_NAMES:
+            raise SimulationError(
+                f"network must be one of {NETWORK_SPEC_NAMES}, "
+                f"got {self.network!r}"
+            )
+        if self.network != NETWORK_IDEAL and not self.execute_values:
+            raise SimulationError(
+                f"network={self.network!r} requires execute_values: "
+                "metrics-only runs have no message plane to degrade"
+            )
 
 
 @dataclass
@@ -202,6 +224,22 @@ class EpochRecord:
     settled_volume: float = 0.0
     in_flight_receipts: int = 0
     overdraft_aborts: int = 0
+    #: Message-plane observability (zero defaults in metrics-only runs;
+    #: populated whenever the unified engine drives a network model —
+    #: the ideal model counts traffic too, it just never degrades it).
+    delivered_messages: int = 0
+    dropped_messages: int = 0
+    retransmissions: int = 0
+    duplicate_deliveries: int = 0
+    timeout_refunds: int = 0
+    receipt_staleness_p50: float = 0.0
+    receipt_staleness_p99: float = 0.0
+    confirmation_latency_blocks: float = 0.0
+    #: |total_value - genesis_supply| at the epoch boundary, checked
+    #: only under a non-ideal network (the lossy refund/dedup paths are
+    #: the ones worth auditing every epoch; the ideal path is pinned by
+    #: the conservation property suite instead).
+    conservation_drift: float = 0.0
 
 
 @dataclass
@@ -213,6 +251,8 @@ class SimulationResult:
     records: List[EpochRecord] = field(default_factory=list)
     #: True when the run drove the unified engine (value execution).
     execute_values: bool = False
+    #: The network spec receipts rode ("ideal" unless configured).
+    network: str = NETWORK_IDEAL
 
     def _mean(self, attribute: str, weighted: bool = False) -> float:
         if not self.records:
@@ -287,6 +327,44 @@ class SimulationResult:
             return 0
         return self.records[-1].in_flight_receipts
 
+    # -- message-plane aggregates (zero without a network model) ---------------
+
+    @property
+    def total_delivered_messages(self) -> int:
+        return int(sum(r.delivered_messages for r in self.records))
+
+    @property
+    def total_dropped_messages(self) -> int:
+        return int(sum(r.dropped_messages for r in self.records))
+
+    @property
+    def total_retransmissions(self) -> int:
+        return int(sum(r.retransmissions for r in self.records))
+
+    @property
+    def total_duplicate_deliveries(self) -> int:
+        return int(sum(r.duplicate_deliveries for r in self.records))
+
+    @property
+    def total_timeout_refunds(self) -> int:
+        return int(sum(r.timeout_refunds for r in self.records))
+
+    @property
+    def mean_confirmation_latency_blocks(self) -> float:
+        return self._mean("confirmation_latency_blocks")
+
+    @property
+    def max_receipt_staleness_p99(self) -> float:
+        if not self.records:
+            return 0.0
+        return max(r.receipt_staleness_p99 for r in self.records)
+
+    @property
+    def max_conservation_drift(self) -> float:
+        if not self.records:
+            return 0.0
+        return max(r.conservation_drift for r in self.records)
+
 
 @dataclass
 class _EpochExecution:
@@ -296,6 +374,15 @@ class _EpochExecution:
     settled_volume: float = 0.0
     in_flight_receipts: int = 0
     overdraft_aborts: int = 0
+    delivered_messages: int = 0
+    dropped_messages: int = 0
+    retransmissions: int = 0
+    duplicate_deliveries: int = 0
+    timeout_refunds: int = 0
+    receipt_staleness_p50: float = 0.0
+    receipt_staleness_p99: float = 0.0
+    confirmation_latency_blocks: float = 0.0
+    conservation_drift: float = 0.0
 
 
 class ExecutionSubstrate:
@@ -326,7 +413,9 @@ class ExecutionSubstrate:
         # execution layer (and its import cost) unless the flag is on.
         from repro.chain.crossshard import CrossShardExecutor
         from repro.chain.ledger import Ledger
+        from repro.chain.netsim import NetworkModel
         from repro.chain.state import StateRegistry
+        from repro.util.rng import derive_seed
 
         if config.funding == FUNDING_OBSERVED and funding_balances is None:
             raise SimulationError(
@@ -340,11 +429,20 @@ class ExecutionSubstrate:
             backend=config.state_backend,
             n_accounts=n_accounts,
         )
+        # Every executed run routes receipts through the message plane;
+        # the default ideal model takes the bulk fast path that appends
+        # to the ledger with the direct path's exact arguments, so the
+        # flag-default behaviour stays byte-identical.
+        self.network = NetworkModel(
+            config.network, seed=derive_seed(config.params.seed, "netsim")
+        )
         self.executor = CrossShardExecutor(
             self.registry,
             self.mapping,
             relay_delay_blocks=config.relay_delay_blocks,
+            network=self.network,
         )
+        self._bus_mark = self.executor.network_transport.bus.stats.snapshot()
         beacon = None
         if config.beacon_spill_dir is not None:
             from repro.chain.beacon import BeaconChain
@@ -377,14 +475,60 @@ class ExecutionSubstrate:
 
     def execute_epoch(self, batch: TransactionBatch) -> _EpochExecution:
         """Run the epoch's transfers; return the executed-value metrics."""
+        from repro.chain.netsim import MSG_GOSSIP, OMEGA_ENTRY_BYTES
+        from repro.sim.metrics import staleness_percentiles
+
         stats = _EpochExecution()
+        latency_sum = 0
+        latency_count = 0
+        last_block = 0
         for report in self.ledger.execute_epoch(batch):
             stats.executed_transactions += (
                 report.intra_executed + report.withdraws
             )
             stats.settled_volume += report.settled_value
             stats.overdraft_aborts += report.failed
-        stats.in_flight_receipts = len(self.executor.ledger)
+            stats.duplicate_deliveries += report.duplicates_deduped
+            stats.timeout_refunds += report.refunds_settled
+            latency_sum += sum(report.relay_latencies)
+            latency_count += len(report.relay_latencies)
+            last_block = report.block
+        stats.in_flight_receipts = self.executor.in_flight_count()
+
+        # Workload-vector gossip: each shard floods its Omega entries to
+        # every other shard once per epoch (the traffic clients' Omega
+        # downloads ride in the paper's model). Under the ideal model
+        # these are pure counter bumps.
+        transport = self.executor.network_transport
+        bus = transport.bus
+        k = self.config.params.k
+        gossip_bytes = float(OMEGA_ENTRY_BYTES * k)
+        at_block = max(last_block, bus.clock)
+        for src in range(k):
+            for dst in range(k):
+                if src != dst:
+                    bus.send(
+                        MSG_GOSSIP, src, dst, at_block, size_bytes=gossip_bytes
+                    )
+
+        sent, delivered, dropped, retrans, dups, expired = bus.stats.snapshot()
+        m_sent, m_delivered, m_dropped, m_retrans, m_dups, m_expired = (
+            self._bus_mark
+        )
+        stats.delivered_messages = delivered - m_delivered
+        stats.dropped_messages = dropped - m_dropped
+        stats.retransmissions = retrans - m_retrans
+        self._bus_mark = bus.stats.snapshot()
+
+        if latency_count:
+            stats.confirmation_latency_blocks = latency_sum / latency_count
+        if not self.network.is_ideal:
+            p50, p99 = staleness_percentiles(transport.drain_staleness())
+            stats.receipt_staleness_p50 = p50
+            stats.receipt_staleness_p99 = p99
+            stats.conservation_drift = abs(
+                self.total_value() - self.genesis_supply
+            )
         return stats
 
     def reconfigure(self, epoch: int, target: ShardMapping) -> None:
@@ -544,6 +688,15 @@ def _run_epoch_loop(
             settled_volume=execution.settled_volume,
             in_flight_receipts=execution.in_flight_receipts,
             overdraft_aborts=execution.overdraft_aborts,
+            delivered_messages=execution.delivered_messages,
+            dropped_messages=execution.dropped_messages,
+            retransmissions=execution.retransmissions,
+            duplicate_deliveries=execution.duplicate_deliveries,
+            timeout_refunds=execution.timeout_refunds,
+            receipt_staleness_p50=execution.receipt_staleness_p50,
+            receipt_staleness_p99=execution.receipt_staleness_p99,
+            confirmation_latency_blocks=execution.confirmation_latency_blocks,
+            conservation_drift=execution.conservation_drift,
         )
         result.records.append(record)
         if on_record is not None:
@@ -633,6 +786,7 @@ class Simulation:
             allocator_name=self.allocator.name,
             params=params,
             execute_values=self.config.execute_values,
+            network=self.config.network,
         )
         state = _LoopState(mapping=mapping, seen=seen)
         _run_epoch_loop(
@@ -864,6 +1018,7 @@ class StreamingSimulation:
             allocator_name=self.allocator.name,
             params=params,
             execute_values=config.execute_values,
+            network=config.network,
         )
         state = _LoopState(mapping=mapping, seen=seen)
         _run_epoch_loop(

@@ -16,7 +16,7 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -83,6 +83,23 @@ def normalized_throughput(
     normalisation benchmark.
     """
     return throughput(batch, mapping, eta, capacity) / capacity
+
+
+def staleness_percentiles(
+    samples: Sequence[int], qs: Tuple[float, ...] = (50.0, 99.0)
+) -> Tuple[float, ...]:
+    """Percentiles of receipt-staleness samples (blocks a delivery
+    lagged the relay schedule), 0.0s when no receipt settled.
+
+    Linear-interpolated ``np.percentile`` over the epoch's samples —
+    the summary the unified engine records as
+    ``receipt_staleness_p50/p99`` when receipts ride a simulated
+    network.
+    """
+    if len(samples) == 0:
+        return tuple(0.0 for _ in qs)
+    arr = np.asarray(samples, dtype=np.float64)
+    return tuple(float(np.percentile(arr, q)) for q in qs)
 
 
 def epoch_metrics(

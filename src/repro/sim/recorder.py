@@ -42,6 +42,25 @@ def summarize_results(result: SimulationResult) -> Dict[str, object]:
         summary["total_settled_volume"] = result.total_settled_volume
         summary["total_overdraft_aborts"] = result.total_overdraft_aborts
         summary["final_in_flight_receipts"] = result.final_in_flight_receipts
+    # Network aggregates appear only for non-ideal networks, so every
+    # pre-network summary — and every digest built from one — stays
+    # byte-identical under the default ideal model.
+    if result.execute_values and result.network != "ideal":
+        summary["network"] = result.network
+        summary["total_delivered_messages"] = result.total_delivered_messages
+        summary["total_dropped_messages"] = result.total_dropped_messages
+        summary["total_retransmissions"] = result.total_retransmissions
+        summary["total_duplicate_deliveries"] = (
+            result.total_duplicate_deliveries
+        )
+        summary["total_timeout_refunds"] = result.total_timeout_refunds
+        summary["mean_confirmation_latency_blocks"] = (
+            result.mean_confirmation_latency_blocks
+        )
+        summary["max_receipt_staleness_p99"] = (
+            result.max_receipt_staleness_p99
+        )
+        summary["max_conservation_drift"] = result.max_conservation_drift
     return summary
 
 

@@ -1,0 +1,211 @@
+"""Unit tests for the discrete-event message network.
+
+Three properties carry the design:
+
+* **determinism** — a bus run is a pure function of
+  ``(spec, seed, send sequence)``: same seed replays identical
+  delivery/drop/expiry sequences, different seeds diverge;
+* **bounded retries** — drops retransmit with exponential backoff and
+  every message resolves (delivery or typed expiry) by its deadline;
+* **ideal null model** — the ideal spec is structurally inert: no heap
+  events, no RNG draws, only counters.
+"""
+
+import pytest
+
+from repro.chain.netsim import (
+    BEACON_SHARD,
+    MSG_BEACON_ANNOUNCE,
+    MSG_GOSSIP,
+    MSG_RECEIPT,
+    NETWORK_SPEC_NAMES,
+    LinkOutage,
+    MessageBus,
+    NetworkModel,
+    NetworkSpec,
+    Partition,
+    RetryPolicy,
+    network_spec,
+)
+from repro.errors import ConfigurationError, DeliveryExpired, NetworkError
+
+
+def run_bus(spec, seed, sends, horizon=None):
+    """Send ``sends`` rows through a fresh bus and drain it fully."""
+    bus = MessageBus(NetworkModel(spec, seed=seed))
+    for message_class, src, dst, block in sends:
+        bus.send(message_class, src, dst, block, base_delay=1, size_bytes=100.0)
+    deliveries, expiries = bus.advance(horizon if horizon is not None else bus.horizon)
+    return bus, deliveries, expiries
+
+
+class TestSpecs:
+    def test_preset_names_resolve(self):
+        assert NETWORK_SPEC_NAMES == ("ideal", "lan", "wan", "lossy")
+        for name in NETWORK_SPEC_NAMES:
+            assert network_spec(name).name == name
+
+    def test_unknown_name_raises_typed_error(self):
+        with pytest.raises(ConfigurationError, match="unknown network spec"):
+            network_spec("dialup")
+
+    def test_only_ideal_is_ideal(self):
+        assert network_spec("ideal").is_ideal
+        for name in ("lan", "wan", "lossy"):
+            assert not network_spec(name).is_ideal
+
+    def test_spec_validation_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            NetworkSpec(name="bad", drop_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            NetworkSpec(name="bad", extra_latency_blocks=-1)
+        with pytest.raises(ConfigurationError):
+            NetworkSpec(name="bad", retries=(("smoke-signal", RetryPolicy()),))
+
+    def test_retry_policy_validation_and_backoff(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_blocks=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(deadline_blocks=0)
+        policy = RetryPolicy(backoff_blocks=2)
+        # Exponential in failed attempts: 2, 4, 8, ...
+        assert [policy.backoff(n) for n in (1, 2, 3)] == [2, 4, 8]
+
+    def test_delivery_expired_is_a_network_error(self):
+        error = DeliveryExpired(MSG_RECEIPT, 3, 0, 1, 10, 34)
+        assert isinstance(error, NetworkError)
+        assert "expired at block 34" in str(error)
+
+
+class TestFaultSchedules:
+    def test_link_outage_is_periodic_and_link_scoped(self):
+        outage = LinkOutage(shard=0, period_blocks=10, down_blocks=3)
+        assert outage.down(0, 2, 0) and outage.down(2, 0, 12)
+        assert not outage.down(0, 2, 3)  # window over
+        assert not outage.down(1, 2, 0)  # link untouched
+
+    def test_partition_blocks_only_cut_crossing_traffic(self):
+        cut = Partition(group=(1,), period_blocks=10, down_blocks=10)
+        assert cut.down(0, 1, 5) and cut.down(1, 0, 5)
+        assert not cut.down(0, 2, 5)  # both outside
+        # The beacon sits outside every group, so announcements into a
+        # partitioned group cross the cut too.
+        assert cut.down(BEACON_SHARD, 1, 5)
+
+    def test_fault_schedule_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkOutage(shard=0, period_blocks=0, down_blocks=0)
+        with pytest.raises(ConfigurationError):
+            LinkOutage(shard=0, period_blocks=5, down_blocks=6)
+        with pytest.raises(ConfigurationError):
+            Partition(group=(), period_blocks=5, down_blocks=1)
+
+
+class TestIdealBus:
+    def test_send_is_a_counter_bump_only(self):
+        bus = MessageBus(NetworkModel("ideal", seed=0))
+        for i in range(5):
+            bus.send(MSG_RECEIPT, 0, 1, block=i)
+        assert len(bus) == 0  # no heap entries at all
+        assert bus.stats.sent == 5
+        assert bus.stats.delivered == 5
+        deliveries, expiries = bus.advance(1_000)
+        assert deliveries == [] and expiries == []
+
+    def test_ideal_consumes_no_randomness(self):
+        model = NetworkModel("ideal", seed=7)
+        state_before = model._rng.bit_generator.state
+        bus = MessageBus(model)
+        bus.send(MSG_RECEIPT, 0, 1, block=0)
+        bus.advance(100)
+        assert model._rng.bit_generator.state == state_before
+
+
+class TestLossyBus:
+    SENDS = [
+        (MSG_RECEIPT, s % 3, (s + 1) % 3, s // 4) for s in range(40)
+    ] + [(MSG_GOSSIP, 0, 1, 2), (MSG_BEACON_ANNOUNCE, BEACON_SHARD, 2, 3)]
+
+    def test_same_seed_replays_identical_runs(self):
+        bus_a, deliveries_a, expiries_a = run_bus("lossy", 11, self.SENDS)
+        bus_b, deliveries_b, expiries_b = run_bus("lossy", 11, self.SENDS)
+        assert bus_a.stats.snapshot() == bus_b.stats.snapshot()
+        assert deliveries_a == deliveries_b
+        assert [e.seq for e in expiries_a] == [e.seq for e in expiries_b]
+
+    def test_different_seeds_diverge(self):
+        bus_a, _, _ = run_bus("lossy", 1, self.SENDS)
+        bus_b, _, _ = run_bus("lossy", 2, self.SENDS)
+        assert bus_a.stats.snapshot() != bus_b.stats.snapshot()
+
+    def test_every_message_resolves_by_the_horizon(self):
+        bus, deliveries, expiries = run_bus("lossy", 3, self.SENDS)
+        first_copies = {d.seq for d in deliveries if not d.duplicate}
+        expired = {e.seq for e in expiries}
+        assert first_copies.isdisjoint(expired)
+        assert len(first_copies) + len(expired) == len(self.SENDS)
+        assert len(bus) == 0
+
+    def test_deliveries_sorted_by_block_then_send_order(self):
+        _, deliveries, _ = run_bus("lossy", 5, self.SENDS)
+        keys = [(d.block, d.seq) for d in deliveries]
+        assert keys == sorted(keys)
+
+    def test_blackhole_expires_everything_with_bounded_retries(self):
+        spec = NetworkSpec(name="blackhole", drop_prob=1.0)
+        policy = spec.retry_for(MSG_RECEIPT)
+        bus = MessageBus(NetworkModel(spec, seed=0))
+        bus.send(MSG_RECEIPT, 0, 1, block=10)
+        deliveries, expiries = bus.advance(bus.horizon)
+        assert deliveries == []
+        (expiry,) = expiries
+        assert isinstance(expiry, DeliveryExpired)
+        assert expiry.message_class == MSG_RECEIPT
+        assert expiry.deadline_block == 10 + policy.deadline_blocks
+        # All attempts were spent: initial send + retransmissions.
+        assert bus.stats.dropped == policy.max_attempts
+        assert bus.stats.retransmissions == policy.max_attempts - 1
+        assert bus.stats.expired == 1
+
+    def test_outage_forces_retransmit_then_recovery(self):
+        spec = NetworkSpec(
+            name="flaky",
+            outages=(LinkOutage(shard=0, period_blocks=100, down_blocks=2),),
+        )
+        bus = MessageBus(NetworkModel(spec, seed=0))
+        bus.send(MSG_RECEIPT, 0, 1, block=0)  # inside the outage window
+        deliveries, expiries = bus.advance(bus.horizon)
+        (delivery,) = deliveries
+        assert expiries == []
+        assert delivery.attempts == 2  # first attempt hit the outage
+        assert bus.stats.retransmissions == 1
+        # Backoff moved the retry past the outage; no extra latency in
+        # this spec, so the retry block is the delivery block.
+        assert delivery.block == spec.retry_for(MSG_RECEIPT).backoff(1)
+
+    def test_duplicates_echo_after_the_original(self):
+        spec = NetworkSpec(name="echoing", duplicate_prob=1.0)
+        bus = MessageBus(NetworkModel(spec, seed=0))
+        bus.send(MSG_RECEIPT, 0, 1, block=0)
+        deliveries, _ = bus.advance(bus.horizon)
+        assert [d.duplicate for d in deliveries] == [False, True]
+        assert deliveries[1].block == deliveries[0].block + 1
+        assert bus.stats.duplicates == 1
+
+    def test_bandwidth_adds_serialization_delay(self):
+        spec = NetworkSpec(name="thin", bandwidth_bytes_per_block=100.0)
+        bus = MessageBus(NetworkModel(spec, seed=0))
+        bus.send(MSG_RECEIPT, 0, 1, block=0, size_bytes=250.0)
+        deliveries, _ = bus.advance(bus.horizon)
+        assert deliveries[0].block == 2  # 250 // 100 extra blocks
+
+    def test_horizon_covers_lazy_retry_chains(self):
+        # A message's retries/expiry are scheduled lazily, but the
+        # horizon must cover its deadline from the moment of the send.
+        spec = NetworkSpec(name="blackhole", drop_prob=1.0)
+        bus = MessageBus(NetworkModel(spec, seed=0))
+        bus.send(MSG_RECEIPT, 0, 1, block=5)
+        policy = spec.retry_for(MSG_RECEIPT)
+        assert bus.horizon >= 5 + policy.deadline_blocks

@@ -163,6 +163,41 @@ class TestCrashRecovery:
         clean = SegmentedCommitLog(tmp_path)
         assert [h for h, _ in clean.iter_batches()] == [0, 1]
 
+    def test_truncation_on_a_record_boundary_is_a_clean_short_log(
+        self, tmp_path
+    ):
+        """Losing the tail record *exactly* is indistinguishable from
+        never having written it: no integrity error, nothing for
+        recovery to drop."""
+        # The tail record: 24-byte header + 3 rows x 32 bytes + CRC-32.
+        tail_record_bytes = 24 + 3 * 32 + 4
+        path = self._crashed_log(tmp_path, cut=tail_record_bytes)
+        size_after_cut = path.stat().st_size
+        clean = SegmentedCommitLog(tmp_path)  # no recover needed
+        assert len(clean) == 1
+        assert clean.last_height == 0
+        np.testing.assert_array_equal(
+            clean.batch_at(0).accounts, np.array([1, 2])
+        )
+        # recover=True finds the same boundary and truncates nothing.
+        recovered = SegmentedCommitLog(tmp_path, recover=True)
+        assert len(recovered) == 1
+        assert path.stat().st_size == size_after_cut
+
+    def test_recover_never_repairs_crc_corruption(self, tmp_path):
+        """``recover=True`` repairs *truncation* only: a complete final
+        record whose bytes rotted still raises — silently dropping a
+        record that claims to be whole would hide corruption."""
+        path = self._crashed_log(tmp_path, cut=0)  # both records intact
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0xFF  # inside the final record's gains column
+        path.write_bytes(bytes(data))
+        with pytest.raises(SegmentIntegrityError) as caught:
+            SegmentedCommitLog(tmp_path, recover=True)
+        assert "CRC" in caught.value.reason
+        # The failed recovery attempt must not have modified the file.
+        assert path.read_bytes() == bytes(data)
+
     def test_flipped_payload_byte_raises_crc_mismatch(self, tmp_path):
         log = SegmentedCommitLog(tmp_path)
         log.append(0, batch([1, 2, 3]))

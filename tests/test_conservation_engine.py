@@ -17,6 +17,7 @@ from repro.allocation.txallo import TxAlloAllocator
 from repro.chain.crossshard import CrossShardExecutor
 from repro.chain.ledger import Ledger
 from repro.chain.migration import MigrationRequest
+from repro.chain.netsim import NetworkModel
 from repro.chain.params import ProtocolParams
 from repro.chain.state import StateRegistry
 from repro.chain.transaction import TransactionBatch
@@ -24,7 +25,7 @@ from repro.data.ethereum import EthereumTraceConfig, generate_ethereum_like_trac
 from repro.allocation.base import UpdateContext
 
 
-def _build_world(n_accounts, k, seed, relay_delay, batched=True):
+def _build_world(n_accounts, k, seed, relay_delay, batched=True, network=None):
     params = ProtocolParams(k=k, eta=2.0, tau=20, seed=seed)
     trace = generate_ethereum_like_trace(
         EthereumTraceConfig(
@@ -38,7 +39,11 @@ def _build_world(n_accounts, k, seed, relay_delay, batched=True):
     mapping = allocator.initialize(trace, params)
     registry = StateRegistry(k=k)
     executor = CrossShardExecutor(
-        registry, mapping, relay_delay_blocks=relay_delay, batched=batched
+        registry,
+        mapping,
+        relay_delay_blocks=relay_delay,
+        batched=batched,
+        network=network,
     )
     ledger = Ledger(params, mapping, miners_per_shard=2, executor=executor)
     return params, trace, allocator, mapping, executor, ledger
@@ -117,3 +122,130 @@ def test_total_value_conserved_through_full_loop(seed, k, relay_delay, batched):
         store = executor.registry.store_of(shard)
         for account in store.accounts():
             assert store.get(account).balance >= 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    k=st.integers(2, 4),
+    relay_delay=st.integers(0, 2),
+)
+def test_total_value_conserved_under_lossy_network(seed, k, relay_delay):
+    """The full loop under degraded WAN: drops, duplicate deliveries,
+    timeout refunds and migrations interleave, yet resident balances +
+    ledgered receipts + value on the wire stay exactly genesis at every
+    block boundary."""
+    n_accounts = 60
+    params, trace, allocator, mapping, executor, ledger = _build_world(
+        n_accounts,
+        k,
+        seed,
+        relay_delay,
+        network=NetworkModel("lossy", seed=seed),
+    )
+    rng = np.random.default_rng(seed)
+    for account in range(n_accounts):
+        executor.fund(account, float(rng.integers(5, 40)))
+    genesis = executor.total_value()
+
+    for view in trace.epoch_list(params.tau, max_epochs=4):
+        batch = view.batch
+        if len(batch) == 0:
+            continue
+        values = rng.integers(0, 6, size=len(batch)).astype(np.float64)
+        valued = TransactionBatch(
+            batch.senders, batch.receivers, batch.blocks, values
+        )
+        for report in ledger.execute_epoch(valued):
+            assert executor.total_value() == pytest.approx(
+                genesis, abs=1e-9, rel=0
+            ), f"value drift after block {report.block}"
+
+        context = UpdateContext(
+            epoch=view.index,
+            params=params,
+            committed=batch,
+            mempool=batch,
+            capacity=params.derive_capacity(len(batch)),
+        )
+        update = allocator.update(mapping, context)
+        requests = [
+            MigrationRequest(
+                account=int(account),
+                from_shard=int(from_shard),
+                to_shard=int(to_shard),
+                gain=1.0,
+                epoch=view.index,
+            )
+            for account, from_shard, to_shard in mapping.migration_pairs(
+                update.mapping
+            )
+        ]
+        ledger.submit_migrations(requests)
+        ledger.commit_migrations(capacity=None)
+        ledger.reconfigure()
+        assert executor.total_value() == pytest.approx(
+            genesis, abs=1e-9, rel=0
+        ), f"value drift after reconfiguration of epoch {view.index}"
+
+    # Drain the wire: deliveries settle, the rest refunds the senders.
+    executor.settle_all(from_block=int(trace.batch.blocks.max()) + 1)
+    assert executor.total_value() == pytest.approx(genesis, abs=1e-9, rel=0)
+    assert executor.in_flight_value() == 0.0
+    assert executor.in_flight_count() == 0
+    transport = executor.network_transport
+    assert transport.bus.stats.dropped > 0  # the faults actually fired
+    for shard in range(k):
+        store = executor.registry.store_of(shard)
+        for account in store.accounts():
+            assert store.get(account).balance >= 0
+
+
+def test_lossy_refunds_credit_the_senders_current_shard():
+    """A sender that migrated while its receipt was on the wire is
+    refunded at its *current* shard — the refund follows phi, so no
+    value lands on a stale store."""
+    n_accounts = 60
+    params, trace, allocator, mapping, executor, ledger = _build_world(
+        n_accounts,
+        k=3,
+        seed=42,
+        relay_delay=1,
+        network=NetworkModel("lossy", seed=42),
+    )
+    for account in range(n_accounts):
+        executor.fund(account, 30.0)
+    genesis = executor.total_value()
+    rng = np.random.default_rng(42)
+    for view in trace.epoch_list(params.tau, max_epochs=4):
+        batch = view.batch
+        if len(batch) == 0:
+            continue
+        values = rng.integers(1, 6, size=len(batch)).astype(np.float64)
+        ledger.execute_epoch(
+            TransactionBatch(batch.senders, batch.receivers, batch.blocks, values)
+        )
+        # Migrate a handful of accounts every epoch so some refunds
+        # land after their sender moved shards.
+        movers = rng.choice(n_accounts, size=6, replace=False)
+        requests = [
+            MigrationRequest(
+                account=int(account),
+                from_shard=int(mapping.shard_of(int(account))),
+                to_shard=int(
+                    (mapping.shard_of(int(account)) + 1) % params.k
+                ),
+                gain=1.0,
+                epoch=view.index,
+            )
+            for account in movers
+        ]
+        ledger.submit_migrations(requests)
+        ledger.commit_migrations(capacity=None)
+        ledger.reconfigure()
+    executor.settle_all(from_block=int(trace.batch.blocks.max()) + 1)
+    assert executor.total_value() == pytest.approx(genesis, abs=1e-9, rel=0)
+    assert executor.in_flight_count() == 0
+    # Every account's balance lives exactly where phi says it does.
+    for account in range(n_accounts):
+        assert executor.registry.locate(account) == mapping.shard_of(account)
