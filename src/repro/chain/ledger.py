@@ -71,6 +71,7 @@ class Ledger:
         miners_per_shard: int = 0,
         executor: Optional[CrossShardExecutor] = None,
         beacon: Optional[BeaconChain] = None,
+        compact_slack: Optional[float] = None,
     ) -> None:
         if mapping.k != params.k:
             raise SimulationError(
@@ -97,10 +98,14 @@ class Ledger:
         # Reconfiguration announces committed MR batches over the
         # executor's message bus when receipts ride a simulated network.
         transport = executor.network_transport if executor is not None else None
+        # ``compact_slack`` threads straight through to the epoch
+        # reconfigurator: when set, every reconfiguration ends with a
+        # slack-gated state-store compaction pass.
         self.reconfigurator = EpochReconfigurator(
             self.beacon,
             self.miner_pool,
             executor,
+            compact_slack=compact_slack,
             bus=transport.bus if transport is not None else None,
         )
         self._epoch = 0

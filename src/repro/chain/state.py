@@ -7,36 +7,46 @@ reconfiguration moves account state between stores (the migration
 traffic the paper accounts for), and the cross-shard executor
 (:mod:`repro.chain.crossshard`) debits and credits across stores.
 
-Two interchangeable backends implement the store contract:
+Three interchangeable backends implement the store contract:
 
 * :class:`ShardStateStore` — the scalar-dict backend: balances and
   nonces in two parallel dicts. Robust for sparse/arbitrary account
   ids; the default.
-* :class:`DenseShardStateStore` — the dense-array backend: balances and
-  nonces in per-shard **compacted** ``np.ndarray`` columns. A
+* :class:`ArenaShardStateStore` — the dense-array backend behind
+  ``backend="dense"``: size-classed per-shard arena columns. A
   :class:`SlotDirectory` shared by all stores of a registry maps each
   global account id to its *home* shard and a local column slot, so a
   shard's columns are sized to its own population instead of the whole
   account universe (k-fold less memory than full-universe columns).
-  Ids beyond the directory capacity — and the rare account whose state
-  is resident on a shard other than its home — spill into a fallback
-  dict so sparse stragglers stay correct.
+  Columns are carved into fixed-size arenas with per-arena free lists
+  and occupancy counters, so compaction re-slots only sparse arenas
+  instead of whole columns, and a pluggable :class:`ColumnSchema` lets
+  accounts carry auxiliary payload words (multi-asset balances,
+  contract storage) in wider size classes. Ids beyond the directory
+  capacity — and the rare account whose state is resident on a shard
+  other than its home — spill into a fallback dict so sparse
+  stragglers stay correct.
+* :class:`DenseShardStateStore` — the previous single-class first-fit
+  free-list layout, kept behind ``backend="dense-ref"`` as the
+  property-pinned reference allocator for the arena store.
 
 :class:`StateRegistry` selects the backend (``backend="dict"`` /
-``"dense"``) and guarantees both produce identical observable state —
-same state roots, balances and nonces — which the backend-equivalence
-property suite pins down. The registry also maintains a
-:class:`ResidencyIndex` (account -> holding shards, incremental per
-mutation) so ``locate`` is O(1) instead of an O(k) scan over the
-stores; ``locate_scan`` keeps the scan as the equivalence reference.
+``"dense"`` / ``"dense-ref"``) and guarantees all produce identical
+observable state — same state roots, balances and nonces — which the
+backend-equivalence property suites pin down. The registry also
+maintains a :class:`ResidencyIndex` (account -> holding shards,
+incremental per mutation) so ``locate`` is O(1) instead of an O(k)
+scan over the stores; ``locate_scan`` keeps the scan as the
+equivalence reference.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -54,7 +64,93 @@ STATE_RECORD_BYTES = 128
 #: State-store backend names accepted by :class:`StateRegistry`.
 BACKEND_DICT = "dict"
 BACKEND_DENSE = "dense"
-STATE_BACKENDS = (BACKEND_DICT, BACKEND_DENSE)
+BACKEND_DENSE_REF = "dense-ref"
+STATE_BACKENDS = (BACKEND_DICT, BACKEND_DENSE, BACKEND_DENSE_REF)
+
+#: Rows per arena extent in :class:`ArenaShardStateStore`. A power of
+#: two so arena ids are a shift of the local slot.
+ARENA_EXTENT_ROWS = 1024
+
+
+@dataclass(frozen=True)
+class SizeClass:
+    """One payload size class: balance + nonce plus ``aux_words`` f64 words."""
+
+    name: str
+    aux_words: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("size class name must be non-empty")
+        if self.aux_words < 0:
+            raise ValidationError(
+                f"aux_words must be >= 0, got {self.aux_words}"
+            )
+
+    @property
+    def row_nbytes(self) -> int:
+        """Physical column bytes per slot (balance, nonce, owner, aux)."""
+        return 8 + 8 + 8 + 8 * self.aux_words
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Payload layout for the arena backend: ordered size classes.
+
+    The first class is the *base* class (balance + nonce only, zero aux
+    words) every account starts in; further classes carry progressively
+    wider auxiliary payloads (multi-asset balances, contract storage
+    words). :meth:`class_for` picks the smallest class covering a
+    requested aux width; accounts promote (never demote) when
+    ``put_aux`` outgrows their current class. Aux payloads are opt-in
+    scenario state and deliberately excluded from state roots, so every
+    backend hashes to the same root regardless of schema.
+    """
+
+    classes: Tuple[SizeClass, ...] = (SizeClass("base", 0),)
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValidationError("schema needs at least one size class")
+        if self.classes[0].aux_words != 0:
+            raise ValidationError(
+                "the first (base) size class must have aux_words == 0"
+            )
+        widths = [cls.aux_words for cls in self.classes]
+        if any(b <= a for a, b in zip(widths, widths[1:])):
+            raise ValidationError(
+                "size classes must have strictly increasing aux_words"
+            )
+        names = [cls.name for cls in self.classes]
+        if len(set(names)) != len(names):
+            raise ValidationError("size class names must be unique")
+
+    @classmethod
+    def base(cls) -> "ColumnSchema":
+        """The default single-class schema (balance + nonce only)."""
+        return cls()
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def has_aux(self) -> bool:
+        return len(self.classes) > 1
+
+    def class_for(self, aux_words: int) -> int:
+        """Index of the smallest class covering ``aux_words``."""
+        if aux_words < 0:
+            raise ValidationError(
+                f"aux_words must be >= 0, got {aux_words}"
+            )
+        for i, size_class in enumerate(self.classes):
+            if size_class.aux_words >= aux_words:
+                return i
+        raise ValidationError(
+            f"no size class covers aux_words={aux_words} "
+            f"(widest is {self.classes[-1].aux_words})"
+        )
 
 
 @dataclass(frozen=True)
@@ -240,6 +336,7 @@ class ShardStateStore:
         self.shard_id = shard_id
         self._balances: Dict[int, float] = {}
         self._nonces: Dict[int, int] = {}
+        self._aux: Dict[int, np.ndarray] = {}
         self._index = index
 
     def __len__(self) -> int:
@@ -304,6 +401,7 @@ class ShardStateStore:
             ) from None
         if self._index is not None:
             self._index.discard(self.shard_id, account)
+        self._aux.pop(account, None)
         return AccountState(balance=balance, nonce=self._nonces.pop(account))
 
     # -- columnar bulk access (batched executor hot path) ----------------------
@@ -422,7 +520,39 @@ class ShardStateStore:
 
     def compact(self) -> int:
         """No-op for the dict backend; returns bytes reclaimed (0)."""
+        self.last_compact_moved_bytes = 0
         return 0
+
+    #: Physical bytes rewritten by the most recent :meth:`compact` call.
+    last_compact_moved_bytes: int = 0
+
+    def arena_stats(self) -> Dict[str, float]:
+        """Allocator telemetry (all zero: dicts have no slot columns)."""
+        return {
+            "arenas": 0,
+            "capacity_slots": 0,
+            "free_slots": 0,
+            "live_slots": len(self._balances),
+        }
+
+    # -- auxiliary payload words (opt-in multi-asset / storage state) -----------
+
+    def put_aux(self, account: int, values: Sequence[float]) -> None:
+        """Attach auxiliary payload words (excluded from state roots)."""
+        values = np.asarray(values, dtype=np.float64)
+        if len(values):
+            self._aux[account] = values.copy()
+
+    def aux_of(self, account: int) -> np.ndarray:
+        """Current aux payload of ``account`` (empty when never set)."""
+        payload = self._aux.get(account)
+        if payload is None:
+            return np.zeros(0, dtype=np.float64)
+        return payload.copy()
+
+    def take_aux(self, account: int) -> Optional[np.ndarray]:
+        """Detach and return the aux payload (None when absent)."""
+        return self._aux.pop(account, None)
 
 
 class SlotDirectory:
@@ -494,6 +624,10 @@ class DenseShardStateStore:
         # Fallback for ids >= capacity and off-home residents.
         self._extra_bal: Dict[int, float] = {}
         self._extra_non: Dict[int, int] = {}
+        # Aux payloads stay in a side dict: this is the single-class
+        # reference backend, size-classed columns live in the arena store.
+        self._aux: Dict[int, np.ndarray] = {}
+        self.last_compact_moved_bytes = 0
 
     # -- slot plumbing ----------------------------------------------------------
 
@@ -677,6 +811,7 @@ class DenseShardStateStore:
                 balance=float(self._bal[slot]), nonce=int(self._non[slot])
             )
             self._free_slot(account)
+            self._aux.pop(account, None)
             return state
         try:
             balance = self._extra_bal.pop(account)
@@ -687,6 +822,7 @@ class DenseShardStateStore:
         self._count -= 1
         if self._index is not None:
             self._index.discard(self.shard_id, account)
+        self._aux.pop(account, None)
         return AccountState(balance=balance, nonce=self._extra_non.pop(account))
 
     # -- columnar bulk access (batched executor hot path) ----------------------
@@ -865,6 +1001,69 @@ class DenseShardStateStore:
         """Slots vacated by migration but still held by the columns."""
         return len(self._free)
 
+    def arena_stats(self) -> Dict[str, float]:
+        """Allocator telemetry for the first-fit free-list layout.
+
+        No arenas: the whole column is one allocation region, so
+        ``free_slots`` is the free list plus the unallocated tail and
+        fragmentation is measured against the full column capacity.
+        """
+        capacity = len(self._bal)
+        live = self._count - len(self._extra_bal)
+        return {
+            "arenas": 0,
+            "capacity_slots": capacity,
+            "free_slots": capacity - live,
+            "live_slots": live,
+        }
+
+    def rehomeable_extras(self) -> int:
+        """Spill-dict entries that :meth:`compact` could re-home now.
+
+        O(spill size); lets :meth:`StateRegistry.compact_stores`
+        trigger a compaction for stranded spill entries even when the
+        free list alone would not cross the slack threshold.
+        """
+        if not self._extra_bal:
+            return 0
+        return sum(
+            1
+            for account in self._extra_bal
+            if 0 <= account < self.capacity
+            and self._dir.home[account] == -1
+        )
+
+    def _rehome_extras(self) -> int:
+        """Re-slot spilled accounts that may claim a home slot again.
+
+        A relay settlement can credit an account here while its home
+        columns live elsewhere; once the other shard removes it, the
+        spill entry is the only residency left — in capacity, homed
+        nowhere — yet it would stay in the fallback dict forever.
+        Compaction re-homes those entries into fresh column slots.
+        Ids beyond the directory capacity and genuinely off-home
+        residents stay spilled (they have no legal slot here).
+        """
+        if not self._extra_bal:
+            return 0
+        eligible = [
+            account
+            for account in self._extra_bal
+            if 0 <= account < self.capacity
+            and self._dir.home[account] == -1
+        ]
+        for account in eligible:
+            balance = self._extra_bal.pop(account)
+            nonce = self._extra_non.pop(account)
+            # _alloc_slot re-adds the membership this spill entry held.
+            self._count -= 1
+            if self._index is not None:
+                self._index.discard(self.shard_id, account)
+            slot = self._alloc_slot(account)
+            self._bal[slot] = balance
+            self._non[slot] = nonce
+        return len(eligible)
+
     def compact(self) -> int:
         """Re-slot resident accounts into fresh right-sized columns.
 
@@ -873,11 +1072,14 @@ class DenseShardStateStore:
         pass rebuilds the columns at the smallest power-of-two capacity
         covering the live population (slot order preserved, so state
         roots and iteration order are untouched), clears the free list
-        and rewrites the directory's slots. Returns the column bytes
-        reclaimed. O(live accounts) — callers gate it behind a slack
-        threshold (see :meth:`StateRegistry.compact_stores`).
+        and rewrites the directory's slots. Eligible spill-dict entries
+        are re-homed into fresh slots first (see :meth:`_rehome_extras`).
+        Returns the column bytes reclaimed. O(live accounts) — callers
+        gate it behind a slack threshold (see
+        :meth:`StateRegistry.compact_stores`).
         """
         before = self.column_nbytes()
+        self._rehome_extras()
         resident = np.flatnonzero(self._dir.home == self.shard_id)
         count = len(resident)
         old_slots = None
@@ -901,26 +1103,919 @@ class DenseShardStateStore:
         self._non = new_non
         self._used = count
         self._free = []
+        # First-fit compaction rewrites every live row (bal + nonce).
+        self.last_compact_moved_bytes = count * 16
+        return before - self.column_nbytes()
+
+    # -- auxiliary payload words (opt-in multi-asset / storage state) -----------
+
+    def put_aux(self, account: int, values: Sequence[float]) -> None:
+        """Attach auxiliary payload words (excluded from state roots)."""
+        values = np.asarray(values, dtype=np.float64)
+        if len(values):
+            self._aux[account] = values.copy()
+
+    def aux_of(self, account: int) -> np.ndarray:
+        """Current aux payload of ``account`` (empty when never set)."""
+        payload = self._aux.get(account)
+        if payload is None:
+            return np.zeros(0, dtype=np.float64)
+        return payload.copy()
+
+    def take_aux(self, account: int) -> Optional[np.ndarray]:
+        """Detach and return the aux payload (None when absent)."""
+        return self._aux.pop(account, None)
+
+
+#: Bits reserved for the local slot in a directory entry; the size
+#: class lives in the bits above (only used by multi-class schemas —
+#: single-class directories store raw local slots).
+_CLS_SHIFT = 48
+_LOCAL_MASK = (1 << _CLS_SHIFT) - 1
+
+
+class ArenaShardStateStore:
+    """Size-classed arena backend: extent-granular per-shard columns.
+
+    The drop-in successor to :class:`DenseShardStateStore` (kept as the
+    property-pinned ``"dense-ref"`` reference). State lives in one
+    column set *per size class* of the :class:`ColumnSchema` — balance,
+    nonce, an ``owner`` reverse map (slot -> account, ``-1`` free) and,
+    for classes beyond the base, a 2-D aux payload block. Each column
+    set is carved into fixed :data:`ARENA_EXTENT_ROWS`-slot **arenas**:
+    every arena keeps its own free list and live count, allocation
+    fills the lowest arena with free slots (a lazy min-heap tracks
+    them), and columns grow by whole extents.
+
+    The payoff is in :meth:`compact`: instead of rewriting whole
+    columns, compaction is a *policy* — re-slot only arenas whose
+    occupancy fell below ``compact_occupancy`` (their rows move into
+    free slots of denser arenas, found in O(victim rows) through the
+    owner map), then truncate trailing all-empty extents. Work per
+    pass is bounded by the sparse arenas' population, not the live
+    population, which is what keeps the
+    ``EpochReconfigurator(compact_slack=...)`` seam cheap under
+    adversarial churn; interior empty arenas stay mapped and are the
+    first allocation targets.
+
+    Observable behaviour — balances, nonces, membership, state roots,
+    error cases, spill semantics — is identical to both other
+    backends; the arena equivalence property suite pins it. Aux
+    payload words are opt-in scenario state excluded from state roots.
+    With the default single-class schema the directory stores raw
+    local slots and every bulk entry point keeps the single
+    fancy-indexing gather/scatter of the dense reference; multi-class
+    schemas encode the class in the slot's high bits and take the
+    scalar paths.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        capacity: int,
+        directory: Optional[SlotDirectory] = None,
+        index: Optional[ResidencyIndex] = None,
+        schema: Optional[ColumnSchema] = None,
+        compact_occupancy: float = 0.5,
+    ) -> None:
+        if shard_id < 0:
+            raise ValidationError(f"shard_id must be >= 0, got {shard_id}")
+        if capacity < 0:
+            raise ValidationError(f"capacity must be >= 0, got {capacity}")
+        if not 0.0 <= compact_occupancy <= 1.0:
+            raise ValidationError(
+                f"compact_occupancy must be in [0, 1], got {compact_occupancy}"
+            )
+        self.shard_id = shard_id
+        self.capacity = int(capacity)
+        self.compact_occupancy = float(compact_occupancy)
+        self._schema = schema if schema is not None else ColumnSchema.base()
+        self._classes = self._schema.classes
+        self._multiclass = self._schema.has_aux
+        self._dir = directory if directory is not None else SlotDirectory(capacity)
+        self._index = index
+        n_classes = len(self._classes)
+        self._bal: List[np.ndarray] = [
+            np.zeros(0, dtype=np.float64) for _ in range(n_classes)
+        ]
+        self._non: List[np.ndarray] = [
+            np.zeros(0, dtype=np.int64) for _ in range(n_classes)
+        ]
+        self._owner: List[np.ndarray] = [
+            np.zeros(0, dtype=np.int64) for _ in range(n_classes)
+        ]
+        self._auxcol: List[Optional[np.ndarray]] = [
+            np.zeros((0, cls.aux_words), dtype=np.float64)
+            if cls.aux_words
+            else None
+            for cls in self._classes
+        ]
+        # Per class: one free list + live counter per arena, plus a lazy
+        # min-heap of arena ids that may have free slots.
+        self._arena_free: List[List[List[int]]] = [[] for _ in range(n_classes)]
+        self._arena_live: List[List[int]] = [[] for _ in range(n_classes)]
+        self._free_heap: List[List[int]] = [[] for _ in range(n_classes)]
+        self._count = 0
+        # Fallback for ids >= capacity and off-home residents.
+        self._extra_bal: Dict[int, float] = {}
+        self._extra_non: Dict[int, int] = {}
+        self._extra_aux: Dict[int, np.ndarray] = {}
+        self.last_compact_moved_bytes = 0
+
+    @property
+    def schema(self) -> ColumnSchema:
+        return self._schema
+
+    # -- slot plumbing ----------------------------------------------------------
+
+    def _encode(self, cls: int, local: int) -> int:
+        if not self._multiclass:
+            return local
+        return (cls << _CLS_SHIFT) | local
+
+    def _decode(self, encoded: int) -> Tuple[int, int]:
+        if not self._multiclass:
+            return 0, encoded
+        return encoded >> _CLS_SHIFT, encoded & _LOCAL_MASK
+
+    def _grow_extents(self, cls: int, n_new: int) -> None:
+        """Append ``n_new`` fresh all-free extents to class ``cls``."""
+        old_extents = len(self._arena_live[cls])
+        extent = ARENA_EXTENT_ROWS
+        new_rows = (old_extents + n_new) * extent
+        for columns in (self._bal, self._non, self._owner):
+            column = columns[cls]
+            grown = np.zeros(new_rows, dtype=column.dtype)
+            grown[: len(column)] = column
+            columns[cls] = grown
+        self._owner[cls][old_extents * extent :] = -1
+        aux = self._auxcol[cls]
+        if aux is not None:
+            grown_aux = np.zeros((new_rows, aux.shape[1]), dtype=np.float64)
+            grown_aux[: len(aux)] = aux
+            self._auxcol[cls] = grown_aux
+        for arena in range(old_extents, old_extents + n_new):
+            start = arena * extent
+            # Descending, so pop() hands out the lowest slot first.
+            self._arena_free[cls].append(
+                list(range(start + extent - 1, start - 1, -1))
+            )
+            self._arena_live[cls].append(0)
+            heapq.heappush(self._free_heap[cls], arena)
+
+    def _alloc_local(self, cls: int) -> int:
+        """Claim one free slot in the lowest arena that has one."""
+        frees = self._arena_free[cls]
+        heap = self._free_heap[cls]
+        while heap and not frees[heap[0]]:
+            heapq.heappop(heap)
+        if not heap:
+            self._grow_extents(cls, 1)
+        arena = heap[0]
+        local = frees[arena].pop()
+        self._arena_live[cls][arena] += 1
+        return local
+
+    def _alloc_locals_bulk(self, cls: int, n_slots: int) -> np.ndarray:
+        """Claim ``n_slots`` free slots, lowest arenas first."""
+        out = np.empty(n_slots, dtype=np.int64)
+        filled = 0
+        frees = self._arena_free[cls]
+        heap = self._free_heap[cls]
+        live = self._arena_live[cls]
+        extent = ARENA_EXTENT_ROWS
+        while filled < n_slots:
+            while heap and not frees[heap[0]]:
+                heapq.heappop(heap)
+            if not heap:
+                remaining = n_slots - filled
+                self._grow_extents(cls, (remaining + extent - 1) // extent)
+                continue
+            arena = heap[0]
+            free_list = frees[arena]
+            take = min(len(free_list), n_slots - filled)
+            out[filled : filled + take] = free_list[-take:][::-1]
+            del free_list[-take:]
+            live[arena] += take
+            filled += take
+        return out
+
+    def _release_local(self, cls: int, local: int) -> None:
+        """Zero one slot and return it to its arena's free list."""
+        arena = local // ARENA_EXTENT_ROWS
+        self._bal[cls][local] = 0.0
+        self._non[cls][local] = 0
+        self._owner[cls][local] = -1
+        aux = self._auxcol[cls]
+        if aux is not None:
+            aux[local, :] = 0.0
+        free_list = self._arena_free[cls][arena]
+        if not free_list:
+            heapq.heappush(self._free_heap[cls], arena)
+        free_list.append(local)
+        self._arena_live[cls][arena] -= 1
+
+    def _release_locals_bulk(self, cls: int, slots: np.ndarray) -> None:
+        """Zero many slots and return them to their arenas' free lists."""
+        self._bal[cls][slots] = 0.0
+        self._non[cls][slots] = 0
+        self._owner[cls][slots] = -1
+        aux = self._auxcol[cls]
+        if aux is not None:
+            aux[slots, :] = 0.0
+        arenas = slots // ARENA_EXTENT_ROWS
+        order = np.argsort(arenas, kind="stable")
+        ordered_slots = slots[order]
+        ordered_arenas = arenas[order]
+        boundaries = np.flatnonzero(np.diff(ordered_arenas) != 0) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [len(ordered_slots)]))
+        frees = self._arena_free[cls]
+        live = self._arena_live[cls]
+        for start, stop in zip(starts.tolist(), stops.tolist()):
+            arena = int(ordered_arenas[start])
+            free_list = frees[arena]
+            if not free_list:
+                heapq.heappush(self._free_heap[cls], arena)
+            free_list.extend(ordered_slots[start:stop][::-1].tolist())
+            live[arena] -= stop - start
+
+    def _alloc_slot(self, account: int, cls: int = 0) -> int:
+        """Claim a zeroed column slot for ``account`` (makes it home)."""
+        local = self._alloc_local(cls)
+        self._owner[cls][local] = account
+        self._dir.home[account] = self.shard_id
+        self._dir.slot[account] = self._encode(cls, local)
+        self._count += 1
+        if self._index is not None:
+            self._index.add(self.shard_id, account)
+        return local
+
+    def _alloc_slots_bulk(self, accounts: np.ndarray) -> None:
+        """Claim base-class slots for many distinct new accounts at once."""
+        n_new = len(accounts)
+        if n_new == 0:
+            return
+        slots = self._alloc_locals_bulk(0, n_new)
+        self._owner[0][slots] = accounts
+        self._dir.home[accounts] = self.shard_id
+        # Base class encodes to the raw local slot for any schema.
+        self._dir.slot[accounts] = slots
+        self._count += n_new
+        if self._index is not None:
+            self._index.add_many(self.shard_id, accounts)
+
+    def _free_slot(self, account: int) -> None:
+        cls, local = self._decode(int(self._dir.slot[account]))
+        self._release_local(cls, local)
+        self._dir.home[account] = -1
+        self._count -= 1
+        if self._index is not None:
+            self._index.discard(self.shard_id, account)
+
+    def _is_home(self, account: int) -> bool:
+        return (
+            0 <= account < self.capacity
+            and self._dir.home[account] == self.shard_id
+        )
+
+    def _can_claim(self, account: int) -> bool:
+        """True when ``account`` may take a home slot here: in capacity,
+        homed nowhere, and not already spilled into this store's extras
+        (promotion would double-count the membership)."""
+        return (
+            0 <= account < self.capacity
+            and self._dir.home[account] == -1
+            and account not in self._extra_bal
+        )
+
+    def _put_extra(self, account: int, balance: float, nonce: int) -> None:
+        if account not in self._extra_bal:
+            self._count += 1
+            if self._index is not None:
+                self._index.add(self.shard_id, account)
+        self._extra_bal[account] = balance
+        self._extra_non[account] = nonce
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, account: int) -> bool:
+        return self._is_home(account) or account in self._extra_bal
+
+    def accounts(self) -> Iterator[int]:
+        """Resident account ids (unspecified order)."""
+        for account in np.flatnonzero(
+            self._dir.home == self.shard_id
+        ).tolist():
+            yield account
+        yield from self._extra_bal
+
+    def get(self, account: int) -> AccountState:
+        """State of ``account``; a fresh zero state when never seen."""
+        if self._is_home(account):
+            cls, local = self._decode(int(self._dir.slot[account]))
+            return AccountState(
+                balance=float(self._bal[cls][local]),
+                nonce=int(self._non[cls][local]),
+            )
+        balance = self._extra_bal.get(account)
+        if balance is None:
+            return AccountState()
+        return AccountState(balance=balance, nonce=self._extra_non[account])
+
+    def put(self, account: int, state: AccountState) -> None:
+        """Install ``state`` for ``account``."""
+        if account < 0:
+            raise ValidationError(f"account must be >= 0, got {account}")
+        if self._is_home(account):
+            cls, local = self._decode(int(self._dir.slot[account]))
+            self._bal[cls][local] = state.balance
+            self._non[cls][local] = state.nonce
+            return
+        if self._can_claim(account):
+            local = self._alloc_slot(account)
+            self._bal[0][local] = state.balance
+            self._non[0][local] = state.nonce
+            return
+        self._put_extra(account, state.balance, state.nonce)
+
+    def credit(self, account: int, amount: float) -> AccountState:
+        """Add funds (creating the account on first touch)."""
+        if amount < 0:
+            raise ValidationError(f"credit amount must be >= 0, got {amount}")
+        if self._is_home(account):
+            cls, local = self._decode(int(self._dir.slot[account]))
+            balance = float(self._bal[cls][local]) + amount
+            self._bal[cls][local] = balance
+            return AccountState(balance=balance, nonce=int(self._non[cls][local]))
+        if self._can_claim(account):
+            local = self._alloc_slot(account)
+            self._bal[0][local] = amount
+            return AccountState(balance=amount, nonce=0)
+        balance = self._extra_bal.get(account, 0.0) + amount
+        nonce = self._extra_non.get(account, 0)
+        self._put_extra(account, balance, nonce)
+        return AccountState(balance=balance, nonce=nonce)
+
+    def debit(self, account: int, amount: float) -> AccountState:
+        """Remove funds; raises :class:`ChainError` when underfunded."""
+        if amount < 0:
+            raise ValidationError(f"debit amount must be >= 0, got {amount}")
+        if self._is_home(account):
+            cls, local = self._decode(int(self._dir.slot[account]))
+            balance = float(self._bal[cls][local])
+            if amount > balance:
+                raise ChainError(f"insufficient balance: {balance} < {amount}")
+            balance -= amount
+            nonce = int(self._non[cls][local]) + 1
+            self._bal[cls][local] = balance
+            self._non[cls][local] = nonce
+            return AccountState(balance=balance, nonce=nonce)
+        if self._can_claim(account):
+            if amount > 0.0:
+                raise ChainError(f"insufficient balance: 0.0 < {amount}")
+            local = self._alloc_slot(account)
+            self._non[0][local] = 1
+            return AccountState(balance=0.0, nonce=1)
+        balance = self._extra_bal.get(account, 0.0)
+        if amount > balance:
+            raise ChainError(f"insufficient balance: {balance} < {amount}")
+        balance -= amount
+        nonce = self._extra_non.get(account, 0) + 1
+        self._put_extra(account, balance, nonce)
+        return AccountState(balance=balance, nonce=nonce)
+
+    def remove(self, account: int) -> AccountState:
+        """Remove and return an account's state (for migration)."""
+        if self._is_home(account):
+            cls, local = self._decode(int(self._dir.slot[account]))
+            state = AccountState(
+                balance=float(self._bal[cls][local]),
+                nonce=int(self._non[cls][local]),
+            )
+            self._free_slot(account)
+            return state
+        try:
+            balance = self._extra_bal.pop(account)
+        except KeyError:
+            raise ChainError(
+                f"account {account} is not resident on shard {self.shard_id}"
+            ) from None
+        self._count -= 1
+        if self._index is not None:
+            self._index.discard(self.shard_id, account)
+        self._extra_aux.pop(account, None)
+        return AccountState(balance=balance, nonce=self._extra_non.pop(account))
+
+    # -- columnar bulk access (batched executor hot path) ----------------------
+
+    def _fast_bulk_ok(self, accounts: np.ndarray) -> bool:
+        """True when the pure-columnar bulk path applies.
+
+        Multi-class schemas take the scalar paths: their directory
+        entries carry the class in the high bits, so one fancy index
+        into the base columns would be wrong.
+        """
+        return (
+            not self._multiclass
+            and not self._extra_bal
+            and (
+                len(accounts) == 0
+                or (
+                    int(accounts.min()) >= 0
+                    and int(accounts.max()) < self.capacity
+                )
+            )
+        )
+
+    def balances_of(self, accounts: np.ndarray) -> np.ndarray:
+        """Balances of ``accounts`` as an array (zero when never seen)."""
+        if self._fast_bulk_ok(accounts):
+            home = self._dir.home[accounts]
+            mine = home == self.shard_id
+            if mine.all():
+                return self._bal[0][self._dir.slot[accounts]]
+            result = np.zeros(len(accounts), dtype=np.float64)
+            if mine.any():
+                result[mine] = self._bal[0][self._dir.slot[accounts[mine]]]
+            return result
+        return np.fromiter(
+            (self.get(a).balance for a in accounts.tolist()),
+            dtype=np.float64,
+            count=len(accounts),
+        )
+
+    def write_back(
+        self,
+        accounts: np.ndarray,
+        balances: np.ndarray,
+        nonce_bumps: np.ndarray,
+    ) -> None:
+        """Scatter updated balances (and nonce increments) back."""
+        if self._fast_bulk_ok(accounts):
+            home = self._dir.home[accounts]
+            new = home == -1
+            if (new | (home == self.shard_id)).all():
+                if new.any():
+                    self._alloc_slots_bulk(np.unique(accounts[new]))
+                slots = self._dir.slot[accounts]
+                self._bal[0][slots] = balances
+                np.add.at(self._non[0], slots, nonce_bumps)
+                return
+        for account, balance, bump in zip(
+            accounts.tolist(), balances.tolist(), nonce_bumps.tolist()
+        ):
+            if self._is_home(account):
+                cls, local = self._decode(int(self._dir.slot[account]))
+                self._bal[cls][local] = balance
+                self._non[cls][local] += bump
+            elif self._can_claim(account):
+                local = self._alloc_slot(account)
+                self._bal[0][local] = balance
+                self._non[0][local] = bump
+            else:
+                self._put_extra(
+                    account,
+                    balance,
+                    self._extra_non.get(account, 0) + bump,
+                )
+
+    def credit_many(self, accounts: np.ndarray, amounts: np.ndarray) -> None:
+        """Apply a stream of credits in order (settlement scatter)."""
+        if self._fast_bulk_ok(accounts):
+            home = self._dir.home[accounts]
+            new = home == -1
+            if (new | (home == self.shard_id)).all():
+                if new.any():
+                    self._alloc_slots_bulk(np.unique(accounts[new]))
+                # np.add.at applies duplicate indices sequentially,
+                # matching the dict backend's in-order accumulation.
+                np.add.at(self._bal[0], self._dir.slot[accounts], amounts)
+                return
+        for account, amount in zip(accounts.tolist(), amounts.tolist()):
+            self.credit(account, float(amount))
+
+    # -- bulk migration (batched reconfiguration hot path) ---------------------
+
+    def take_many(
+        self, accounts: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Remove ``accounts`` (all resident here); return their state."""
+        if self._fast_bulk_ok(accounts) and len(accounts):
+            home = self._dir.home[accounts]
+            if (home == self.shard_id).all():
+                slots = self._dir.slot[accounts]
+                balances = self._bal[0][slots].copy()
+                nonces = self._non[0][slots].copy()
+                self._release_locals_bulk(0, slots)
+                self._dir.home[accounts] = -1
+                self._count -= len(accounts)
+                if self._index is not None:
+                    self._index.discard_many(self.shard_id, accounts)
+                return balances, nonces
+        n = len(accounts)
+        balances = np.empty(n, dtype=np.float64)
+        nonces = np.empty(n, dtype=np.int64)
+        for i, account in enumerate(accounts.tolist()):
+            state = self.remove(account)
+            balances[i] = state.balance
+            nonces[i] = state.nonce
+        return balances, nonces
+
+    def put_many(
+        self,
+        accounts: np.ndarray,
+        balances: np.ndarray,
+        nonces: np.ndarray,
+    ) -> None:
+        """Install state rows in bulk (the columnar twin of ``put``)."""
+        if self._fast_bulk_ok(accounts):
+            home = self._dir.home[accounts]
+            new = home == -1
+            if (new | (home == self.shard_id)).all():
+                if new.any():
+                    self._alloc_slots_bulk(np.unique(accounts[new]))
+                slots = self._dir.slot[accounts]
+                self._bal[0][slots] = balances
+                self._non[0][slots] = nonces
+                return
+        for account, balance, nonce in zip(
+            accounts.tolist(), balances.tolist(), nonces.tolist()
+        ):
+            if self._is_home(account):
+                cls, local = self._decode(int(self._dir.slot[account]))
+                self._bal[cls][local] = balance
+                self._non[cls][local] = nonce
+            elif self._can_claim(account):
+                local = self._alloc_slot(account)
+                self._bal[0][local] = balance
+                self._non[0][local] = nonce
+            else:
+                self._put_extra(account, balance, int(nonce))
+
+    # -- auxiliary payload words (opt-in multi-asset / storage state) -----------
+
+    def aux_words_of(self, account: int) -> int:
+        """Aux width of the account's current size class (0 when absent)."""
+        if self._is_home(account):
+            cls, _ = self._decode(int(self._dir.slot[account]))
+            return self._classes[cls].aux_words
+        payload = self._extra_aux.get(account)
+        return 0 if payload is None else len(payload)
+
+    def put_aux(self, account: int, values: Sequence[float]) -> None:
+        """Attach aux payload words, promoting the size class as needed.
+
+        The account must already be resident (aux is state *attached
+        to* an account, it never creates one). Payloads are padded with
+        zeros to the class width; accounts promote to the smallest
+        covering class and never demote.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if self._is_home(account):
+            cls, local = self._decode(int(self._dir.slot[account]))
+            need = self._schema.class_for(len(values))
+            if need > cls:
+                local = self._promote(account, cls, local, need)
+                cls = need
+            aux = self._auxcol[cls]
+            if aux is not None:
+                aux[local, :] = 0.0
+                aux[local, : len(values)] = values
+            return
+        if account in self._extra_bal:
+            if len(values):
+                self._extra_aux[account] = values.copy()
+            else:
+                self._extra_aux.pop(account, None)
+            return
+        raise ChainError(
+            f"account {account} is not resident on shard {self.shard_id}"
+        )
+
+    def _promote(self, account: int, cls: int, local: int, need: int) -> int:
+        """Re-slot ``account`` from class ``cls`` into class ``need``."""
+        balance = float(self._bal[cls][local])
+        nonce = int(self._non[cls][local])
+        old_aux = self._auxcol[cls]
+        payload = old_aux[local].copy() if old_aux is not None else None
+        self._release_local(cls, local)
+        new_local = self._alloc_local(need)
+        self._owner[need][new_local] = account
+        self._bal[need][new_local] = balance
+        self._non[need][new_local] = nonce
+        if payload is not None:
+            self._auxcol[need][new_local, : len(payload)] = payload
+        self._dir.slot[account] = self._encode(need, new_local)
+        return new_local
+
+    def aux_of(self, account: int) -> np.ndarray:
+        """Aux payload padded to the account's class width (empty: none)."""
+        if self._is_home(account):
+            cls, local = self._decode(int(self._dir.slot[account]))
+            aux = self._auxcol[cls]
+            if aux is None:
+                return np.zeros(0, dtype=np.float64)
+            return aux[local].copy()
+        payload = self._extra_aux.get(account)
+        if payload is None:
+            return np.zeros(0, dtype=np.float64)
+        return payload.copy()
+
+    def take_aux(self, account: int) -> Optional[np.ndarray]:
+        """Detach and return the aux payload (None when absent).
+
+        For home residents the column row is left in place — the caller
+        is about to free the slot (migration), which zeroes it.
+        """
+        if self._is_home(account):
+            cls, local = self._decode(int(self._dir.slot[account]))
+            aux = self._auxcol[cls]
+            if aux is None:
+                return None
+            return aux[local].copy()
+        return self._extra_aux.pop(account, None)
+
+    # -- accounting, telemetry and compaction -----------------------------------
+
+    def total_balance(self) -> float:
+        """Sum of resident balances (float64 pairwise ``np.sum``).
+
+        Freed slots are zeroed eagerly, so summing whole columns is
+        exact for the integral-valued conservation suites.
+        """
+        dense = float(
+            np.sum(
+                np.array([np.sum(column, dtype=np.float64) for column in self._bal]),
+                dtype=np.float64,
+            )
+        )
+        if not self._extra_bal:
+            return dense
+        return math.fsum([dense, *self._extra_bal.values()])
+
+    def state_root(self) -> str:
+        """Deterministic digest over the sorted account states.
+
+        Aux payload words are deliberately excluded so every backend —
+        and every schema — hashes identical balances/nonces to the same
+        root.
+        """
+        resident = np.flatnonzero(self._dir.home == self.shard_id)
+        encoded = self._dir.slot[resident]
+        if not self._multiclass:
+            balances = self._bal[0][encoded]
+            nonces = self._non[0][encoded]
+        else:
+            classes = encoded >> _CLS_SHIFT
+            locals_ = encoded & _LOCAL_MASK
+            balances = np.empty(len(resident), dtype=np.float64)
+            nonces = np.empty(len(resident), dtype=np.int64)
+            for cls in range(len(self._classes)):
+                mask = classes == cls
+                if mask.any():
+                    balances[mask] = self._bal[cls][locals_[mask]]
+                    nonces[mask] = self._non[cls][locals_[mask]]
+        items = [
+            (int(a), float(b), int(n))
+            for a, b, n in zip(
+                resident.tolist(), balances.tolist(), nonces.tolist()
+            )
+        ]
+        items.extend(
+            (account, balance, self._extra_non[account])
+            for account, balance in self._extra_bal.items()
+        )
+        return _state_root_digest(items)
+
+    def serialized_bytes(self) -> int:
+        """Bytes a miner transfers to sync this shard's state."""
+        return len(self) * STATE_RECORD_BYTES
+
+    def column_nbytes(self) -> int:
+        """Bytes held by this store's state columns (all classes)."""
+        total = 0
+        for cls in range(len(self._classes)):
+            total += (
+                self._bal[cls].nbytes
+                + self._non[cls].nbytes
+                + self._owner[cls].nbytes
+            )
+            aux = self._auxcol[cls]
+            if aux is not None:
+                total += aux.nbytes
+        return int(total)
+
+    def slack_slots(self) -> int:
+        """Free slots across every arena of every class."""
+        return sum(
+            len(free_list)
+            for per_class in self._arena_free
+            for free_list in per_class
+        )
+
+    def arena_stats(self) -> Dict[str, float]:
+        """Allocator telemetry: arena count, capacity, free/live slots."""
+        arenas = sum(len(live) for live in self._arena_live)
+        capacity_slots = arenas * ARENA_EXTENT_ROWS
+        free_slots = self.slack_slots()
+        return {
+            "arenas": arenas,
+            "capacity_slots": capacity_slots,
+            "free_slots": free_slots,
+            "live_slots": capacity_slots - free_slots,
+        }
+
+    def rehomeable_extras(self) -> int:
+        """Spill-dict entries that :meth:`compact` could re-home now.
+
+        Same contract as the dense reference — O(spill size), consumed
+        by :meth:`StateRegistry.compact_stores` to trigger compaction
+        for stranded spill entries below the slack threshold.
+        """
+        if not self._extra_bal:
+            return 0
+        return sum(
+            1
+            for account in self._extra_bal
+            if 0 <= account < self.capacity
+            and self._dir.home[account] == -1
+        )
+
+    def _rehome_extras(self) -> int:
+        """Re-slot spilled accounts that may claim a home slot again.
+
+        Same contract as the dense reference: entries that are in
+        capacity and homed nowhere move from the fallback dict into
+        fresh base-class slots (their aux payload follows); true
+        off-home residents and beyond-capacity ids stay spilled.
+        """
+        if not self._extra_bal:
+            return 0
+        eligible = [
+            account
+            for account in self._extra_bal
+            if 0 <= account < self.capacity
+            and self._dir.home[account] == -1
+        ]
+        for account in eligible:
+            balance = self._extra_bal.pop(account)
+            nonce = self._extra_non.pop(account)
+            payload = self._extra_aux.pop(account, None)
+            self._count -= 1
+            if self._index is not None:
+                self._index.discard(self.shard_id, account)
+            local = self._alloc_slot(account)
+            self._bal[0][local] = balance
+            self._non[0][local] = nonce
+            if payload is not None and len(payload):
+                self.put_aux(account, payload)
+        return len(eligible)
+
+    def compact(self) -> int:
+        """Targeted arena compaction: re-slot sparse arenas, drop empty tails.
+
+        Three bounded steps per size class:
+
+        1. re-home eligible spill-dict entries (see
+           :meth:`_rehome_extras`);
+        2. move the live rows of *victim* arenas (occupancy strictly
+           below ``compact_occupancy``) into free slots of denser
+           arenas — non-victims first, then the fullest victims — via
+           the owner map, so work is O(victim rows), not O(live rows);
+        3. truncate trailing all-empty extents, which is where column
+           bytes are actually returned.
+
+        Interior empty arenas keep their slots on the free lists and
+        are the first allocation targets (the heap is ordered by arena
+        id). Returns the column bytes reclaimed; the physical bytes
+        rewritten land in :attr:`last_compact_moved_bytes` for the
+        recycle-policy bench.
+        """
+        before = self.column_nbytes()
+        moved_bytes = 0
+        self._rehome_extras()
+        extent = ARENA_EXTENT_ROWS
+        for cls in range(len(self._classes)):
+            live = self._arena_live[cls]
+            n_extents = len(live)
+            if not n_extents:
+                continue
+            frees = self._arena_free[cls]
+            threshold = self.compact_occupancy * extent
+            victims = sorted(
+                (a for a in range(n_extents) if 0 < live[a] < threshold),
+                key=lambda a: (live[a], a),
+            )
+            if victims:
+                dense_dests = [
+                    a for a in range(n_extents) if live[a] >= threshold
+                ]
+                dest_seq = dense_dests + list(reversed(victims))
+                row_bytes = self._classes[cls].row_nbytes
+                owner = self._owner[cls]
+                dest_index = 0
+                for src in victims:
+                    if live[src] <= 0:
+                        continue
+                    rows = (
+                        np.flatnonzero(
+                            owner[src * extent : (src + 1) * extent] >= 0
+                        )
+                        + src * extent
+                    )
+                    needed = len(rows)
+                    dest_slots: List[int] = []
+                    blocked = False
+                    while needed and dest_index < len(dest_seq):
+                        dest = dest_seq[dest_index]
+                        if dest == src:
+                            blocked = True
+                            break
+                        free_list = frees[dest]
+                        if not free_list:
+                            dest_index += 1
+                            continue
+                        take = min(len(free_list), needed)
+                        dest_slots.extend(free_list[-take:])
+                        del free_list[-take:]
+                        live[dest] += take
+                        needed -= take
+                    n_moved = len(dest_slots)
+                    if n_moved:
+                        targets = np.array(dest_slots, dtype=np.int64)
+                        sources = rows[:n_moved]
+                        moved_accounts = owner[sources]
+                        self._bal[cls][targets] = self._bal[cls][sources]
+                        self._non[cls][targets] = self._non[cls][sources]
+                        aux = self._auxcol[cls]
+                        if aux is not None:
+                            aux[targets] = aux[sources]
+                        owner[targets] = moved_accounts
+                        self._dir.slot[moved_accounts] = (
+                            targets
+                            if not self._multiclass
+                            else (cls << _CLS_SHIFT) | targets
+                        )
+                        self._release_locals_bulk(cls, sources)
+                        # _release_locals_bulk re-credits free lists but
+                        # also re-decrements live; the rows moved rather
+                        # than left, so only the source arena balances out.
+                        moved_bytes += n_moved * row_bytes
+                    if blocked:
+                        break
+            # Truncate trailing all-empty extents.
+            keep = n_extents
+            while keep and live[keep - 1] == 0:
+                keep -= 1
+            if keep < n_extents:
+                size = keep * extent
+                self._bal[cls] = self._bal[cls][:size].copy()
+                self._non[cls] = self._non[cls][:size].copy()
+                self._owner[cls] = self._owner[cls][:size].copy()
+                aux = self._auxcol[cls]
+                if aux is not None:
+                    self._auxcol[cls] = aux[:size].copy()
+                del frees[keep:]
+                del live[keep:]
+                heap = [a for a in range(keep) if frees[a]]
+                heapq.heapify(heap)
+                self._free_heap[cls] = heap
+        self.last_compact_moved_bytes = moved_bytes
         return before - self.column_nbytes()
 
 
-#: Either backend satisfies the store contract.
-AnyShardStateStore = Union[ShardStateStore, DenseShardStateStore]
+#: Any backend satisfies the store contract.
+AnyShardStateStore = Union[
+    ShardStateStore, DenseShardStateStore, ArenaShardStateStore
+]
 
 
 class StateRegistry:
     """All shards' state stores plus migration between them.
 
     ``backend`` selects the store implementation: ``"dict"`` (default,
-    arbitrary ids) or ``"dense"`` (compacted per-shard ``np.ndarray``
-    columns behind a shared :class:`SlotDirectory` sized by
-    ``n_accounts``, with a dict fallback for ids beyond that capacity).
-    Both are observably identical. A :class:`ResidencyIndex` is
-    maintained for either backend (multi-word bitmasks, so any ``k``)
-    so :meth:`locate` is O(1); :meth:`locate_scan` keeps the O(k) scan
-    as the equivalence reference. :meth:`compact_stores` re-slots
-    dense stores whose free lists grew past a slack threshold after
-    heavy migration churn, shrinking their columns.
+    arbitrary ids), ``"dense"`` (size-classed
+    :class:`ArenaShardStateStore` arenas behind a shared
+    :class:`SlotDirectory` sized by ``n_accounts``, with a dict
+    fallback for ids beyond that capacity) or ``"dense-ref"`` (the
+    single-class first-fit :class:`DenseShardStateStore`, kept as the
+    property-pinned reference allocator). All are observably
+    identical. A :class:`ResidencyIndex` is maintained for every
+    backend (multi-word bitmasks, so any ``k``) so :meth:`locate` is
+    O(1); :meth:`locate_scan` keeps the O(k) scan as the equivalence
+    reference. :meth:`compact_stores` compacts stores whose free slots
+    grew past a slack threshold after heavy migration churn —
+    whole-column re-slotting for ``"dense-ref"``, targeted sparse-arena
+    re-slotting plus trailing-extent truncation for ``"dense"`` — and
+    feeds the registry's compaction counters
+    (:attr:`compaction_count`, :attr:`compacted_bytes_total`,
+    :attr:`compact_moved_bytes_total`).
+
+    ``schema`` (a :class:`ColumnSchema`) opts the arena backend into
+    multi-class payloads; aux words travel with migrations through
+    :meth:`migrate`/:meth:`migrate_batch` and stay out of state roots.
     """
 
     def __init__(
@@ -928,6 +2023,7 @@ class StateRegistry:
         k: int,
         backend: str = BACKEND_DICT,
         n_accounts: int = 0,
+        schema: Optional[ColumnSchema] = None,
     ) -> None:
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
@@ -938,9 +2034,17 @@ class StateRegistry:
             )
         if n_accounts < 0:
             raise ValidationError(f"n_accounts must be >= 0, got {n_accounts}")
+        if schema is not None and not isinstance(schema, ColumnSchema):
+            raise ConfigurationError(
+                f"schema must be a ColumnSchema, got {type(schema).__name__}"
+            )
         self.k = k
         self.backend = backend
         self.n_accounts = int(n_accounts)
+        self.schema = schema if schema is not None else ColumnSchema.base()
+        self.compaction_count = 0
+        self.compacted_bytes_total = 0
+        self.compact_moved_bytes_total = 0
         self._index: Optional[ResidencyIndex] = ResidencyIndex(
             self.n_accounts, n_shards=k
         )
@@ -948,6 +2052,18 @@ class StateRegistry:
         if backend == BACKEND_DENSE:
             self._directory = SlotDirectory(self.n_accounts)
             self.stores: Tuple[AnyShardStateStore, ...] = tuple(
+                ArenaShardStateStore(
+                    shard,
+                    self.n_accounts,
+                    directory=self._directory,
+                    index=self._index,
+                    schema=self.schema,
+                )
+                for shard in range(k)
+            )
+        elif backend == BACKEND_DENSE_REF:
+            self._directory = SlotDirectory(self.n_accounts)
+            self.stores = tuple(
                 DenseShardStateStore(
                     shard,
                     self.n_accounts,
@@ -1020,7 +2136,10 @@ class StateRegistry:
                     f"not on migration source shard {from_shard}"
                 )
             return 0
+        aux = source.take_aux(account) if self.schema.has_aux else None
         target.put(account, source.remove(account))
+        if aux is not None and len(aux):
+            target.put_aux(account, aux)
         return STATE_RECORD_BYTES
 
     def migrate_batch(
@@ -1055,6 +2174,18 @@ class StateRegistry:
         src = current[moving]
         dst = to_shards[moving]
 
+        aux_carry: Optional[Dict[int, Tuple[int, np.ndarray]]] = None
+        if self.schema.has_aux:
+            # Aux payloads ride along explicitly: the bulk take/put
+            # columns below only carry balance + nonce.
+            aux_carry = {}
+            for account, source, target in zip(
+                acc.tolist(), src.tolist(), dst.tolist()
+            ):
+                payload = self.store_of(int(source)).take_aux(int(account))
+                if payload is not None and len(payload):
+                    aux_carry[int(account)] = (int(target), payload)
+
         order = np.argsort(src, kind="stable")
         acc, src, dst = acc[order], src[order], dst[order]
         balances = np.empty(len(acc), dtype=np.float64)
@@ -1078,6 +2209,9 @@ class StateRegistry:
                 balances[start:stop],
                 nonces[start:stop],
             )
+        if aux_carry:
+            for account, (target, payload) in aux_carry.items():
+                self.store_of(target).put_aux(account, payload)
         return len(acc) * STATE_RECORD_BYTES
 
     def compact_stores(self, min_slack: float = 0.5) -> int:
@@ -1096,9 +2230,44 @@ class StateRegistry:
         reclaimed = 0
         for store in self.stores:
             slack = store.slack_slots()
-            if slack and slack > min_slack * max(1, len(store)):
+            over_threshold = slack and slack > min_slack * max(1, len(store))
+            # Stranded spill entries (in capacity, homed nowhere) are
+            # re-homed by compact() but never grow the free list, so
+            # they qualify a store independently of the slack check.
+            rehomeable = getattr(store, "rehomeable_extras", lambda: 0)()
+            if over_threshold or rehomeable:
                 reclaimed += store.compact()
+                self.compaction_count += 1
+                self.compact_moved_bytes_total += getattr(
+                    store, "last_compact_moved_bytes", 0
+                )
+        self.compacted_bytes_total += reclaimed
         return reclaimed
+
+    def fragmentation_stats(self) -> Dict[str, float]:
+        """Registry-wide allocator telemetry, aggregated over the stores.
+
+        ``fragmentation`` is free slots over capacity slots,
+        ``occupancy`` its complement weighted the same way; both are
+        0.0 for backends without slot columns (dict) or before any
+        column is allocated. ``arena_count`` counts arenas across all
+        shards and size classes (0 outside the arena backend).
+        """
+        arenas = free_slots = capacity_slots = live_slots = 0
+        for store in self.stores:
+            stats = store.arena_stats()
+            arenas += int(stats["arenas"])
+            free_slots += int(stats["free_slots"])
+            capacity_slots += int(stats["capacity_slots"])
+            live_slots += int(stats["live_slots"])
+        return {
+            "fragmentation": free_slots / capacity_slots if capacity_slots else 0.0,
+            "occupancy": live_slots / capacity_slots if capacity_slots else 0.0,
+            "arena_count": arenas,
+            "free_slots": free_slots,
+            "capacity_slots": capacity_slots,
+            "live_slots": live_slots,
+        }
 
     def total_balance(self) -> float:
         """System-wide balance — invariant under execution + migration.

@@ -101,6 +101,11 @@ def _command_generate(args: argparse.Namespace) -> int:
     trace = generate_ethereum_like_trace(_trace_config(args))
     rows = write_transactions_csv(args.output, trace)
     print(f"wrote {rows:,} transactions to {args.output}")
+    if args.sizing_index:
+        from repro.data.sizing import write_sizing_index
+
+        sidecar = write_sizing_index(args.output)
+        print(f"wrote sizing index to {sidecar}")
     return 0
 
 
@@ -577,6 +582,16 @@ def _command_bench(args: argparse.Namespace) -> int:
         if "refine_seconds_jit" in payload:
             line += f" vs {payload['refine_seconds_jit']}s jit"
         print(line)
+    if "churn_seconds_arena_1m" in payload:
+        print(
+            f"churn 1M        : {payload['churn_moved_mb_arena_1m']}MB "
+            f"compacted arena vs "
+            f"{payload['churn_moved_mb_firstfit_1m']}MB first-fit "
+            f"({payload['churn_seconds_arena_1m']}s vs "
+            f"{payload['churn_seconds_firstfit_1m']}s, "
+            f"final frag {payload['frag_final_arena_1m']}, "
+            f"{payload['arena_count_1m']} arenas)"
+        )
     if "peak_rss_mb_windowed_1m" in payload:
         print(
             f"peak memory 1M  : {payload['peak_rss_mb_windowed_1m']}MB "
@@ -590,18 +605,28 @@ def _command_bench(args: argparse.Namespace) -> int:
         # Per-cell deltas vs the previous snapshot make a drifting cell
         # visible at a glance instead of hiding inside the total; the
         # spread column says how noisy the cell's own repeats were, and
-        # Peak MB where each cell's memory actually goes.
-        rows = [
-            [
-                label,
-                f"{ref:.3f}s" if ref is not None else "-",
-                f"{now:.3f}s",
-                f"{delta:+.0%}" if delta is not None else "-",
-                f"{spread:.0%}" if spread is not None else "-",
-                f"{peak:.1f}" if peak is not None else "-",
-            ]
-            for label, ref, now, delta, spread, peak in delta_rows
-        ]
+        # Peak MB where each cell's memory actually goes. Deltas inside
+        # the cell's own spread are marked "~" — run-to-run noise, not
+        # a real speedup or regression.
+        from repro.experiments.bench import delta_is_noise
+
+        flagged = 0
+        rows = []
+        for label, ref, now, delta, spread, peak in delta_rows:
+            noise = delta_is_noise(delta, spread)
+            flagged += noise
+            rows.append(
+                [
+                    label,
+                    f"{ref:.3f}s" if ref is not None else "-",
+                    f"{now:.3f}s",
+                    (f"{delta:+.0%}" + (" ~" if noise else ""))
+                    if delta is not None
+                    else "-",
+                    f"{spread:.0%}" if spread is not None else "-",
+                    f"{peak:.1f}" if peak is not None else "-",
+                ]
+            )
         print()
         print(
             render_table(
@@ -609,6 +634,11 @@ def _command_bench(args: argparse.Namespace) -> int:
                 rows,
             )
         )
+        if flagged:
+            print(
+                f"~ = delta within the cell's recorded spread "
+                f"({flagged} cell(s) within noise)"
+            )
     failures = int(payload.get("failures", 0))
     if failures:
         print(f"error: {failures} cell(s) failed", file=sys.stderr)
@@ -635,6 +665,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_arguments(generate)
     generate.add_argument("output", help="output CSV path")
+    generate.add_argument(
+        "--sizing-index",
+        action="store_true",
+        help="also write the <output>.sizing.npz sidecar so streamed "
+        "observed-funding replays skip the sizing pass (one-pass ingest)",
+    )
     generate.set_defaults(handler=_command_generate)
 
     simulate = subparsers.add_parser(

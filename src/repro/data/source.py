@@ -26,7 +26,10 @@ import csv
 import io
 import time
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.sizing import SizingIndex
 
 import numpy as np
 
@@ -81,6 +84,18 @@ class TraceSource:
         length (a materialised trace, a cached generator) return it here
         so the streaming engine can skip its sizing pass; a CSV decoder
         only learns both after a full read and returns None.
+        """
+        return None
+
+    def sizing_index(self) -> Optional["SizingIndex"]:
+        """Persisted sizing sidecar, when one exists and matches.
+
+        The slow-path twin of :meth:`size_hint`: file-backed sources
+        whose extract ships a sizing index return it here so the
+        engine can skip the sizing pass *and* recover the canonical
+        funding partials without re-streaming. Raises
+        :class:`~repro.errors.SizingIndexError` on a stale sidecar;
+        returns None when the source has no persisted index.
         """
         return None
 
@@ -346,6 +361,11 @@ class CsvTraceSource(TraceSource):
 
     def resolved_n_accounts(self) -> Optional[int]:
         return len(self.registry) or None
+
+    def sizing_index(self) -> Optional["SizingIndex"]:
+        from repro.data.sizing import load_sizing_index
+
+        return load_sizing_index(self.path)
 
 
 class ChunkIteratorSource(TraceSource):

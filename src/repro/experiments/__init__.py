@@ -21,7 +21,9 @@ from repro.experiments.aggregate import (
 from repro.experiments.bench import (
     cell_delta_rows,
     check_against_baseline,
+    churn_microbench,
     compiled_env,
+    delta_is_noise,
     executor_microbench,
     ingest_microbench,
     load_baseline,
@@ -77,6 +79,8 @@ __all__ = [
     "default_trace",
     "etl_smoke_matrix",
     "execute_cell",
+    "churn_microbench",
+    "delta_is_noise",
     "executor_microbench",
     "grid_row_settings",
     "ingest_microbench",

@@ -42,6 +42,7 @@ from math import fsum
 from typing import (
     TYPE_CHECKING,
     Callable,
+    Dict,
     Iterable,
     Iterator,
     List,
@@ -129,6 +130,13 @@ class SimulationConfig:
     #: non-ideal network requires ``execute_values`` — there is no
     #: message plane to degrade in a metrics-only run.
     network: str = NETWORK_IDEAL
+    #: When set, every epoch's reconfiguration ends with a slack-gated
+    #: state-store compaction pass (see
+    #: :meth:`~repro.chain.state.StateRegistry.compact_stores`): a
+    #: store compacts when its free slots exceed ``compact_slack``
+    #: times its live population. Requires ``execute_values`` — a
+    #: metrics-only run has no state columns to compact.
+    compact_slack: Optional[float] = None
 
     #: Fraction used when neither split knob is set.
     DEFAULT_HISTORY_FRACTION = 0.9
@@ -196,6 +204,16 @@ class SimulationConfig:
                 f"network={self.network!r} requires execute_values: "
                 "metrics-only runs have no message plane to degrade"
             )
+        if self.compact_slack is not None:
+            if self.compact_slack < 0:
+                raise SimulationError(
+                    f"compact_slack must be >= 0, got {self.compact_slack}"
+                )
+            if not self.execute_values:
+                raise SimulationError(
+                    "compact_slack requires execute_values: metrics-only "
+                    "runs have no state columns to compact"
+                )
 
 
 @dataclass
@@ -240,6 +258,16 @@ class EpochRecord:
     #: the ones worth auditing every epoch; the ideal path is pinned by
     #: the conservation property suite instead).
     conservation_drift: float = 0.0
+    #: Allocator telemetry (zero defaults in metrics-only runs; with
+    #: the arena state backend these carry the registry's post-epoch
+    #: fragmentation ratio, arena count, slot occupancy, and the column
+    #: bytes reclaimed / stores compacted by this epoch's slack-gated
+    #: compaction pass, if any).
+    state_fragmentation: float = 0.0
+    state_occupancy: float = 0.0
+    state_arenas: int = 0
+    state_compacted_bytes: float = 0.0
+    state_compactions: int = 0
 
 
 @dataclass
@@ -449,7 +477,11 @@ class ExecutionSubstrate:
 
             beacon = BeaconChain(spill_dir=config.beacon_spill_dir)
         self.ledger = Ledger(
-            config.params, self.mapping, executor=self.executor, beacon=beacon
+            config.params,
+            self.mapping,
+            executor=self.executor,
+            beacon=beacon,
+            compact_slack=config.compact_slack,
         )
         accounts = np.arange(n_accounts, dtype=np.int64)
         if funding_balances is not None:
@@ -531,7 +563,7 @@ class ExecutionSubstrate:
             )
         return stats
 
-    def reconfigure(self, epoch: int, target: ShardMapping) -> None:
+    def reconfigure(self, epoch: int, target: ShardMapping):
         """Commit the allocator's mapping update as beacon MRs.
 
         Every account whose shard changed becomes one row of a columnar
@@ -541,7 +573,9 @@ class ExecutionSubstrate:
         phi *and* moves the account state between stores as grouped
         gather/scatter in the same pass (Section III-B-2 semantics) —
         after which the substrate's mapping equals ``target`` value for
-        value.
+        value. Returns the
+        :class:`~repro.chain.epoch.ReconfigurationReport` (whose
+        ``compacted_bytes`` feeds the epoch's allocator telemetry).
         """
         from repro.chain.migration import MigrationRequestBatch
 
@@ -554,7 +588,11 @@ class ExecutionSubstrate:
         )
         self.ledger.submit_migration_batch(batch)
         self.ledger.commit_migrations(capacity=None)
-        self.ledger.reconfigure()
+        return self.ledger.reconfigure()
+
+    def state_telemetry(self) -> Dict[str, float]:
+        """Registry-wide allocator stats (fragmentation/occupancy/arenas)."""
+        return self.registry.fragmentation_stats()
 
 
 @dataclass
@@ -668,8 +706,21 @@ def _run_epoch_loop(
         update = allocator.update(mapping, context)
         if update.mapping.k != params.k:
             raise SimulationError("allocator changed k during update")
+        compacted_bytes = 0.0
+        compactions = 0
+        fragmentation = occupancy = 0.0
+        arenas = 0
         if substrate is not None:
-            substrate.reconfigure(view.index, update.mapping)
+            compactions_before = substrate.registry.compaction_count
+            reconfig_report = substrate.reconfigure(view.index, update.mapping)
+            compacted_bytes = float(reconfig_report.compacted_bytes)
+            compactions = (
+                substrate.registry.compaction_count - compactions_before
+            )
+            telemetry = substrate.state_telemetry()
+            fragmentation = float(telemetry["fragmentation"])
+            occupancy = float(telemetry["occupancy"])
+            arenas = int(telemetry["arena_count"])
         state.mapping = update.mapping
 
         record = EpochRecord(
@@ -697,6 +748,11 @@ def _run_epoch_loop(
             receipt_staleness_p99=execution.receipt_staleness_p99,
             confirmation_latency_blocks=execution.confirmation_latency_blocks,
             conservation_drift=execution.conservation_drift,
+            state_fragmentation=fragmentation,
+            state_occupancy=occupancy,
+            state_arenas=arenas,
+            state_compacted_bytes=compacted_bytes,
+            state_compactions=compactions,
         )
         result.records.append(record)
         if on_record is not None:
@@ -956,24 +1012,39 @@ class StreamingSimulation:
         if hint is not None and not need_funding:
             total_rows, n_accounts = hint
         else:
-            # Sizing pass: count rows, resolve the account universe,
-            # and accumulate observed funding in canonical chunk order.
-            from repro.chain.economics import ObservedFundingAccumulator
+            # A persisted sizing sidecar (repro generate --sizing-index)
+            # answers everything the sizing pass would — row count,
+            # universe, canonical funding partials — so an indexed CSV
+            # replay is one-pass. Stale sidecars raise SizingIndexError
+            # inside sizing_index(); missing ones return None.
+            index = self.source.sizing_index()
+            if index is not None:
+                total_rows = index.n_rows
+                n_accounts = index.n_accounts
+                values_present = index.values_present
+                if need_funding:
+                    funding = index.funding_balances(
+                        n_accounts, config.funding_headroom
+                    )
+            else:
+                # Sizing pass: count rows, resolve the account universe,
+                # and accumulate observed funding in canonical chunk order.
+                from repro.chain.economics import ObservedFundingAccumulator
 
-            accumulator = ObservedFundingAccumulator(
-                headroom=config.funding_headroom
-            )
-            for chunk in self.source.chunks():
-                accumulator.add(chunk)
-                if chunk.values is not None:
-                    values_present = True
-            total_rows = accumulator.rows
-            resolved = self.source.resolved_n_accounts()
-            if resolved is None:
-                resolved = accumulator.max_account_id + 1
-            n_accounts = max(int(resolved), 0)
-            if need_funding:
-                funding = accumulator.finalise(n_accounts)
+                accumulator = ObservedFundingAccumulator(
+                    headroom=config.funding_headroom
+                )
+                for chunk in self.source.chunks():
+                    accumulator.add(chunk)
+                    if chunk.values is not None:
+                        values_present = True
+                total_rows = accumulator.rows
+                resolved = self.source.resolved_n_accounts()
+                if resolved is None:
+                    resolved = accumulator.max_account_id + 1
+                n_accounts = max(int(resolved), 0)
+                if need_funding:
+                    funding = accumulator.finalise(n_accounts)
 
         chunks = iter(self.source.chunks())
         if values_present:

@@ -20,6 +20,7 @@ from repro.data.arrow import PYARROW_AVAILABLE
 from repro.errors import ExperimentError
 from repro.experiments import check_against_baseline, executor_microbench
 from repro.experiments.bench import (
+    churn_microbench,
     ingest_microbench,
     load_baseline,
     memory_microbench,
@@ -42,6 +43,10 @@ RECONFIG_SCALE = 0.1
 #: CI-sized ingest bench: the snapshot's 1M-row CSV decode at 1/10
 #: of the row count.
 INGEST_SCALE = 0.1
+
+#: CI-sized churn bench: the snapshot's 1M-account adversarial
+#: reconfiguration workload at 1/10 of the universe.
+CHURN_SCALE = 0.1
 
 #: CI-sized memory bench: the snapshot's 1M-row windowed-vs-materialised
 #: comparison at 400k rows — large enough that the O(total-rows)
@@ -71,6 +76,21 @@ class TestGateLogic:
     def test_threshold_must_leave_headroom(self):
         with pytest.raises(ExperimentError):
             check_against_baseline({}, {}, threshold=1.0)
+
+    def test_delta_within_spread_is_noise(self):
+        from repro.experiments.bench import delta_is_noise
+
+        assert delta_is_noise(0.12, 0.17)
+        assert delta_is_noise(-0.17, 0.17)
+        assert not delta_is_noise(0.25, 0.17)
+        assert not delta_is_noise(-0.2, 0.05)
+
+    def test_delta_noise_requires_both_measurements(self):
+        from repro.experiments.bench import delta_is_noise
+
+        assert not delta_is_noise(None, 0.2)
+        assert not delta_is_noise(0.1, None)
+        assert not delta_is_noise(None, None)
 
 
 class TestCommittedSnapshot:
@@ -170,6 +190,47 @@ class TestCommittedSnapshot:
             f"ideal-bus overhead ({overhead}x) blew the 1.1x budget "
             f"over the direct executor path"
         )
+
+    def test_snapshot_churn_arena_beats_firstfit_on_a_margin(self):
+        """The size-classed arena policy must beat the first-fit
+        reference on at least one gated margin of the 1M-account
+        churn-adversarial workload: >= 1.5x fewer bytes physically
+        rewritten by compaction, or >= 1.3x churn throughput."""
+        baseline = load_baseline(BASELINE_PATH)
+        moved_arena = baseline.get("churn_moved_mb_arena_1m")
+        moved_firstfit = baseline.get("churn_moved_mb_firstfit_1m")
+        sec_arena = baseline.get("churn_seconds_arena_1m")
+        sec_firstfit = baseline.get("churn_seconds_firstfit_1m")
+        if moved_arena is None or moved_firstfit is None:
+            pytest.skip("snapshot predates the churn entries")
+        assert isinstance(moved_arena, (int, float)) and moved_arena >= 0
+        assert isinstance(moved_firstfit, (int, float)) and moved_firstfit > 0
+        moved_margin = moved_firstfit >= 1.5 * moved_arena
+        speed_margin = (
+            isinstance(sec_arena, (int, float))
+            and isinstance(sec_firstfit, (int, float))
+            and sec_arena > 0
+            and sec_firstfit >= 1.3 * sec_arena
+        )
+        assert moved_margin or speed_margin, (
+            f"arena policy lost both margins: moved "
+            f"{moved_arena}MB vs first-fit {moved_firstfit}MB, "
+            f"{sec_arena}s vs {sec_firstfit}s"
+        )
+
+    def test_snapshot_carries_fragmentation_telemetry(self):
+        """The churn entries must record the allocator telemetry the
+        epoch loop surfaces: a nonzero arena count and fragmentation
+        ratios inside [0, 1] for both policies."""
+        baseline = load_baseline(BASELINE_PATH)
+        arenas = baseline.get("arena_count_1m")
+        if arenas is None:
+            pytest.skip("snapshot predates the churn entries")
+        assert isinstance(arenas, int) and arenas > 0
+        for key in ("frag_final_arena_1m", "frag_final_firstfit_1m"):
+            frag = baseline.get(key)
+            assert isinstance(frag, (int, float)), key
+            assert 0.0 <= frag <= 1.0, (key, frag)
 
     def test_snapshot_arrow_ingest_holds_3x_over_streamed(self):
         """The arrow columnar decode must stay >= 3x faster than the
@@ -328,6 +389,30 @@ class TestPerfSmokeGate:
             f"ideal-bus executor run ({ideal:.3f}s) is not within 2x of "
             f"the direct path ({direct:.3f}s)"
         )
+
+    def test_live_churn_arena_margin_and_root_equivalence(self):
+        """The arena allocator must actually earn its margin here.
+
+        Replays the churn-adversarial workload at 1/10 of the
+        snapshot's universe under both recycle policies and requires
+        the gated compaction-bytes margin live (1.5x, same as the
+        snapshot — tracemalloc-free byte counters don't jitter), plus
+        the correctness half of the bargain: identical per-shard state
+        roots across policies and nonzero arena telemetry.
+        """
+        n_accounts = int(1_000_000 * CHURN_SCALE)
+        arena = churn_microbench(policy="arena", n_accounts=n_accounts)
+        firstfit = churn_microbench(policy="firstfit", n_accounts=n_accounts)
+        assert arena["state_roots"] == firstfit["state_roots"], (
+            "arena and first-fit state roots diverged under identical churn"
+        )
+        assert firstfit["compact_moved_mb"] >= 1.5 * arena["compact_moved_mb"], (
+            f"arena compaction rewrote {arena['compact_moved_mb']:.2f}MB, "
+            f"first-fit {firstfit['compact_moved_mb']:.2f}MB — margin lost"
+        )
+        assert arena["arena_count"] > 0
+        assert 0.0 <= arena["fragmentation"] <= 1.0
+        assert arena["compactions"] > 0 and firstfit["compactions"] > 0
 
     def test_batched_reconfig_within_3x_of_snapshot(self):
         """The batch reconfiguration path must not de-vectorise.

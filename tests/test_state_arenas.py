@@ -1,0 +1,520 @@
+"""Arena-allocator equivalence, size-class payloads, and churn bounds.
+
+The size-classed :class:`ArenaShardStateStore` (backend ``"dense"``)
+must be observably identical to both the single-class first-fit
+reference (backend ``"dense-ref"``) and the scalar dict backend under
+any interleaving of execution ops, scalar/batched migration, settlement
+write-backs and compaction — spill and multi-residency included, at
+small k and at the multi-word residency scale (k > 64). On top of the
+equivalence property, this suite pins the multiclass ``ColumnSchema``
+payload semantics (promotion, migration carry, root neutrality), the
+compact-time spill re-homing behaviour, and the adversarial-churn
+memory bound that mirrors the reference backend's ``compact()``
+assertion.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.state import (
+    ARENA_EXTENT_ROWS,
+    BACKEND_DENSE,
+    BACKEND_DENSE_REF,
+    BACKEND_DICT,
+    AccountState,
+    ColumnSchema,
+    SizeClass,
+    StateRegistry,
+)
+from repro.errors import ChainError, ValidationError
+
+N_ACCOUNTS = 24
+K = 3
+
+ALL_BACKENDS = (BACKEND_DICT, BACKEND_DENSE_REF, BACKEND_DENSE)
+
+
+def _registries(schema=None):
+    return tuple(
+        StateRegistry(K, backend=b, n_accounts=N_ACCOUNTS, schema=schema)
+        for b in ALL_BACKENDS
+    )
+
+
+def _assert_equivalent(registries):
+    reference = registries[0]
+    for other in registries[1:]:
+        for shard in range(reference.k):
+            a = reference.store_of(shard)
+            b = other.store_of(shard)
+            assert len(a) == len(b)
+            assert sorted(a.accounts()) == sorted(b.accounts())
+            assert a.state_root() == b.state_root()
+            assert a.serialized_bytes() == b.serialized_bytes()
+            for account in a.accounts():
+                assert a.get(account) == b.get(account)
+        assert reference.total_balance() == other.total_balance()
+
+
+def _shard_of(account: int) -> int:
+    return account % K
+
+
+_ACCOUNT = st.integers(0, N_ACCOUNTS - 1)
+_AMOUNT = st.integers(0, 40)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("credit"), _ACCOUNT, _AMOUNT),
+        st.tuples(st.just("debit"), _ACCOUNT, _AMOUNT),
+        st.tuples(st.just("put"), _ACCOUNT, _AMOUNT),
+        st.tuples(st.just("migrate"), _ACCOUNT, st.integers(0, K - 1)),
+        st.tuples(
+            st.just("migrate_batch"),
+            st.lists(
+                st.tuples(_ACCOUNT, st.integers(0, K - 1)),
+                min_size=1,
+                max_size=8,
+                unique_by=lambda t: t[0],
+            ),
+        ),
+        st.tuples(
+            st.just("write_back"),
+            st.lists(
+                st.tuples(_ACCOUNT, _AMOUNT, st.integers(0, 3)),
+                min_size=1,
+                max_size=6,
+                unique_by=lambda t: t[0],
+            ),
+        ),
+        st.tuples(st.just("compact")),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS)
+def test_arena_reference_and_dict_are_observably_identical(ops):
+    """The core tentpole property: randomized execute / migrate /
+    settle / compact interleavings leave all three backends with
+    identical observable state after every step."""
+    registries = _registries()
+    for op in ops:
+        kind = op[0]
+        if kind in ("credit", "debit", "put"):
+            _, account, amount = op
+            shard = _shard_of(account)
+            stores = [reg.store_of(shard) for reg in registries]
+            if kind == "credit":
+                results = [s.credit(account, float(amount)) for s in stores]
+                assert len(set(results)) == 1
+            elif kind == "put":
+                state = AccountState(balance=float(amount), nonce=amount % 5)
+                for s in stores:
+                    s.put(account, state)
+            else:
+                outcomes = []
+                for s in stores:
+                    try:
+                        outcomes.append(s.debit(account, float(amount)))
+                    except ChainError:
+                        outcomes.append("overdraft")
+                assert len(set(outcomes)) == 1
+        elif kind == "migrate":
+            _, account, to_shard = op
+            outcomes = []
+            for reg in registries:
+                current = reg.locate(account)
+                from_shard = (
+                    current if current is not None else _shard_of(account)
+                )
+                if from_shard == to_shard:
+                    outcomes.append("same")
+                    continue
+                outcomes.append(reg.migrate(account, from_shard, to_shard))
+            assert len(set(outcomes)) == 1
+        elif kind == "migrate_batch":
+            _, entries = op
+            accounts = np.array([e[0] for e in entries], dtype=np.int64)
+            targets = np.array([e[1] for e in entries], dtype=np.int64)
+            moved = {reg.migrate_batch(accounts, targets) for reg in registries}
+            assert len(moved) == 1
+        elif kind == "write_back":
+            _, entries = op
+            accounts = np.array([e[0] for e in entries], dtype=np.int64)
+            balances = np.array([e[1] for e in entries], dtype=np.float64)
+            bumps = np.array([e[2] for e in entries], dtype=np.int64)
+            shards = accounts % K
+            for shard in np.unique(shards).tolist():
+                mask = shards == shard
+                for reg in registries:
+                    reg.store_of(shard).write_back(
+                        accounts[mask], balances[mask], bumps[mask]
+                    )
+        elif kind == "compact":
+            for reg in registries:
+                reg.compact_stores(min_slack=0.0)
+        _assert_equivalent(registries)
+
+
+class TestLargeKMultiWordResidency:
+    """k > 64 drives the residency index into multi-word bitmasks; the
+    arena allocator must stay root-identical to both references
+    through batched churn at that scale."""
+
+    K_LARGE = 80
+    N = 640
+
+    def _registries(self):
+        return tuple(
+            StateRegistry(self.K_LARGE, backend=b, n_accounts=self.N)
+            for b in ALL_BACKENDS
+        )
+
+    def test_batched_churn_is_root_identical_at_k80(self):
+        registries = self._registries()
+        rng = np.random.default_rng(17)
+        home = rng.integers(0, self.K_LARGE, size=self.N)
+        ids = np.arange(self.N, dtype=np.int64)
+        for reg in registries:
+            for shard in range(self.K_LARGE):
+                members = ids[home == shard]
+                if len(members):
+                    reg.store_of(shard).put_many(
+                        members,
+                        np.full(len(members), 3.0),
+                        np.zeros(len(members), dtype=np.int64),
+                    )
+        for round_index in range(6):
+            churn = rng.choice(self.N, size=self.N // 3, replace=False)
+            targets = rng.integers(
+                0, self.K_LARGE, size=len(churn), dtype=np.int64
+            )
+            moved = {
+                reg.migrate_batch(churn.astype(np.int64), targets)
+                for reg in registries
+            }
+            assert len(moved) == 1
+            if round_index % 2:
+                for reg in registries:
+                    reg.compact_stores(min_slack=0.25)
+            roots = [
+                [s.state_root() for s in reg.stores] for reg in registries
+            ]
+            assert roots[0] == roots[1] == roots[2]
+            locates = [reg.locate_many(ids).tolist() for reg in registries]
+            assert locates[0] == locates[1] == locates[2]
+
+
+class TestBeyondCapacitySpill:
+    """Ids past the preallocated capacity live in the spill dict; the
+    arena backend must treat them exactly like the references do,
+    through compaction included."""
+
+    def test_spilled_ids_stay_equivalent_through_compact(self):
+        capacity = 8
+        registries = tuple(
+            StateRegistry(2, backend=b, n_accounts=capacity)
+            for b in ALL_BACKENDS
+        )
+        for reg in registries:
+            s0, s1 = reg.store_of(0), reg.store_of(1)
+            for account in range(capacity):  # fill the dense columns
+                s0.credit(account, 2.0)
+            for account in range(capacity, capacity + 5):  # spill
+                s0.put(account, AccountState(balance=7.0, nonce=1))
+            s0.debit(capacity + 2, 3.0)
+            reg.migrate(capacity + 3, 0, 1)
+            s1.credit(capacity + 7, 9.0)
+            reg.compact_stores(min_slack=0.0)
+        reference = registries[0]
+        for other in registries[1:]:
+            for shard in range(2):
+                a, b = reference.store_of(shard), other.store_of(shard)
+                assert sorted(a.accounts()) == sorted(b.accounts())
+                assert a.state_root() == b.state_root()
+            assert reference.total_balance() == other.total_balance()
+
+    def test_beyond_capacity_ids_never_claim_slots(self):
+        registry = StateRegistry(2, backend=BACKEND_DENSE, n_accounts=4)
+        store = registry.store_of(0)
+        store.put(11, AccountState(balance=1.0))
+        store.compact()
+        stats = store.arena_stats()
+        assert stats["capacity_slots"] == 0  # no column was ever allocated
+        assert store.get(11) == AccountState(balance=1.0)
+
+
+class TestSpillRehoming:
+    """Satellite pin: ``compact()`` re-homes spill-dict accounts into
+    fresh slots when capacity allows, instead of leaving them spilled
+    indefinitely — with observable state (roots) untouched."""
+
+    @pytest.mark.parametrize("backend", (BACKEND_DENSE, BACKEND_DENSE_REF))
+    def test_compact_rehomes_freed_spill_entries(self, backend):
+        registry = StateRegistry(2, backend=backend, n_accounts=8)
+        s0, s1 = registry.store_of(0), registry.store_of(1)
+        s0.credit(3, 10.0)  # home resident of shard 0
+        # Multi-residency: shard 1 must hold 3 too (relay settlement
+        # shape) — in capacity but homed elsewhere, so it spills.
+        s1.put(3, AccountState(balance=5.0, nonce=1))
+        spilled = len(s1) - int(s1.arena_stats()["live_slots"])
+        assert spilled == 1
+        s0.remove(3)  # the home residency ends; the spill copy stays
+        root_before = s1.state_root()
+        s1.compact()
+        assert len(s1) - int(s1.arena_stats()["live_slots"]) == 0
+        assert s1.state_root() == root_before
+        assert s1.get(3) == AccountState(balance=5.0, nonce=1)
+
+    @pytest.mark.parametrize("backend", (BACKEND_DENSE, BACKEND_DENSE_REF))
+    def test_spill_heavy_churn_shrinks_spill_and_keeps_roots(self, backend):
+        n = 32
+        registry = StateRegistry(2, backend=backend, n_accounts=n)
+        s0, s1 = registry.store_of(0), registry.store_of(1)
+        for account in range(n):
+            s0.credit(account, 1.0)
+        # Spill half the universe into shard 1 while still homed at 0.
+        for account in range(0, n, 2):
+            s1.put(account, AccountState(balance=2.0, nonce=1))
+        # End the home residencies, stranding the spill entries.
+        for account in range(0, n, 2):
+            s0.remove(account)
+        spilled_before = len(s1) - int(s1.arena_stats()["live_slots"])
+        assert spilled_before == n // 2
+        roots_before = [s.state_root() for s in registry.stores]
+        registry.compact_stores(min_slack=0.0)
+        assert len(s1) - int(s1.arena_stats()["live_slots"]) == 0
+        assert [s.state_root() for s in registry.stores] == roots_before
+        assert registry.total_balance() == (n // 2) * 1.0 + (n // 2) * 2.0
+
+    def test_still_homed_elsewhere_stays_spilled(self):
+        registry = StateRegistry(2, backend=BACKEND_DENSE, n_accounts=8)
+        s0, s1 = registry.store_of(0), registry.store_of(1)
+        s0.credit(3, 10.0)
+        s1.put(3, AccountState(balance=5.0))
+        s1.compact()  # 3 is still homed on shard 0: no legal slot here
+        assert len(s1) - int(s1.arena_stats()["live_slots"]) == 1
+        assert s1.get(3) == AccountState(balance=5.0)
+
+
+class TestMulticlassSchema:
+    """Opt-in aux payloads: size-class promotion, migration carry, and
+    root neutrality."""
+
+    SCHEMA = ColumnSchema(
+        classes=(
+            SizeClass("base", 0),
+            SizeClass("asset", 2),
+            SizeClass("storage", 6),
+        )
+    )
+
+    def test_schema_validation(self):
+        with pytest.raises(ValidationError):
+            ColumnSchema(classes=())
+        with pytest.raises(ValidationError):
+            ColumnSchema(classes=(SizeClass("base", 1),))
+        with pytest.raises(ValidationError):
+            ColumnSchema(
+                classes=(SizeClass("base", 0), SizeClass("a", 3), SizeClass("b", 3))
+            )
+        with pytest.raises(ValidationError):
+            ColumnSchema(classes=(SizeClass("x", 0), SizeClass("x", 2)))
+        assert self.SCHEMA.class_for(0) == 0
+        assert self.SCHEMA.class_for(1) == 1
+        assert self.SCHEMA.class_for(5) == 2
+        with pytest.raises(ValidationError):
+            self.SCHEMA.class_for(7)
+
+    def test_aux_round_trip_and_promotion(self):
+        registry = StateRegistry(
+            2, backend=BACKEND_DENSE, n_accounts=16, schema=self.SCHEMA
+        )
+        store = registry.store_of(0)
+        store.credit(4, 10.0)
+        assert store.aux_words_of(4) == 0
+        store.put_aux(4, [1.5, 2.5])
+        assert store.aux_words_of(4) == 2
+        assert store.aux_of(4).tolist() == [1.5, 2.5]
+        # Widening promotes to the storage class and pads with zeros.
+        store.put_aux(4, [1.0, 2.0, 3.0])
+        assert store.aux_words_of(4) == 6
+        assert store.aux_of(4).tolist() == [1.0, 2.0, 3.0, 0.0, 0.0, 0.0]
+        # Narrowing never demotes; the row is rewritten in place.
+        store.put_aux(4, [9.0])
+        assert store.aux_words_of(4) == 6
+        assert store.aux_of(4)[0] == 9.0
+        assert store.get(4) == AccountState(balance=10.0)
+
+    def test_put_aux_requires_residency(self):
+        registry = StateRegistry(
+            2, backend=BACKEND_DENSE, n_accounts=16, schema=self.SCHEMA
+        )
+        with pytest.raises(ChainError):
+            registry.store_of(0).put_aux(4, [1.0])
+
+    def test_aux_travels_with_scalar_and_batch_migration(self):
+        registry = StateRegistry(
+            2, backend=BACKEND_DENSE, n_accounts=16, schema=self.SCHEMA
+        )
+        s0, s1 = registry.store_of(0), registry.store_of(1)
+        for account in (1, 2, 3):
+            s0.credit(account, 5.0)
+        s0.put_aux(1, [1.0, 2.0])
+        s0.put_aux(2, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        registry.migrate(1, 0, 1)
+        assert s1.aux_of(1).tolist() == [1.0, 2.0]
+        registry.migrate_batch(
+            np.array([2, 3], dtype=np.int64), np.array([1, 1], dtype=np.int64)
+        )
+        assert s1.aux_of(2).tolist() == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        assert s1.aux_of(3).tolist() == []
+        assert len(s0) == 0
+
+    def test_aux_survives_compaction(self):
+        registry = StateRegistry(
+            2, backend=BACKEND_DENSE, n_accounts=16, schema=self.SCHEMA
+        )
+        store = registry.store_of(0)
+        for account in range(10):
+            store.credit(account, 1.0)
+        store.put_aux(7, [4.0, 5.0])
+        for account in range(6):
+            store.remove(account)
+        root_before = store.state_root()
+        store.compact()
+        assert store.state_root() == root_before
+        assert store.aux_of(7).tolist() == [4.0, 5.0]
+
+    def test_aux_is_excluded_from_state_roots(self):
+        plain = StateRegistry(2, backend=BACKEND_DENSE, n_accounts=16)
+        schema = StateRegistry(
+            2, backend=BACKEND_DENSE, n_accounts=16, schema=self.SCHEMA
+        )
+        for reg in (plain, schema):
+            reg.store_of(0).credit(4, 10.0)
+        schema.store_of(0).put_aux(4, [8.0, 9.0])
+        assert (
+            plain.store_of(0).state_root() == schema.store_of(0).state_root()
+        )
+        # And the dict backend hashes the same states to the same root.
+        dict_reg = StateRegistry(2, backend=BACKEND_DICT, schema=self.SCHEMA)
+        dict_reg.store_of(0).credit(4, 10.0)
+        dict_reg.store_of(0).put_aux(4, [8.0, 9.0])
+        assert (
+            dict_reg.store_of(0).state_root()
+            == schema.store_of(0).state_root()
+        )
+
+    def test_aux_carry_matches_dict_backend(self):
+        """Aux payloads follow migration identically on the dict and
+        arena backends (the dict store is the semantic reference)."""
+        regs = (
+            StateRegistry(K, backend=BACKEND_DICT, schema=self.SCHEMA),
+            StateRegistry(
+                K, backend=BACKEND_DENSE, n_accounts=N_ACCOUNTS,
+                schema=self.SCHEMA,
+            ),
+        )
+        rng = np.random.default_rng(5)
+        for reg in regs:
+            for account in range(N_ACCOUNTS):
+                reg.store_of(account % K).credit(account, 1.0 + account)
+        for account in range(0, N_ACCOUNTS, 3):
+            payload = rng.random(1 + account % 6).tolist()
+            for reg in regs:
+                reg.store_of(account % K).put_aux(account, payload)
+        churn = np.arange(0, N_ACCOUNTS, 2, dtype=np.int64)
+        targets = (churn + 1) % K
+        for reg in regs:
+            reg.migrate_batch(churn, targets)
+            reg.compact_stores(min_slack=0.0)
+        for account in range(N_ACCOUNTS):
+            shard = regs[0].locate(account)
+            assert regs[1].locate(account) == shard
+            a = regs[0].store_of(shard).aux_of(account)
+            b = regs[1].store_of(shard).aux_of(account)
+            # The arena copy is padded to its class width; the values
+            # that were stored must match word for word.
+            assert b[: len(a)].tolist() == a.tolist()
+            assert not b[len(a):].any()
+
+
+class TestAdversarialChurnBound:
+    """The arena twin of the reference backend's compaction assertion:
+    scatter-churn the universe across shards, compact, and the state
+    columns must land back inside a churn-independent byte bound."""
+
+    def test_adversarial_churn_bounds_arena_nbytes(self):
+        n_accounts = 5_000
+        k = 4
+        registry = StateRegistry(k, backend=BACKEND_DENSE, n_accounts=n_accounts)
+        rng = np.random.default_rng(0)
+        home = rng.integers(0, k, size=n_accounts)
+        ids = np.arange(n_accounts, dtype=np.int64)
+        for shard in range(k):
+            members = ids[home == shard]
+            registry.store_of(shard).put_many(
+                members,
+                np.full(len(members), 1.0),
+                np.zeros(len(members), dtype=np.int64),
+            )
+        # Adversarial scatter churn: random subsets hop to a rotating
+        # hot shard, leaving holes sprayed across every source arena.
+        for epoch in range(8):
+            churn = rng.choice(n_accounts, size=n_accounts // 3, replace=False)
+            targets = np.full(len(churn), epoch % k, dtype=np.int64)
+            registry.migrate_batch(churn.astype(np.int64), targets)
+            registry.compact_stores(min_slack=0.25)
+        # Funnel everything onto one shard and compact: the drained
+        # shards must truncate to zero capacity and the hot shard's
+        # arenas consolidate.
+        registry.migrate_batch(ids, np.full(n_accounts, 1, dtype=np.int64))
+        roots_before = [s.state_root() for s in registry.stores]
+        before = registry.state_memory_nbytes()
+        reclaimed = registry.compact_stores(min_slack=0.25)
+        assert reclaimed > 0
+        after = registry.state_memory_nbytes()
+        assert after == before - reclaimed
+        for shard in (0, 2, 3):
+            assert registry.store_of(shard).arena_stats()["capacity_slots"] == 0
+        # Bound: compacted arenas are >= 50% occupied (2x headroom on
+        # the 24 B/slot base class) plus at most two partially-blocked
+        # extents, plus the shared directory and index — independent of
+        # the churn history.
+        directory_and_index = n_accounts * (4 + 8) + n_accounts * 8
+        ceiling = (2 * n_accounts + 2 * ARENA_EXTENT_ROWS) * 24
+        assert after <= ceiling + directory_and_index
+        # Observable state is untouched.
+        assert [s.state_root() for s in registry.stores] == roots_before
+        assert registry.total_balance() == n_accounts * 1.0
+        assert registry.locate_many(ids).tolist() == [
+            registry.locate_scan(int(a)) for a in ids
+        ]
+
+    def test_fragmentation_telemetry_reflects_churn(self):
+        registry = StateRegistry(2, backend=BACKEND_DENSE, n_accounts=4096)
+        store = registry.store_of(0)
+        ids = np.arange(4096, dtype=np.int64)
+        store.put_many(
+            ids, np.ones(len(ids)), np.zeros(len(ids), dtype=np.int64)
+        )
+        full = registry.fragmentation_stats()
+        assert full["occupancy"] == 1.0
+        assert full["fragmentation"] == 0.0
+        assert full["arena_count"] == 4096 // ARENA_EXTENT_ROWS
+        registry.migrate_batch(
+            ids[::2], np.ones(len(ids[::2]), dtype=np.int64)
+        )
+        churned = registry.fragmentation_stats()
+        assert 0.0 < churned["fragmentation"] < 1.0
+        assert churned["live_slots"] == 4096
+        registry.compact_stores(min_slack=0.0)
+        compacted = registry.fragmentation_stats()
+        assert compacted["fragmentation"] <= churned["fragmentation"]
+        assert registry.compaction_count >= 1
+        assert registry.compact_moved_bytes_total >= 0
